@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the QPipe building blocks and the
+//! ablations DESIGN.md calls out:
+//!
+//! * buffer-pool replacement policies under a scan-heavy reference pattern,
+//! * intermediate pipe throughput at fan-out 1 vs 4 (the broadcast cost of
+//!   simultaneous pipelining),
+//! * plan-signature computation + OSP registry lookup (the per-packet cost
+//!   of run-time overlap detection — the paper's "negligible overhead"),
+//! * sort and hash-join kernels over the storage substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpipe_common::{DataType, Metrics, Schema, Tuple, Value};
+use qpipe_core::deadlock::{NodeId, WaitRegistry};
+use qpipe_core::pipe::{Pipe, PipeConfig};
+use qpipe_exec::expr::Expr;
+use qpipe_exec::iter::{run, ExecContext};
+use qpipe_exec::plan::{AggSpec, PlanNode, SortKey};
+use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
+use std::sync::Arc;
+
+fn pool_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufferpool_policy");
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::LruK(2),
+        PolicyKind::TwoQ,
+        PolicyKind::Arc,
+    ] {
+        // Mixed pattern: repeated scans of 256 pages + a hot set of 16.
+        let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+        let f = disk.create_file("t").unwrap();
+        for _ in 0..256 {
+            disk.append_block(f, qpipe_storage::Page::new()).unwrap();
+        }
+        let pool = BufferPool::new(disk, BufferPoolConfig::new(64, policy));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{policy:?}")), &pool, |b, pool| {
+            b.iter(|| {
+                for i in 0..256u64 {
+                    pool.get(f, i).unwrap();
+                    if i % 4 == 0 {
+                        pool.get(f, i % 16).unwrap();
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn pipe_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipe_broadcast");
+    for consumers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(consumers),
+            &consumers,
+            |b, &consumers| {
+                b.iter(|| {
+                    let reg = Arc::new(WaitRegistry::new());
+                    let pipe = Pipe::new(PipeConfig { capacity: 64, backfill: 0 }, NodeId(1), reg);
+                    let sinks: Vec<_> =
+                        (0..consumers).map(|i| pipe.attach_consumer(NodeId(10 + i as u64), false)).collect();
+                    let mut producer = pipe.producer();
+                    let handles: Vec<_> = sinks
+                        .into_iter()
+                        .map(|s| std::thread::spawn(move || s.collect_tuples().len()))
+                        .collect();
+                    for i in 0..20_000i64 {
+                        producer.push(vec![Value::Int(i)]);
+                    }
+                    producer.finish();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn signature_and_lookup(c: &mut Criterion) {
+    // The OSP coordinator's per-packet costs.
+    let plan = PlanNode::scan_filtered("lineitem", Expr::col(4).ge(Expr::lit(10)))
+        .hash_join(PlanNode::scan("orders"), 0, 0)
+        .aggregate(vec![1], vec![AggSpec::count_star(), AggSpec::sum(Expr::col(2))])
+        .sort(vec![SortKey::asc(0)]);
+    c.bench_function("plan_signature", |b| b.iter(|| std::hint::black_box(&plan).signature()));
+
+    let registry: Arc<qpipe_core::host::ShareRegistry> =
+        Arc::new(qpipe_core::host::ShareRegistry::new());
+    c.bench_function("osp_registry_miss_lookup", |b| {
+        let sig = plan.signature();
+        b.iter(|| registry.lookup(std::hint::black_box(sig)))
+    });
+}
+
+fn exec_kernels(c: &mut Criterion) {
+    let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+    let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(2048, PolicyKind::Lru));
+    let catalog = Catalog::new(disk, pool);
+    let n = 20_000i64;
+    let rows: Vec<Tuple> =
+        (0..n).map(|i| vec![Value::Int(i % 997), Value::Int(i), Value::Float(i as f64)]).collect();
+    catalog
+        .create_table(
+            "t",
+            Schema::of(&[("k", DataType::Int), ("id", DataType::Int), ("x", DataType::Float)]),
+            rows,
+            None,
+        )
+        .unwrap();
+    let ctx = ExecContext::new(catalog);
+
+    c.bench_function("sort_20k", |b| {
+        let plan = PlanNode::scan("t").sort(vec![SortKey::asc(0), SortKey::desc(1)]);
+        b.iter(|| run(&plan, &ctx).unwrap().len())
+    });
+    c.bench_function("hash_join_selfjoin_20k", |b| {
+        let plan = PlanNode::scan("t").hash_join(PlanNode::scan("t"), 1, 1);
+        b.iter(|| run(&plan, &ctx).unwrap().len())
+    });
+    c.bench_function("agg_groupby_20k", |b| {
+        let plan =
+            PlanNode::scan("t").aggregate(vec![0], vec![AggSpec::count_star(), AggSpec::sum(Expr::col(2))]);
+        b.iter(|| run(&plan, &ctx).unwrap().len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pool_policies, pipe_fanout, signature_and_lookup, exec_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 13: average response time for the TPC-H mix with 10 concurrent
+//! clients, varying per-client think time (0–240 paper seconds), for the
+//! Baseline vs QPipe w/OSP.
+//!
+//! Paper result: QPipe w/OSP achieves its throughput gains *without*
+//! sacrificing response time — its average response time stays below the
+//! Baseline at every load level (low think time = high load).
+
+use qpipe_bench::{f1, print_header, print_row, profile, tpch_driver};
+use qpipe_workloads::harness::{closed_loop, System};
+use qpipe_workloads::tpch::{query, MIX};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = profile().time_scale;
+    let duration_paper = 2400.0;
+    let clients = 10;
+    println!("Figure 13: average response time (paper s), 10 clients, varying think time\n");
+    let widths = [12, 12, 14];
+    print_header(&["think_s", "Baseline", "QPipe w/OSP"], &widths);
+    for think in [0.0, 20.0, 40.0, 60.0, 120.0, 240.0] {
+        let mut avg = Vec::new();
+        for system in [System::Baseline, System::QPipeOsp] {
+            let driver = tpch_driver(system).expect("build driver");
+            let r = closed_loop(
+                &driver,
+                &|client, iteration| {
+                    let seed = (client as u64) * 1_000_003 + iteration * 7919;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let q = MIX[(seed % MIX.len() as u64) as usize];
+                    query(q, &mut rng)
+                },
+                clients,
+                duration_paper,
+                think,
+                scale,
+            );
+            avg.push(r.avg_response_paper_secs);
+        }
+        print_row(&[format!("{think:.0}"), f1(avg[0]), f1(avg[1])], &widths);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 4: the Window-of-Opportunity taxonomy (4a) and the enhancement
+//! functions (4b), printed as tables, with sampled savings curves.
+
+use qpipe_bench::{print_header, print_row};
+use qpipe_core::wop::{enhance, figure4a_inventory, savings, Enhancement, OverlapClass};
+
+fn main() {
+    println!("Figure 4a: operator overlap classification\n");
+    let widths = [36, 26, 8];
+    print_header(&["operation", "phase", "class"], &widths);
+    for (op, phase, class) in figure4a_inventory() {
+        print_row(
+            &[op.to_string(), phase.to_string(), format!("{class:?}")],
+            &widths,
+        );
+    }
+
+    println!("\nSavings for Q2 as a function of Q1 progress (Figure 4a curves):\n");
+    let widths = [10, 9, 9, 9, 9];
+    print_header(&["progress", "linear", "step*", "full", "spike"], &widths);
+    for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let emitted = p > 0.3; // step's first output appears at 30% here
+        print_row(
+            &[
+                format!("{:.0}%", p * 100.0),
+                format!("{:.0}%", 100.0 * savings(OverlapClass::Linear, p, emitted)),
+                format!("{:.0}%", 100.0 * savings(OverlapClass::Step, p, emitted)),
+                format!("{:.0}%", 100.0 * savings(OverlapClass::Full, p, emitted)),
+                format!("{:.0}%", 100.0 * savings(OverlapClass::Spike, p, emitted)),
+            ],
+            &widths,
+        );
+    }
+    println!("(* step emits its first output tuple at 30% progress in this example)");
+
+    println!("\nFigure 4b: enhancement functions\n");
+    let widths = [8, 18, 18];
+    print_header(&["class", "+buffering", "+materialization"], &widths);
+    for class in [OverlapClass::Linear, OverlapClass::Step, OverlapClass::Full, OverlapClass::Spike] {
+        print_row(
+            &[
+                format!("{class:?}"),
+                format!("{:?}", enhance(class, Enhancement::Buffering)),
+                format!("{:?}", enhance(class, Enhancement::Materialization)),
+            ],
+            &widths,
+        );
+    }
+}

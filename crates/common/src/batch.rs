@@ -1,0 +1,138 @@
+//! Tuples and batches.
+//!
+//! Operators exchange tuples in [`Batch`]es. A batch is the unit that flows
+//! through QPipe's intermediate buffers: it is wrapped in an `Arc` by the
+//! pipe layer so that simultaneous pipelining to N consumers shares one copy.
+
+use crate::value::Value;
+
+/// A row of values.
+pub type Tuple = Vec<Value>;
+
+/// A batch of tuples, the unit of data flow between operators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    rows: Vec<Tuple>,
+}
+
+impl Batch {
+    /// Default number of tuples per batch across the engine.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    pub fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { rows: Vec::with_capacity(cap) }
+    }
+
+    pub fn from_rows(rows: Vec<Tuple>) -> Self {
+        Self { rows }
+    }
+
+    pub fn push(&mut self, t: Tuple) {
+        self.rows.push(t);
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True once the batch holds `DEFAULT_CAPACITY` rows.
+    pub fn is_full(&self) -> bool {
+        self.rows.len() >= Self::DEFAULT_CAPACITY
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl FromIterator<Tuple> for Batch {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Batch { rows: iter.into_iter().collect() }
+    }
+}
+
+/// Accumulates tuples and emits full batches; used by every producer loop.
+#[derive(Debug, Default)]
+pub struct BatchBuilder {
+    current: Batch,
+}
+
+impl BatchBuilder {
+    pub fn new() -> Self {
+        Self { current: Batch::with_capacity(Batch::DEFAULT_CAPACITY) }
+    }
+
+    /// Add a tuple; returns a full batch when the threshold is crossed.
+    pub fn push(&mut self, t: Tuple) -> Option<Batch> {
+        self.current.push(t);
+        if self.current.is_full() {
+            Some(std::mem::replace(
+                &mut self.current,
+                Batch::with_capacity(Batch::DEFAULT_CAPACITY),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Drain whatever is buffered (possibly empty).
+    pub fn finish(&mut self) -> Option<Batch> {
+        if self.current.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.current))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_emits_at_capacity() {
+        let mut b = BatchBuilder::new();
+        let mut emitted = 0usize;
+        for i in 0..(Batch::DEFAULT_CAPACITY * 2 + 3) {
+            if let Some(batch) = b.push(vec![Value::Int(i as i64)]) {
+                assert_eq!(batch.len(), Batch::DEFAULT_CAPACITY);
+                emitted += 1;
+            }
+        }
+        assert_eq!(emitted, 2);
+        let tail = b.finish().expect("tail batch");
+        assert_eq!(tail.len(), 3);
+        assert!(b.finish().is_none());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: Batch = (0..5).map(|i| vec![Value::Int(i)]).collect();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.rows()[4][0], Value::Int(4));
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared foundation types for the QPipe reproduction.
+//!
+//! This crate holds everything that the storage manager, the conventional
+//! iterator engine, and the QPipe staged engine all need to agree on:
+//! [`Value`]s, [`Schema`]s, [`Tuple`]s and [`Batch`]es, error types, global
+//! [`metrics`], and the simulated-time facilities in [`sim`].
+
+pub mod batch;
+pub mod error;
+pub mod metrics;
+pub mod schema;
+pub mod sim;
+pub mod value;
+
+pub use batch::{Batch, Tuple};
+pub use error::{QError, QResult};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use schema::{ColumnDef, DataType, Schema};
+pub use value::Value;

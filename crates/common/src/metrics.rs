@@ -1,0 +1,236 @@
+//! Global execution metrics.
+//!
+//! Every experiment in the paper reports either disk blocks read (Figure 8),
+//! wall-clock response time (Figures 9–11, 13), or throughput (Figures 1b,
+//! 12). [`Metrics`] collects the raw counters that back those plots, plus
+//! counters that expose *how* QPipe got there: buffer-pool hits/misses, OSP
+//! attaches per operator, circular-scan wrap-arounds, deadlocks resolved.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counter bundle; cheap to clone (Arc inside).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    disk_blocks_read: AtomicU64,
+    disk_blocks_written: AtomicU64,
+    bp_hits: AtomicU64,
+    bp_misses: AtomicU64,
+    osp_attaches: AtomicU64,
+    osp_rejections: AtomicU64,
+    circular_wraps: AtomicU64,
+    deadlocks_resolved: AtomicU64,
+    queries_completed: AtomicU64,
+    tuples_produced: AtomicU64,
+    response_time_us_sum: AtomicU64,
+    per_file_reads: Mutex<HashMap<String, u64>>,
+    per_engine_attaches: Mutex<HashMap<String, u64>>,
+}
+
+/// Point-in-time snapshot of all counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub disk_blocks_read: u64,
+    pub disk_blocks_written: u64,
+    pub bp_hits: u64,
+    pub bp_misses: u64,
+    pub osp_attaches: u64,
+    pub osp_rejections: u64,
+    pub circular_wraps: u64,
+    pub deadlocks_resolved: u64,
+    pub queries_completed: u64,
+    pub tuples_produced: u64,
+    pub response_time_us_sum: u64,
+    pub per_file_reads: HashMap<String, u64>,
+    pub per_engine_attaches: HashMap<String, u64>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_disk_read(&self, file: &str, blocks: u64) {
+        self.inner.disk_blocks_read.fetch_add(blocks, Ordering::Relaxed);
+        *self.inner.per_file_reads.lock().entry(file.to_string()).or_insert(0) += blocks;
+    }
+
+    pub fn add_disk_write(&self, blocks: u64) {
+        self.inner.disk_blocks_written.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    pub fn add_bp_hit(&self) {
+        self.inner.bp_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_bp_miss(&self) {
+        self.inner.bp_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_osp_attach(&self, engine: &str) {
+        self.inner.osp_attaches.fetch_add(1, Ordering::Relaxed);
+        *self.inner.per_engine_attaches.lock().entry(engine.to_string()).or_insert(0) += 1;
+    }
+
+    pub fn add_osp_rejection(&self) {
+        self.inner.osp_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_circular_wrap(&self) {
+        self.inner.circular_wraps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_deadlock_resolved(&self) {
+        self.inner.deadlocks_resolved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_tuples(&self, n: u64) {
+        self.inner.tuples_produced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a completed query with its wall response time in microseconds.
+    pub fn add_query_completion(&self, response_us: u64) {
+        self.inner.queries_completed.fetch_add(1, Ordering::Relaxed);
+        self.inner.response_time_us_sum.fetch_add(response_us, Ordering::Relaxed);
+    }
+
+    pub fn disk_blocks_read(&self) -> u64 {
+        self.inner.disk_blocks_read.load(Ordering::Relaxed)
+    }
+
+    pub fn queries_completed(&self) -> u64 {
+        self.inner.queries_completed.load(Ordering::Relaxed)
+    }
+
+    pub fn osp_attaches(&self) -> u64 {
+        self.inner.osp_attaches.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let i = &self.inner;
+        MetricsSnapshot {
+            disk_blocks_read: i.disk_blocks_read.load(Ordering::Relaxed),
+            disk_blocks_written: i.disk_blocks_written.load(Ordering::Relaxed),
+            bp_hits: i.bp_hits.load(Ordering::Relaxed),
+            bp_misses: i.bp_misses.load(Ordering::Relaxed),
+            osp_attaches: i.osp_attaches.load(Ordering::Relaxed),
+            osp_rejections: i.osp_rejections.load(Ordering::Relaxed),
+            circular_wraps: i.circular_wraps.load(Ordering::Relaxed),
+            deadlocks_resolved: i.deadlocks_resolved.load(Ordering::Relaxed),
+            queries_completed: i.queries_completed.load(Ordering::Relaxed),
+            tuples_produced: i.tuples_produced.load(Ordering::Relaxed),
+            response_time_us_sum: i.response_time_us_sum.load(Ordering::Relaxed),
+            per_file_reads: i.per_file_reads.lock().clone(),
+            per_engine_attaches: i.per_engine_attaches.lock().clone(),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Buffer-pool hit ratio in [0, 1]; 0 when no accesses were made.
+    pub fn bp_hit_ratio(&self) -> f64 {
+        let total = self.bp_hits + self.bp_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.bp_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean response time over completed queries, in paper-agnostic seconds
+    /// of wall time (callers rescale with their `TimeScale`).
+    pub fn mean_response_secs(&self) -> f64 {
+        if self.queries_completed == 0 {
+            0.0
+        } else {
+            (self.response_time_us_sum as f64 / 1e6) / self.queries_completed as f64
+        }
+    }
+
+    /// Counter deltas `self - earlier` (per-file maps subtracted keywise).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut per_file = HashMap::new();
+        for (k, v) in &self.per_file_reads {
+            let e = earlier.per_file_reads.get(k).copied().unwrap_or(0);
+            per_file.insert(k.clone(), v.saturating_sub(e));
+        }
+        let mut per_engine = HashMap::new();
+        for (k, v) in &self.per_engine_attaches {
+            let e = earlier.per_engine_attaches.get(k).copied().unwrap_or(0);
+            per_engine.insert(k.clone(), v.saturating_sub(e));
+        }
+        MetricsSnapshot {
+            disk_blocks_read: self.disk_blocks_read - earlier.disk_blocks_read,
+            disk_blocks_written: self.disk_blocks_written - earlier.disk_blocks_written,
+            bp_hits: self.bp_hits - earlier.bp_hits,
+            bp_misses: self.bp_misses - earlier.bp_misses,
+            osp_attaches: self.osp_attaches - earlier.osp_attaches,
+            osp_rejections: self.osp_rejections - earlier.osp_rejections,
+            circular_wraps: self.circular_wraps - earlier.circular_wraps,
+            deadlocks_resolved: self.deadlocks_resolved - earlier.deadlocks_resolved,
+            queries_completed: self.queries_completed - earlier.queries_completed,
+            tuples_produced: self.tuples_produced - earlier.tuples_produced,
+            response_time_us_sum: self.response_time_us_sum - earlier.response_time_us_sum,
+            per_file_reads: per_file,
+            per_engine_attaches: per_engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_disk_read("lineitem", 10);
+        m.add_disk_read("lineitem", 5);
+        m.add_disk_read("orders", 2);
+        m.add_bp_hit();
+        m.add_bp_miss();
+        let s = m.snapshot();
+        assert_eq!(s.disk_blocks_read, 17);
+        assert_eq!(s.per_file_reads["lineitem"], 15);
+        assert_eq!(s.per_file_reads["orders"], 2);
+        assert!((s.bp_hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_time_mean() {
+        let m = Metrics::new();
+        m.add_query_completion(1_000_000);
+        m.add_query_completion(3_000_000);
+        let s = m.snapshot();
+        assert_eq!(s.queries_completed, 2);
+        assert!((s.mean_response_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_subtracts_keywise() {
+        let m = Metrics::new();
+        m.add_disk_read("a", 5);
+        let before = m.snapshot();
+        m.add_disk_read("a", 7);
+        m.add_disk_read("b", 3);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.disk_blocks_read, 10);
+        assert_eq!(d.per_file_reads["a"], 7);
+        assert_eq!(d.per_file_reads["b"], 3);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.add_circular_wrap();
+        assert_eq!(m.snapshot().circular_wraps, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Simulated time.
+//!
+//! The paper's experiments run against a 4-disk RAID array with multi-gigabyte
+//! tables, so its time axes span hundreds of seconds. Our substitute substrate
+//! is [`SimDisk`](../../qpipe-storage) — an in-memory block device that
+//! *charges* a configurable latency per block. The engine still runs on real
+//! OS threads, so "simulated time" is simply wall time divided by a scale
+//! factor: the harness declares how many real microseconds one *paper second*
+//! costs, and every time we report or sweep an axis we do so in paper seconds.
+
+use std::time::{Duration, Instant};
+
+/// Mapping between wall-clock time and the paper's reported seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeScale {
+    /// Real duration corresponding to one paper second.
+    pub real_per_paper_sec: Duration,
+}
+
+impl TimeScale {
+    /// One paper second costs `real_ms` wall milliseconds.
+    pub fn paper_sec_is_ms(real_ms: f64) -> Self {
+        Self { real_per_paper_sec: Duration::from_secs_f64(real_ms / 1000.0) }
+    }
+
+    /// Identity scale (1 paper second = 1 real second).
+    pub fn identity() -> Self {
+        Self { real_per_paper_sec: Duration::from_secs(1) }
+    }
+
+    /// Convert paper seconds to a real duration.
+    pub fn to_real(&self, paper_secs: f64) -> Duration {
+        self.real_per_paper_sec.mul_f64(paper_secs.max(0.0))
+    }
+
+    /// Convert a real duration to paper seconds.
+    pub fn to_paper(&self, real: Duration) -> f64 {
+        real.as_secs_f64() / self.real_per_paper_sec.as_secs_f64()
+    }
+}
+
+impl Default for TimeScale {
+    /// Default experiment profile (DESIGN.md §6): 1 paper second = 4 real ms.
+    fn default() -> Self {
+        Self::paper_sec_is_ms(4.0)
+    }
+}
+
+/// A stopwatch reporting elapsed time in paper seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct SimClock {
+    origin: Instant,
+    scale: TimeScale,
+}
+
+impl SimClock {
+    pub fn start(scale: TimeScale) -> Self {
+        Self { origin: Instant::now(), scale }
+    }
+
+    /// Elapsed paper seconds since the clock started.
+    pub fn paper_secs(&self) -> f64 {
+        self.scale.to_paper(self.origin.elapsed())
+    }
+
+    pub fn scale(&self) -> TimeScale {
+        self.scale
+    }
+
+    /// Sleep for the given number of paper seconds.
+    pub fn sleep_paper(&self, paper_secs: f64) {
+        std::thread::sleep(self.scale.to_real(paper_secs));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trip() {
+        let s = TimeScale::paper_sec_is_ms(2.0);
+        let d = s.to_real(10.0);
+        assert_eq!(d, Duration::from_millis(20));
+        assert!((s.to_paper(d) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_paper_secs_clamp_to_zero() {
+        let s = TimeScale::default();
+        assert_eq!(s.to_real(-5.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let c = SimClock::start(TimeScale::paper_sec_is_ms(1.0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(c.paper_secs() >= 4.0);
+    }
+}

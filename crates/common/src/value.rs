@@ -1,0 +1,232 @@
+//! Runtime values.
+//!
+//! QPipe stores and processes rows of [`Value`]s. The variant set covers what
+//! the Wisconsin and TPC-H workloads need: 64-bit integers, 64-bit floats,
+//! interned strings, dates (days since epoch) and SQL NULL.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single runtime value.
+///
+/// `Str` uses `Arc<str>` so that broadcasting batches to many consumers
+/// (simultaneous pipelining) never deep-copies string payloads.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Interned immutable string.
+    Str(Arc<str>),
+    /// Date as days since 1970-01-01 (the TPC-H generator emits these).
+    Date(i32),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float content; integers widen losslessly.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Date content, if this is a `Date`.
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// True iff NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total ordering used by sort operators and merge joins.
+    ///
+    /// NULLs sort first; numeric types compare cross-type; mismatched
+    /// non-numeric types compare by type tag so that sorting is always total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Date(a), Int(b)) => (*a as i64).cmp(b),
+            (Int(a), Date(b)) => a.cmp(&(*b as i64)),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Date(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Stable 64-bit hash used for hash joins / hash aggregation and for
+    /// packet signatures. Int/Float/Date that compare equal hash equal.
+    pub fn stable_hash(&self) -> u64 {
+        const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+        fn mix(mut h: u64) -> u64 {
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            h ^ (h >> 33)
+        }
+        match self {
+            Value::Null => mix(SEED),
+            Value::Int(v) => mix(*v as u64 ^ SEED.rotate_left(1)),
+            Value::Date(v) => mix(*v as i64 as u64 ^ SEED.rotate_left(1)),
+            Value::Float(v) => {
+                // Hash floats through their integer value when exact so that
+                // Int(2) and Float(2.0) join keys collide as they compare.
+                if v.fract() == 0.0 && v.abs() < i64::MAX as f64 {
+                    mix(*v as i64 as u64 ^ SEED.rotate_left(1))
+                } else {
+                    mix(v.to_bits() ^ SEED.rotate_left(2))
+                }
+            }
+            Value::Str(s) => {
+                let mut h = SEED;
+                for b in s.as_bytes() {
+                    h = (h ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                mix(h)
+            }
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    /// Consistent with `Eq`: values that compare equal (including
+    /// cross-numeric-type equality) produce identical hashes.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.stable_hash());
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "d{d}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(-1)];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn cross_numeric_compare() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn date_int_interop() {
+        assert_eq!(Value::Date(10), Value::Int(10));
+        assert!(Value::Date(9) < Value::Int(10));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(Value::Int(42).stable_hash(), Value::Float(42.0).stable_hash());
+        assert_eq!(Value::str("abc").stable_hash(), Value::str("abc").stable_hash());
+        assert_ne!(Value::str("abc").stable_hash(), Value::str("abd").stable_hash());
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,274 @@
+//! Query result cache (paper §2.3 + the "result" stage of Figure 2).
+//!
+//! The paper's related-work section describes a dynamic result-cache manager
+//! (ref \[29\]) that "decides on which results to cache, based on result
+//! computation costs, sizes, reference frequencies, and maintenance costs due
+//! to updates", and notes that "QPipe improves a query result cache by
+//! allowing the run-time detection of exact instances of the same query" —
+//! OSP handles *concurrent* identical queries; the result cache handles
+//! *sequential* repeats.
+//!
+//! This module implements that cache: entries are keyed by plan signature,
+//! admission/eviction use a benefit score `cost × (1 + hits) / size`
+//! (computation cost amortized per byte, weighted by observed reference
+//! frequency), and updates invalidate every entry reading the written table.
+
+use parking_lot::Mutex;
+use qpipe_common::Tuple;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result-cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total tuple budget across all cached results (0 disables caching).
+    pub capacity_tuples: usize,
+    /// Results cheaper than this are not worth caching.
+    pub min_cost: Duration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self { capacity_tuples: 100_000, min_cost: Duration::from_micros(100) }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    rows: Arc<Vec<Tuple>>,
+    tables: Vec<String>,
+    cost: Duration,
+    hits: u64,
+    /// Logical clock of last reference, for tie-breaking.
+    last_use: u64,
+}
+
+impl Entry {
+    /// Benefit score: recomputation cost amortized over size, scaled by
+    /// observed popularity (ref \[29\]'s cost/size/frequency profit metric).
+    fn score(&self) -> f64 {
+        let size = self.rows.len().max(1) as f64;
+        self.cost.as_secs_f64() * (1.0 + self.hits as f64) / size
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<u64, Entry>,
+    used_tuples: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A shared query result cache.
+#[derive(Debug)]
+pub struct QueryCache {
+    config: CacheConfig,
+    state: Mutex<CacheState>,
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub entries: usize,
+    pub used_tuples: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl QueryCache {
+    pub fn new(config: CacheConfig) -> Arc<Self> {
+        Arc::new(Self { config, state: Mutex::new(CacheState::default()) })
+    }
+
+    /// Look up a completed result by plan signature.
+    pub fn lookup(&self, signature: u64) -> Option<Arc<Vec<Tuple>>> {
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        match st.entries.get_mut(&signature) {
+            Some(e) => {
+                e.hits += 1;
+                e.last_use = clock;
+                let rows = e.rows.clone();
+                st.hits += 1;
+                Some(rows)
+            }
+            None => {
+                st.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offer a completed result for admission. Returns true if cached.
+    ///
+    /// Results are admitted when they fit the budget after evicting only
+    /// entries with a *lower* benefit score than the candidate.
+    pub fn admit(
+        &self,
+        signature: u64,
+        rows: Arc<Vec<Tuple>>,
+        tables: Vec<String>,
+        cost: Duration,
+    ) -> bool {
+        if self.config.capacity_tuples == 0
+            || cost < self.config.min_cost
+            || rows.len() > self.config.capacity_tuples
+        {
+            return false;
+        }
+        let mut st = self.state.lock();
+        if st.entries.contains_key(&signature) {
+            return true; // already cached (concurrent completion)
+        }
+        st.clock += 1;
+        let candidate =
+            Entry { rows, tables, cost, hits: 0, last_use: st.clock };
+        let need = candidate.rows.len();
+        // Evict lowest-scoring entries while they score below the candidate.
+        while st.used_tuples + need > self.config.capacity_tuples {
+            let victim = st
+                .entries
+                .iter()
+                .min_by(|a, b| {
+                    a.1.score()
+                        .total_cmp(&b.1.score())
+                        .then(a.1.last_use.cmp(&b.1.last_use))
+                })
+                .map(|(k, e)| (*k, e.score()));
+            match victim {
+                Some((key, score)) if score <= candidate.score() => {
+                    let e = st.entries.remove(&key).expect("victim exists");
+                    st.used_tuples -= e.rows.len();
+                }
+                _ => return false, // residents are all more valuable
+            }
+        }
+        st.used_tuples += need;
+        st.entries.insert(signature, candidate);
+        true
+    }
+
+    /// Drop every entry whose plan read `table` (update invalidation).
+    pub fn invalidate_table(&self, table: &str) {
+        let mut st = self.state.lock();
+        let doomed: Vec<u64> = st
+            .entries
+            .iter()
+            .filter(|(_, e)| e.tables.iter().any(|t| t == table))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in doomed {
+            if let Some(e) = st.entries.remove(&k) {
+                st.used_tuples -= e.rows.len();
+            }
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let st = self.state.lock();
+        CacheStats {
+            entries: st.entries.len(),
+            used_tuples: st.used_tuples,
+            hits: st.hits,
+            misses: st.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpipe_common::Value;
+
+    fn rows(n: usize) -> Arc<Vec<Tuple>> {
+        Arc::new((0..n).map(|i| vec![Value::Int(i as i64)]).collect())
+    }
+
+    fn cache(cap: usize) -> Arc<QueryCache> {
+        QueryCache::new(CacheConfig { capacity_tuples: cap, min_cost: Duration::ZERO })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let c = cache(100);
+        assert!(c.lookup(1).is_none());
+        assert!(c.admit(1, rows(10), vec!["t".into()], Duration::from_millis(5)));
+        let got = c.lookup(1).expect("hit");
+        assert_eq!(got.len(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.used_tuples), (1, 1, 1, 10));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = cache(0);
+        assert!(!c.admit(1, rows(1), vec![], Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn cheap_results_not_admitted() {
+        let c = QueryCache::new(CacheConfig {
+            capacity_tuples: 100,
+            min_cost: Duration::from_millis(10),
+        });
+        assert!(!c.admit(1, rows(5), vec![], Duration::from_millis(1)));
+        assert!(c.admit(2, rows(5), vec![], Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn eviction_prefers_low_benefit() {
+        let c = cache(100);
+        // Expensive small result (high score) + cheap big result (low score).
+        assert!(c.admit(1, rows(10), vec![], Duration::from_secs(1)));
+        assert!(c.admit(2, rows(80), vec![], Duration::from_millis(1)));
+        // A valuable newcomer needs space: the cheap big entry goes.
+        assert!(c.admit(3, rows(50), vec![], Duration::from_secs(2)));
+        assert!(c.lookup(1).is_some(), "high-benefit entry survives");
+        assert!(c.lookup(2).is_none(), "low-benefit entry evicted");
+        assert!(c.lookup(3).is_some());
+    }
+
+    #[test]
+    fn newcomer_rejected_when_residents_more_valuable() {
+        let c = cache(100);
+        assert!(c.admit(1, rows(90), vec![], Duration::from_secs(10)));
+        // Worthless newcomer that would need the valuable resident's space.
+        assert!(!c.admit(2, rows(50), vec![], Duration::from_micros(1)));
+        assert!(c.lookup(1).is_some());
+    }
+
+    #[test]
+    fn frequency_raises_benefit() {
+        let c = cache(100);
+        assert!(c.admit(1, rows(50), vec![], Duration::from_millis(10)));
+        for _ in 0..10 {
+            c.lookup(1);
+        }
+        // Newcomer with same cost/size but no history shouldn't displace it.
+        assert!(!c.admit(2, rows(60), vec![], Duration::from_millis(10)));
+        assert!(c.lookup(1).is_some());
+    }
+
+    #[test]
+    fn update_invalidation() {
+        let c = cache(1000);
+        c.admit(1, rows(5), vec!["orders".into()], Duration::from_millis(5));
+        c.admit(2, rows(5), vec!["lineitem".into(), "orders".into()], Duration::from_millis(5));
+        c.admit(3, rows(5), vec!["part".into()], Duration::from_millis(5));
+        c.invalidate_table("orders");
+        assert!(c.lookup(1).is_none());
+        assert!(c.lookup(2).is_none());
+        assert!(c.lookup(3).is_some());
+        assert_eq!(c.stats().used_tuples, 5);
+    }
+
+    #[test]
+    fn oversized_result_rejected() {
+        let c = cache(10);
+        assert!(!c.admit(1, rows(11), vec![], Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,315 @@
+//! Run-time deadlock detection for simultaneously pipelined plans.
+//!
+//! Pipelining one producer to N consumers can deadlock (paper §3.3, §4.3.3):
+//! if query A needs scan S1 to advance before it consumes from S2, while
+//! query B needs the opposite, and both scans are shared, each producer ends
+//! up waiting on a consumer that is itself waiting — a cycle.
+//!
+//! Following the paper (and its companion tech report \[30\]) we model this
+//! with a **waits-for graph built from buffer states** rather than static
+//! plan analysis: an edge `u → v` exists iff the thread driving packet `u`
+//! is *currently blocked* on a pipe whose progress only packet `v` can make
+//! (a producer blocked on a full queue waits for that queue's consumer; a
+//! consumer blocked on an empty pipe waits for the producer). A cycle in this
+//! graph is a *real* deadlock — no assumptions about producer/consumer rates
+//! are needed — and it is resolved by **materializing** (unbounding) the
+//! minimum-cost pipe on the cycle, which removes the producer's wait edge.
+
+use crate::pipe::Pipe;
+use parking_lot::Mutex;
+use qpipe_common::Metrics;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Identifies a packet (one plan-node execution) in the waits-for graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// Why a thread is blocked on a pipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// Producer blocked: `holder`'s queue on `pipe_id` is full. Resolvable
+    /// by materializing (unbounding) the pipe.
+    ProducerFull,
+    /// Consumer blocked: `pipe_id` is empty, waiting for `holder` to
+    /// produce. Materialization does not help; the cycle must be broken at
+    /// one of its producer edges.
+    ConsumerEmpty,
+}
+
+/// A waits-for edge: `waiter` is blocked on `pipe_id`, waiting for `holder`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEdge {
+    pub waiter: NodeId,
+    pub holder: NodeId,
+    pub pipe_id: u64,
+    pub kind: WaitKind,
+}
+
+/// What a blocked waiter is waiting on: (holder, pipe, kind).
+type EdgeTarget = (NodeId, u64, WaitKind);
+
+/// Registry of current waits-for edges plus weak handles to live pipes.
+#[derive(Debug, Default)]
+pub struct WaitRegistry {
+    /// A blocked thread registers edges to every node it waits for (a
+    /// producer blocked on a full pipe waits for *all* full consumers),
+    /// keyed by waiter; the whole set clears when it wakes.
+    edges: Mutex<HashMap<NodeId, Vec<EdgeTarget>>>,
+    pipes: Mutex<HashMap<u64, Weak<Pipe>>>,
+}
+
+impl WaitRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `waiter` is blocked on `pipe_id` waiting for `holder`.
+    pub fn add_edge(&self, waiter: NodeId, holder: NodeId, pipe_id: u64, kind: WaitKind) {
+        self.edges.lock().entry(waiter).or_default().push((holder, pipe_id, kind));
+    }
+
+    /// Record that `waiter` is blocked on `pipe_id` waiting for each of
+    /// `holders` (OR-semantics in resolution; AND for detection safety).
+    pub fn add_edges(&self, waiter: NodeId, holders: &[NodeId], pipe_id: u64, kind: WaitKind) {
+        let mut e = self.edges.lock();
+        let v = e.entry(waiter).or_default();
+        for &h in holders {
+            v.push((h, pipe_id, kind));
+        }
+    }
+
+    /// Clear `waiter`'s edges (called when it wakes).
+    pub fn remove_edge(&self, waiter: NodeId) {
+        self.edges.lock().remove(&waiter);
+    }
+
+    /// Snapshot of current edges.
+    pub fn edges(&self) -> Vec<WaitEdge> {
+        self.edges
+            .lock()
+            .iter()
+            .flat_map(|(&waiter, holders)| {
+                holders
+                    .iter()
+                    .map(move |&(holder, pipe_id, kind)| WaitEdge { waiter, holder, pipe_id, kind })
+            })
+            .collect()
+    }
+
+    /// Make a pipe visible to the resolver.
+    pub fn register_pipe(&self, pipe: &Arc<Pipe>) {
+        self.pipes.lock().insert(pipe.id(), Arc::downgrade(pipe));
+        // Opportunistic cleanup of dead entries.
+        self.pipes.lock().retain(|_, w| w.strong_count() > 0);
+    }
+
+    fn pipe(&self, id: u64) -> Option<Arc<Pipe>> {
+        self.pipes.lock().get(&id).and_then(|w| w.upgrade())
+    }
+}
+
+/// Find one cycle in the waits-for graph; returns the edges along it.
+///
+/// General iterative DFS with colors (a blocked producer can wait for many
+/// consumers at once, so out-degree may exceed 1).
+pub fn find_cycle(edges: &[WaitEdge]) -> Option<Vec<WaitEdge>> {
+    let mut adj: HashMap<NodeId, Vec<WaitEdge>> = HashMap::new();
+    for e in edges {
+        adj.entry(e.waiter).or_default().push(*e);
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<NodeId, Color> = HashMap::new();
+    let nodes: Vec<NodeId> = adj.keys().copied().collect();
+    for &start in &nodes {
+        if *color.get(&start).unwrap_or(&Color::White) != Color::White {
+            continue;
+        }
+        // Stack of (node, next-edge-index); path holds the edge taken into
+        // each gray node after the first.
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        let mut path: Vec<WaitEdge> = Vec::new();
+        color.insert(start, Color::Gray);
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let out = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *idx >= out.len() {
+                color.insert(node, Color::Black);
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let edge = out[*idx];
+            *idx += 1;
+            match *color.get(&edge.holder).unwrap_or(&Color::White) {
+                Color::Gray => {
+                    // Cycle: the suffix of `path` from where `edge.holder`
+                    // entered the DFS stack, closed by `edge` itself.
+                    let pos = stack.iter().position(|&(n, _)| n == edge.holder);
+                    let mut cycle = match pos {
+                        Some(pos) => path[pos..].to_vec(),
+                        None => Vec::new(),
+                    };
+                    cycle.push(edge);
+                    return Some(cycle);
+                }
+                Color::Black => {}
+                Color::White => {
+                    color.insert(edge.holder, Color::Gray);
+                    stack.push((edge.holder, 0));
+                    path.push(edge);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Given a cycle, choose the pipe to materialize: among the cycle's
+/// *producer-wait* edges (the only ones materialization can unblock), the
+/// pipe with the smallest materialization cost (paper \[30\]: minimize the
+/// cost of the materialized set; one per detected cycle, iterating until
+/// acyclic).
+pub fn choose_victim(cycle: &[WaitEdge], cost: impl Fn(u64) -> usize) -> Option<u64> {
+    cycle
+        .iter()
+        .filter(|e| e.kind == WaitKind::ProducerFull)
+        .map(|e| e.pipe_id)
+        .min_by_key(|&p| cost(p))
+}
+
+/// Background detector thread: periodically scans the waits-for graph and
+/// materializes the cheapest pipe on any cycle.
+pub struct DeadlockDetector {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlockDetector {
+    pub fn spawn(registry: Arc<WaitRegistry>, metrics: Metrics, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("qpipe-deadlock".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    resolve_once(&registry, &metrics);
+                }
+            })
+            .expect("spawn deadlock detector");
+        Self { stop, handle: Some(handle) }
+    }
+}
+
+/// One detection/resolution pass (also used directly by tests).
+pub fn resolve_once(registry: &WaitRegistry, metrics: &Metrics) -> bool {
+    let edges = registry.edges();
+    let Some(cycle) = find_cycle(&edges) else {
+        return false;
+    };
+    let victim = choose_victim(&cycle, |p| {
+        registry.pipe(p).map(|pipe| pipe.materialize_cost()).unwrap_or(usize::MAX)
+    });
+    if let Some(pipe_id) = victim {
+        if let Some(pipe) = registry.pipe(pipe_id) {
+            pipe.materialize();
+            metrics.add_deadlock_resolved();
+            return true;
+        }
+    }
+    false
+}
+
+impl Drop for DeadlockDetector {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(w: u64, h: u64, p: u64) -> WaitEdge {
+        WaitEdge { waiter: NodeId(w), holder: NodeId(h), pipe_id: p, kind: WaitKind::ProducerFull }
+    }
+
+    fn ce(w: u64, h: u64, p: u64) -> WaitEdge {
+        WaitEdge { waiter: NodeId(w), holder: NodeId(h), pipe_id: p, kind: WaitKind::ConsumerEmpty }
+    }
+
+    #[test]
+    fn no_cycle_in_chain() {
+        assert!(find_cycle(&[e(1, 2, 10), e(2, 3, 11)]).is_none());
+        assert!(find_cycle(&[]).is_none());
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        let cycle = find_cycle(&[e(1, 2, 10), e(2, 1, 11)]).expect("cycle");
+        assert_eq!(cycle.len(), 2);
+        let pipes: Vec<u64> = cycle.iter().map(|x| x.pipe_id).collect();
+        assert!(pipes.contains(&10) && pipes.contains(&11));
+    }
+
+    #[test]
+    fn cycle_with_tail() {
+        // 0 → 1 → 2 → 3 → 1 : cycle is {1,2,3}.
+        let cycle =
+            find_cycle(&[e(0, 1, 9), e(1, 2, 10), e(2, 3, 11), e(3, 1, 12)]).expect("cycle");
+        assert_eq!(cycle.len(), 3);
+        assert!(!cycle.iter().any(|x| x.pipe_id == 9), "tail edge not in cycle");
+    }
+
+    #[test]
+    fn self_loop() {
+        let cycle = find_cycle(&[e(5, 5, 42)]).expect("self loop is a cycle");
+        assert_eq!(cycle.len(), 1);
+        assert_eq!(cycle[0].pipe_id, 42);
+    }
+
+    #[test]
+    fn disjoint_components_one_cyclic() {
+        let edges = [e(1, 2, 10), e(7, 8, 20), e(8, 7, 21)];
+        let cycle = find_cycle(&edges).expect("cycle in second component");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn victim_is_min_cost() {
+        let cycle = [e(1, 2, 10), e(2, 1, 11)];
+        let victim = choose_victim(&cycle, |p| if p == 10 { 5 } else { 2 });
+        assert_eq!(victim, Some(11));
+    }
+
+    #[test]
+    fn registry_edge_lifecycle() {
+        let r = WaitRegistry::new();
+        r.add_edge(NodeId(1), NodeId(2), 7, WaitKind::ProducerFull);
+        assert_eq!(r.edges().len(), 1);
+        r.remove_edge(NodeId(1));
+        assert!(r.edges().is_empty());
+    }
+
+    #[test]
+    fn victim_never_a_consumer_wait_pipe() {
+        // Mixed cycle: producer edges on pipes 11/12, consumer edges on
+        // 10/13. Even though the consumer pipes are empty (cost 0), the
+        // victim must be a producer-wait pipe.
+        let cycle = [ce(1, 2, 10), e(2, 3, 11), ce(3, 4, 13), e(4, 1, 12)];
+        let victim = choose_victim(&cycle, |p| if (11..=12).contains(&p) { 5 } else { 0 });
+        assert!(victim == Some(11) || victim == Some(12), "{victim:?}");
+        // All-consumer cycle: no resolvable victim.
+        assert_eq!(choose_victim(&[ce(1, 2, 10), ce(2, 1, 11)], |_| 0), None);
+    }
+}

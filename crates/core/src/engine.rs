@@ -1,0 +1,523 @@
+//! The QPipe engine facade: µEngines, packet dispatcher, and query handles.
+//!
+//! `QPipe::new` boots one µEngine per relational operator (paper §4.2,
+//! Figure 5b). `submit` plays the packet dispatcher: it cuts the plan into
+//! packets, wires them with pipes, and queues each packet at its µEngine.
+//! Each µEngine runs a dispatcher thread that performs the OSP check —
+//! "every time a new packet queues up in a µEngine, we scan the queue with
+//! the existing packets to check for overlapping work" (§4.3) — attaching
+//! satellites or spawning a worker for new hosts.
+
+use crate::cache::{CacheConfig, QueryCache};
+use crate::deadlock::{DeadlockDetector, WaitRegistry};
+use crate::host::ShareRegistry;
+use crate::ops::{self, OpEnv};
+use crate::packet::{fresh_node, CancelToken, Packet, QueryId};
+use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
+use crate::scan::{ScanConfig, ScanManager, ScanRequest};
+use crossbeam::channel::{unbounded, Sender};
+use qpipe_common::{Metrics, QError, QResult, Tuple};
+use qpipe_exec::iter::{ExecConfig, ExecContext};
+use qpipe_exec::plan::PlanNode;
+use qpipe_storage::Catalog;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QPipeConfig {
+    /// On-demand simultaneous pipelining on/off ("QPipe w/OSP" vs "Baseline").
+    pub osp: bool,
+    /// Intermediate buffer sizing.
+    pub pipe: PipeConfig,
+    /// Memory budgets for sort / hash join.
+    pub exec: ExecConfig,
+    /// Host replay-history window in batches (buffering enhancement, §3.2).
+    pub host_backfill: usize,
+    /// Deadlock detector scan interval.
+    pub deadlock_interval: Duration,
+    /// Optional query-result cache (§2.3): `Some` caches completed results
+    /// keyed by plan signature and serves exact repeats without execution.
+    pub result_cache: Option<CacheConfig>,
+}
+
+impl Default for QPipeConfig {
+    fn default() -> Self {
+        Self {
+            osp: true,
+            pipe: PipeConfig::default(),
+            exec: ExecConfig::default(),
+            host_backfill: 8,
+            deadlock_interval: Duration::from_millis(20),
+            result_cache: None,
+        }
+    }
+}
+
+impl QPipeConfig {
+    /// The paper's Baseline: same engine, OSP disabled.
+    pub fn baseline() -> Self {
+        Self { osp: false, ..Self::default() }
+    }
+}
+
+/// The µEngine names QPipe boots (cf. Figure 5b).
+pub const ENGINE_NAMES: [&str; 10] = [
+    "scan", "iscan", "uiscan", "filter", "project", "sort", "agg", "hashjoin", "mergejoin",
+    "nljoin",
+];
+
+struct MicroEngine {
+    queue: Sender<Packet>,
+}
+
+/// The QPipe engine.
+pub struct QPipe {
+    ctx: ExecContext,
+    config: QPipeConfig,
+    registry: Arc<WaitRegistry>,
+    _detector: DeadlockDetector,
+    scan_mgr: Arc<ScanManager>,
+    engines: HashMap<&'static str, MicroEngine>,
+    metrics: Metrics,
+    cache: Option<Arc<QueryCache>>,
+    /// Debug map: waits-for node → "query/op" label.
+    node_labels: parking_lot::Mutex<HashMap<u64, String>>,
+}
+
+impl QPipe {
+    /// Boot the engine over a catalog.
+    pub fn new(catalog: Arc<Catalog>, config: QPipeConfig) -> Arc<Self> {
+        let metrics = catalog.disk().metrics().clone();
+        let ctx = ExecContext::with_config(catalog, config.exec);
+        let registry = Arc::new(WaitRegistry::new());
+        let detector =
+            DeadlockDetector::spawn(registry.clone(), metrics.clone(), config.deadlock_interval);
+        let scan_mgr = ScanManager::new(
+            ctx.clone(),
+            ScanConfig { osp: config.osp, ..ScanConfig::default() },
+            metrics.clone(),
+        );
+        let mut engines = HashMap::new();
+        for name in ENGINE_NAMES {
+            let (tx, rx) = unbounded::<Packet>();
+            let env = Arc::new(OpEnv {
+                ctx: ctx.clone(),
+                metrics: metrics.clone(),
+                osp: config.osp,
+                backfill: config.host_backfill,
+            });
+            let share: Arc<ShareRegistry> = Arc::new(ShareRegistry::new());
+            let scan_mgr2 = scan_mgr.clone();
+            std::thread::Builder::new()
+                .name(format!("qpipe-ueng-{name}"))
+                .spawn(move || {
+                    while let Ok(packet) = rx.recv() {
+                        dispatch_packet(name, packet, &share, &env, &scan_mgr2);
+                    }
+                })
+                .expect("spawn µEngine");
+            engines.insert(name, MicroEngine { queue: tx });
+        }
+        Arc::new(Self {
+            ctx,
+            config,
+            registry,
+            _detector: detector,
+            scan_mgr,
+            engines,
+            metrics,
+            cache: config.result_cache.map(QueryCache::new),
+            node_labels: parking_lot::Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.ctx.catalog
+    }
+
+    pub fn config(&self) -> &QPipeConfig {
+        &self.config
+    }
+
+    pub fn scan_manager(&self) -> &Arc<ScanManager> {
+        &self.scan_mgr
+    }
+
+    /// The waits-for registry (observability / debugging).
+    pub fn wait_registry(&self) -> &Arc<WaitRegistry> {
+        &self.registry
+    }
+
+    /// Debug label for a waits-for node id.
+    pub fn node_label(&self, node: crate::deadlock::NodeId) -> String {
+        self.node_labels.lock().get(&node.0).cloned().unwrap_or_else(|| "?".into())
+    }
+
+    /// The result cache, when enabled.
+    pub fn result_cache(&self) -> Option<&Arc<QueryCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Submit a query plan; returns a handle streaming the root's output.
+    pub fn submit(&self, plan: PlanNode) -> QResult<QueryHandle> {
+        self.validate(&plan)?;
+        let query = QueryId::fresh();
+        // Result-cache fast path (§2.3): an exact repeat of a completed
+        // query is served from the cache without touching the engine.
+        let signature = plan.signature();
+        if let Some(cache) = &self.cache {
+            if let Some(rows) = cache.lookup(signature) {
+                return Ok(QueryHandle {
+                    query,
+                    inner: HandleInner::Cached(rows),
+                    submitted: Instant::now(),
+                    metrics: self.metrics.clone(),
+                });
+            }
+        }
+        let client_node = fresh_node();
+        let root_node = fresh_node();
+        let root_pipe = Pipe::new(self.config.pipe, root_node, self.registry.clone());
+        self.registry.register_pipe(&root_pipe);
+        let consumer = root_pipe.attach_consumer(client_node, false);
+        let producer = root_pipe.producer();
+        let tables = plan.tables();
+        self.dispatch(Arc::new(plan), query, producer, None, root_node)?;
+        Ok(QueryHandle {
+            query,
+            inner: HandleInner::Live {
+                consumer,
+                fill: self.cache.as_ref().map(|c| (c.clone(), signature, tables)),
+            },
+            submitted: Instant::now(),
+            metrics: self.metrics.clone(),
+        })
+    }
+
+    /// Cheap plan validation at submit time (tables/columns exist).
+    fn validate(&self, plan: &PlanNode) -> QResult<()> {
+        match plan {
+            PlanNode::TableScan { table, .. } | PlanNode::ClusteredIndexScan { table, .. } => {
+                self.ctx.catalog.table(table)?;
+                if let PlanNode::ClusteredIndexScan { .. } = plan {
+                    let t = self.ctx.catalog.table(table)?;
+                    if t.clustered.is_none() {
+                        return Err(QError::Plan(format!("{table} has no clustered index")));
+                    }
+                }
+                Ok(())
+            }
+            PlanNode::UnclusteredIndexScan { table, column, .. } => {
+                let t = self.ctx.catalog.table(table)?;
+                t.unclustered_index(column)
+                    .ok_or_else(|| QError::Plan(format!("no index {table}.{column}")))?;
+                Ok(())
+            }
+            _ => {
+                for c in plan.children() {
+                    self.validate(c)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Recursive packet dispatcher. Returns the cancel tokens for the
+    /// dispatched node and everything below it.
+    fn dispatch(
+        &self,
+        plan: Arc<PlanNode>,
+        query: QueryId,
+        output: crate::pipe::PipeProducer,
+        parent_op: Option<&'static str>,
+        node: crate::deadlock::NodeId,
+    ) -> QResult<Vec<CancelToken>> {
+        let cancel = CancelToken::new();
+        let mut subtree = Vec::new();
+
+        // Decide the split_ok flag for ordered scan children of a merge join
+        // whose own parent does not depend on output order (§4.3.2).
+        let split_side = match (&*plan, parent_order_insensitive(parent_op)) {
+            (PlanNode::MergeJoin { left, right, .. }, true) => {
+                self.pick_split_side(left, right)
+            }
+            _ => None,
+        };
+
+        let mut children_consumers = Vec::new();
+        for (idx, child) in plan.children().into_iter().enumerate() {
+            let child_node = fresh_node();
+            let child_pipe = Pipe::new(self.config.pipe, child_node, self.registry.clone());
+            self.registry.register_pipe(&child_pipe);
+            children_consumers.push(child_pipe.attach_consumer(node, false));
+            let child_producer = child_pipe.producer();
+            let child_plan = Arc::new(child.clone());
+            let mut tokens = self.dispatch_child(
+                child_plan,
+                query,
+                child_producer,
+                plan.op_name(),
+                split_side == Some(idx),
+                child_node,
+            )?;
+            subtree.append(&mut tokens);
+        }
+
+        let (ordered, split_ok) = scan_flags(&plan);
+        self.node_labels
+            .lock()
+            .insert(node.0, format!("{:?}/{}/{:x}", query, plan.op_name(), plan.signature() & 0xffff));
+        let packet = Packet {
+            query,
+            node,
+            signature: plan.signature(),
+            plan: plan.clone(),
+            output: Some(output),
+            children: children_consumers,
+            cancel: cancel.clone(),
+            subtree_cancels: subtree.clone(),
+            ordered,
+            split_ok,
+        };
+        self.route(packet)?;
+        subtree.push(cancel);
+        Ok(subtree)
+    }
+
+    /// Dispatch one child, threading through the split flag chosen by its
+    /// merge-join parent.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_child(
+        &self,
+        plan: Arc<PlanNode>,
+        query: QueryId,
+        output: crate::pipe::PipeProducer,
+        parent_op: &'static str,
+        split_ok: bool,
+        node: crate::deadlock::NodeId,
+    ) -> QResult<Vec<CancelToken>> {
+        if split_ok {
+            // Scans get the flag directly; it only matters for leaf scans.
+            let cancel = CancelToken::new();
+            self.node_labels
+                .lock()
+                .insert(node.0, format!("{:?}/{}(split)", query, plan.op_name()));
+            let (ordered, _) = scan_flags(&plan);
+            let packet = Packet {
+                query,
+                node,
+                signature: plan.signature(),
+                plan: plan.clone(),
+                output: Some(output),
+                children: Vec::new(),
+                cancel: cancel.clone(),
+                subtree_cancels: Vec::new(),
+                ordered,
+                split_ok: true,
+            };
+            self.route(packet)?;
+            return Ok(vec![cancel]);
+        }
+        self.dispatch(plan, query, output, Some(parent_op), node)
+    }
+
+    /// For a merge join with order-insensitive parent: which child (0/1) may
+    /// be served by a wrapped circular scan. Prefer the larger relation so
+    /// the doubly-read non-shared side is the smaller one (§4.3.2 cost rule).
+    fn pick_split_side(&self, left: &PlanNode, right: &PlanNode) -> Option<usize> {
+        let size = |p: &PlanNode| -> Option<u64> {
+            match p {
+                PlanNode::ClusteredIndexScan { table, lo: None, hi: None, ordered: true, .. }
+                | PlanNode::TableScan { table, ordered: true, .. } => {
+                    self.ctx.catalog.table(table).ok().map(|t| t.num_tuples())
+                }
+                _ => None,
+            }
+        };
+        match (size(left), size(right)) {
+            (Some(l), Some(r)) => Some(if l >= r { 0 } else { 1 }),
+            (Some(_), None) => Some(0),
+            (None, Some(_)) => Some(1),
+            (None, None) => None,
+        }
+    }
+
+    /// Queue a packet at its µEngine.
+    fn route(&self, packet: Packet) -> QResult<()> {
+        let engine = self
+            .engines
+            .get(packet.plan.op_name())
+            .ok_or_else(|| QError::Plan(format!("no µEngine for {}", packet.plan.op_name())))?;
+        engine
+            .queue
+            .send(packet)
+            .map_err(|_| QError::Exec("engine shut down".into()))
+    }
+
+    /// Route an update through the dedicated no-OSP path (§4.3.4): takes an
+    /// exclusive table lock and appends `rows` to the heap's backing file as
+    /// raw writes. Scans (and their satellites) wait for the lock.
+    pub fn submit_update(&self, table: &str, blocks: u64) -> QResult<()> {
+        let info = self.ctx.catalog.table(table)?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate_table(table);
+        }
+        let _x = self.ctx.catalog.locks().lock_exclusive(table);
+        // Simulate the write cost block by block (the storage manager charges
+        // write latency and counts the I/O).
+        let disk = self.ctx.catalog.disk();
+        for _ in 0..blocks {
+            // Overwrite block 0 in place as a stand-in for logged updates;
+            // content is unchanged so concurrent readers stay consistent.
+            let page = disk.read_block(info.heap.file_id(), 0)?;
+            disk.write_block(info.heap.file_id(), 0, page)?;
+        }
+        Ok(())
+    }
+}
+
+/// Is `parent_op` indifferent to its input order?
+fn parent_order_insensitive(parent_op: Option<&'static str>) -> bool {
+    matches!(parent_op, Some("agg") | Some("sort") | Some("hashjoin") | Some("filter") | Some("project"))
+}
+
+/// Scan-level flags from the plan node.
+fn scan_flags(plan: &PlanNode) -> (bool, bool) {
+    match plan {
+        PlanNode::TableScan { ordered, .. } => (*ordered, false),
+        PlanNode::ClusteredIndexScan { ordered, .. } => (*ordered, false),
+        _ => (false, false),
+    }
+}
+
+/// µEngine dispatcher body: OSP check then host execution.
+fn dispatch_packet(
+    name: &'static str,
+    packet: Packet,
+    share: &Arc<ShareRegistry>,
+    env: &Arc<OpEnv>,
+    scan_mgr: &Arc<ScanManager>,
+) {
+    if packet.cancel.is_cancelled() {
+        return;
+    }
+    // Scans route to the circular scan manager.
+    if is_managed_scan(&packet.plan) {
+        let (table, predicate, projection) = match &*packet.plan {
+            PlanNode::TableScan { table, predicate, projection, .. } => {
+                (table.clone(), predicate.clone(), projection.clone())
+            }
+            PlanNode::ClusteredIndexScan { table, predicate, projection, .. } => {
+                (table.clone(), predicate.clone(), projection.clone())
+            }
+            _ => unreachable!(),
+        };
+        let mut packet = packet;
+        let req = ScanRequest {
+            table,
+            predicate,
+            projection,
+            output: packet.output.take().expect("scan packet has an output"),
+            cancel: packet.cancel,
+            ordered: packet.ordered,
+            split_ok: packet.split_ok,
+        };
+        // Submit errors only for missing tables (validated at submit).
+        let _ = scan_mgr.submit(req);
+        return;
+    }
+    // OSP overlap check against in-progress identical operations. Attach or
+    // register-then-spawn happens entirely on this dispatcher thread, so a
+    // burst of identical packets all observe the first one's host.
+    let mut packet = packet;
+    if env.osp {
+        if let Some(host) = share.lookup(packet.signature) {
+            match host.try_attach(packet) {
+                Ok(()) => return,
+                Err(back) => packet = back, // window closed: run independently
+            }
+        }
+    }
+    let (packet, host, guard) = ops::prepare(packet, share, env);
+    let env = env.clone();
+    std::thread::Builder::new()
+        .name(format!("qpipe-{name}-w"))
+        .spawn(move || {
+            ops::execute(packet, host, &env);
+            drop(guard);
+        })
+        .expect("spawn worker");
+}
+
+/// Scans served by the circular scan manager: all table scans, and clustered
+/// index scans over the full key range (range-restricted ones execute
+/// directly in a worker).
+fn is_managed_scan(plan: &PlanNode) -> bool {
+    matches!(
+        plan,
+        PlanNode::TableScan { .. }
+            | PlanNode::ClusteredIndexScan { lo: None, hi: None, .. }
+    )
+}
+
+/// Handle to a submitted query.
+pub struct QueryHandle {
+    query: QueryId,
+    inner: HandleInner,
+    submitted: Instant,
+    metrics: Metrics,
+}
+
+enum HandleInner {
+    /// Streaming from the engine; optionally feeds the result cache.
+    Live {
+        consumer: PipeConsumer,
+        fill: Option<(Arc<QueryCache>, u64, Vec<String>)>,
+    },
+    /// Served from the result cache.
+    Cached(Arc<Vec<Tuple>>),
+}
+
+impl QueryHandle {
+    pub fn query_id(&self) -> QueryId {
+        self.query
+    }
+
+    /// True if this handle is served from the result cache.
+    pub fn is_cached(&self) -> bool {
+        matches!(self.inner, HandleInner::Cached(_))
+    }
+
+    /// Block until the query finishes; returns all result tuples and records
+    /// the response time.
+    pub fn collect(self) -> Vec<Tuple> {
+        let rows = match self.inner {
+            HandleInner::Cached(rows) => rows.as_ref().clone(),
+            HandleInner::Live { consumer, fill } => {
+                let rows = consumer.collect_tuples();
+                if let Some((cache, signature, tables)) = fill {
+                    cache.admit(
+                        signature,
+                        Arc::new(rows.clone()),
+                        tables,
+                        self.submitted.elapsed(),
+                    );
+                }
+                rows
+            }
+        };
+        self.metrics.add_query_completion(self.submitted.elapsed().as_micros() as u64);
+        rows
+    }
+
+    /// Elapsed wall time since submission.
+    pub fn elapsed(&self) -> Duration {
+        self.submitted.elapsed()
+    }
+}

@@ -1,0 +1,401 @@
+//! OSP host state and the per-µEngine sharing registry.
+//!
+//! When a µEngine executes a packet whose operator is shareable, it registers
+//! a [`SharedHost`] under the packet's subtree signature. A later packet with
+//! the same signature becomes a *satellite*: its output pipe is handed to the
+//! host (which then broadcasts every batch to all attached outputs), and its
+//! child subtree is cancelled (paper §4.3, Figure 6b).
+//!
+//! The attach window is operator-specific (§3.2):
+//! * [`AttachWindow::UntilFirstOutput`] — step-overlap operators (joins,
+//!   group-by). With the buffering enhancement, "first output" really means
+//!   "more output than the host's replay history retains".
+//! * [`AttachWindow::WholeLifetime`] — full-overlap operators (single
+//!   aggregates, sort — whose output is materialized anyway, giving the
+//!   materialization enhancement for free).
+
+use crate::packet::Packet;
+use crate::pipe::PipeProducer;
+use parking_lot::Mutex;
+use qpipe_common::{Batch, Metrics};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How long after operator start a satellite may still attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachWindow {
+    /// Attach allowed while every batch produced so far is still replayable
+    /// from the host's history (history capacity = `backfill` batches).
+    UntilFirstOutput,
+    /// Attach allowed for the host's entire lifetime; the full output is
+    /// retained and replayed to late attachers.
+    WholeLifetime,
+}
+
+struct HostState {
+    outputs: Vec<PipeProducer>,
+    /// Batches already emitted, for replay to late attachers.
+    history: Vec<Arc<Batch>>,
+    emitted: u64,
+    closed: bool,
+}
+
+/// Shared state of one in-progress shareable operation.
+pub struct SharedHost {
+    window: AttachWindow,
+    /// History capacity for `UntilFirstOutput` (buffering enhancement).
+    backfill: usize,
+    /// Waits-for-graph identity of the executing host packet. Every output
+    /// pipe is re-pointed to this node so blocked pushes on *any* output
+    /// appear as waits by the same node.
+    node: crate::deadlock::NodeId,
+    state: Mutex<HostState>,
+    engine: &'static str,
+    metrics: Metrics,
+}
+
+impl SharedHost {
+    pub fn new(
+        window: AttachWindow,
+        backfill: usize,
+        node: crate::deadlock::NodeId,
+        first_output: PipeProducer,
+        engine: &'static str,
+        metrics: Metrics,
+    ) -> Arc<Self> {
+        first_output.pipe().set_producer_node(node);
+        Arc::new(Self {
+            window,
+            backfill,
+            node,
+            state: Mutex::new(HostState {
+                outputs: vec![first_output],
+                history: Vec::new(),
+                emitted: 0,
+                closed: false,
+            }),
+            engine,
+            metrics,
+        })
+    }
+
+    /// Try to attach `packet` as a satellite. On success the packet's output
+    /// is absorbed (history replayed first) and its subtree cancelled;
+    /// on failure the packet is handed back for independent execution.
+    #[allow(clippy::result_large_err)] // the Err *is* the packet, by design
+    pub fn try_attach(&self, mut packet: Packet) -> Result<(), Packet> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(packet);
+        }
+        let replayable = st.history.len() as u64 == st.emitted;
+        let open = match self.window {
+            AttachWindow::UntilFirstOutput => replayable,
+            AttachWindow::WholeLifetime => {
+                debug_assert!(replayable, "WholeLifetime hosts retain all output");
+                replayable
+            }
+        };
+        if !open {
+            self.metrics.add_osp_rejection();
+            return Err(packet);
+        }
+        packet.sever_subtree();
+        let mut producer = packet.output.take().expect("satellite packet has an output");
+        producer.pipe().set_producer_node(self.node);
+        if !st.history.is_empty() {
+            // Replaying history happens on the µEngine dispatcher thread and
+            // must never block (the satellite's consumer may itself be wired
+            // through this dispatcher). Unbound the pipe — this is the
+            // paper's *materialization* enhancement, and costs no extra
+            // memory: the queued batches are the same `Arc`s the host
+            // history already retains.
+            producer.pipe().materialize();
+        }
+        for batch in &st.history {
+            producer.push_shared(batch.clone());
+        }
+        st.outputs.push(producer);
+        self.metrics.add_osp_attach(self.engine);
+        Ok(())
+    }
+
+    /// Broadcast a batch to every attached output (host + satellites).
+    ///
+    /// The state lock is **not** held across the (possibly blocking) pipe
+    /// sends: a host stalled on a slow consumer must never wedge
+    /// `try_attach`, which runs on the µEngine dispatcher thread. Satellites
+    /// that attach mid-push receive this batch through the history replay
+    /// (the history entry is recorded before the lock is released), so no
+    /// output is ever missed or duplicated.
+    pub fn push(&self, batch: Batch) {
+        let batch = Arc::new(batch);
+        let mut outputs = {
+            let mut st = self.state.lock();
+            st.emitted += 1;
+            let retain = match self.window {
+                AttachWindow::UntilFirstOutput => self.backfill,
+                AttachWindow::WholeLifetime => usize::MAX,
+            };
+            if st.history.len() < retain {
+                st.history.push(batch.clone());
+            }
+            // Take the outputs; attaches during the send append to the
+            // (now empty) list and replay history themselves.
+            std::mem::take(&mut st.outputs)
+        };
+        for out in &mut outputs {
+            out.push_shared(batch.clone());
+        }
+        let mut st = self.state.lock();
+        let newly_attached = std::mem::replace(&mut st.outputs, outputs);
+        st.outputs.extend(newly_attached);
+    }
+
+    /// Number of queries currently served (host + satellites).
+    pub fn fanout(&self) -> usize {
+        self.state.lock().outputs.len()
+    }
+
+    /// Batches emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.state.lock().emitted
+    }
+
+    /// Finish: flush/close every output and refuse further attaches.
+    pub fn finish(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.history.clear();
+        for out in st.outputs.drain(..) {
+            out.finish();
+        }
+    }
+
+    /// Abort (host cancelled): close outputs without marking success.
+    pub fn abort(&self) {
+        self.finish();
+    }
+}
+
+/// Per-µEngine registry of in-progress shareable operations, keyed by
+/// subtree signature.
+#[derive(Default)]
+pub struct ShareRegistry {
+    active: Mutex<HashMap<u64, Arc<SharedHost>>>,
+}
+
+impl ShareRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `host` under `sig`; returns a guard that unregisters on drop.
+    pub fn register(self: &Arc<Self>, sig: u64, host: Arc<SharedHost>) -> RegistryGuard {
+        self.active.lock().insert(sig, host);
+        RegistryGuard { registry: self.clone(), sig }
+    }
+
+    /// Look up an in-progress host for `sig`.
+    pub fn lookup(&self, sig: u64) -> Option<Arc<SharedHost>> {
+        self.active.lock().get(&sig).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Unregisters a host when the operation completes.
+pub struct RegistryGuard {
+    registry: Arc<ShareRegistry>,
+    sig: u64,
+}
+
+impl Drop for RegistryGuard {
+    fn drop(&mut self) {
+        self.registry.active.lock().remove(&self.sig);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::{NodeId, WaitRegistry};
+    use std::time::Duration;
+    use crate::packet::{CancelToken, QueryId};
+    use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
+    use qpipe_common::Value;
+    use qpipe_exec::plan::PlanNode;
+
+    fn make_pipe_pair() -> (PipeProducer, PipeConsumer) {
+        let reg = Arc::new(WaitRegistry::new());
+        let pipe = Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg);
+        let c = pipe.attach_consumer(NodeId(2), false);
+        (pipe.producer(), c)
+    }
+
+    fn make_packet() -> (Packet, PipeConsumer, CancelToken) {
+        let (producer, consumer) = make_pipe_pair();
+        let child_token = CancelToken::new();
+        let plan = Arc::new(PlanNode::scan("t"));
+        let packet = Packet {
+            query: QueryId::fresh(),
+            node: NodeId(99),
+            signature: plan.signature(),
+            plan,
+            output: Some(producer),
+            children: vec![],
+            cancel: CancelToken::new(),
+            subtree_cancels: vec![child_token.clone()],
+            ordered: false,
+            split_ok: false,
+        };
+        (packet, consumer, child_token)
+    }
+
+    fn batch_of(vals: &[i64]) -> Batch {
+        vals.iter().map(|&v| vec![Value::Int(v)]).collect()
+    }
+
+    #[test]
+    fn attach_before_output_gets_everything() {
+        let (host_prod, host_cons) = make_pipe_pair();
+        let host = SharedHost::new(
+            AttachWindow::UntilFirstOutput,
+            4,
+            NodeId(500),
+            host_prod,
+            "test",
+            Metrics::new(),
+        );
+        let (packet, sat_cons, child_token) = make_packet();
+        host.try_attach(packet).expect("window open");
+        assert!(child_token.is_cancelled(), "satellite subtree terminated");
+        host.push(batch_of(&[1, 2]));
+        host.push(batch_of(&[3]));
+        host.finish();
+        assert_eq!(host_cons.collect_tuples().len(), 3);
+        assert_eq!(sat_cons.collect_tuples().len(), 3);
+    }
+
+    #[test]
+    fn attach_within_backfill_replays_history() {
+        let (host_prod, host_cons) = make_pipe_pair();
+        let host =
+            SharedHost::new(AttachWindow::UntilFirstOutput, 4, NodeId(500), host_prod, "test", Metrics::new());
+        host.push(batch_of(&[1]));
+        host.push(batch_of(&[2]));
+        let (packet, sat_cons, _) = make_packet();
+        host.try_attach(packet).expect("2 batches <= backfill 4");
+        host.push(batch_of(&[3]));
+        host.finish();
+        assert_eq!(host_cons.collect_tuples().len(), 3);
+        assert_eq!(sat_cons.collect_tuples().len(), 3, "history replayed");
+    }
+
+    #[test]
+    fn attach_rejected_after_window() {
+        let m = Metrics::new();
+        let (host_prod, _host_cons) = make_pipe_pair();
+        let host = SharedHost::new(AttachWindow::UntilFirstOutput, 2, NodeId(500), host_prod, "test", m.clone());
+        for i in 0..3 {
+            host.push(batch_of(&[i]));
+        }
+        let (packet, _sat_cons, child_token) = make_packet();
+        assert!(host.try_attach(packet).is_err(), "window expired");
+        assert!(!child_token.is_cancelled());
+        assert_eq!(m.snapshot().osp_rejections, 1);
+        host.finish();
+    }
+
+    #[test]
+    fn whole_lifetime_attach_late() {
+        let (host_prod, _hc) = make_pipe_pair();
+        let host =
+            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "sort", Metrics::new());
+        for i in 0..50 {
+            host.push(batch_of(&[i]));
+        }
+        let (packet, sat_cons, _) = make_packet();
+        host.try_attach(packet).expect("whole-lifetime window");
+        host.finish();
+        assert_eq!(sat_cons.collect_tuples().len(), 50);
+    }
+
+    #[test]
+    fn attach_after_finish_rejected() {
+        let (host_prod, _hc) = make_pipe_pair();
+        let host =
+            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "sort", Metrics::new());
+        host.finish();
+        let (packet, _sc, _) = make_packet();
+        assert!(host.try_attach(packet).is_err());
+    }
+
+    #[test]
+    fn registry_register_lookup_unregister() {
+        let reg = Arc::new(ShareRegistry::new());
+        let (host_prod, _hc) = make_pipe_pair();
+        let host =
+            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "agg", Metrics::new());
+        {
+            let _guard = reg.register(42, host.clone());
+            assert!(reg.lookup(42).is_some());
+            assert!(reg.lookup(43).is_none());
+        }
+        assert!(reg.lookup(42).is_none(), "guard drop unregisters");
+        host.finish();
+    }
+
+    #[test]
+    fn attach_never_blocks_behind_a_stalled_push() {
+        // Regression test: a host blocked pushing to a full consumer must
+        // not hold its state lock, or try_attach wedges the whole µEngine
+        // dispatcher thread (observed as a fig10 hang at interarrival 120).
+        let reg = Arc::new(WaitRegistry::new());
+        let pipe = Pipe::new(PipeConfig { capacity: 1, backfill: 0 }, NodeId(1), reg);
+        let slow_consumer = pipe.attach_consumer(NodeId(2), false);
+        let host = SharedHost::new(
+            AttachWindow::WholeLifetime,
+            0,
+            NodeId(500),
+            pipe.producer(),
+            "sort",
+            Metrics::new(),
+        );
+        let h2 = host.clone();
+        let pusher = std::thread::spawn(move || {
+            for i in 0..40 {
+                h2.push(batch_of(&[i]));
+            }
+            h2.finish();
+        });
+        std::thread::sleep(Duration::from_millis(30)); // pusher is now stalled
+        let (packet, sat_cons, _) = make_packet();
+        let t = std::time::Instant::now();
+        host.try_attach(packet).expect("attach while host stalled");
+        assert!(t.elapsed() < Duration::from_millis(250), "attach must not block");
+        // Drain both consumers; everything completes.
+        let drain = std::thread::spawn(move || slow_consumer.collect_tuples().len());
+        assert_eq!(sat_cons.collect_tuples().len(), 40);
+        assert_eq!(drain.join().unwrap(), 40);
+        pusher.join().unwrap();
+    }
+
+    #[test]
+    fn fanout_counts_attachers() {
+        let (host_prod, _hc) = make_pipe_pair();
+        let host =
+            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "agg", Metrics::new());
+        assert_eq!(host.fanout(), 1);
+        let (p1, _c1, _) = make_packet();
+        host.try_attach(p1).unwrap();
+        assert_eq!(host.fanout(), 2);
+        host.finish();
+    }
+}

@@ -1,0 +1,48 @@
+//! # QPipe — a simultaneously pipelined relational query engine
+//!
+//! Rust reproduction of *QPipe: A Simultaneously Pipelined Relational Query
+//! Engine* (Harizopoulos, Ailamaki, Shkapenyuk — SIGMOD 2005).
+//!
+//! QPipe replaces the conventional "one-query, many-operators" execution
+//! model with an operator-centric "one-operator, many-queries" design: every
+//! relational operator is an independent **µEngine** serving *packets* from a
+//! queue, and an **OSP coordinator** detects overlapping work across
+//! concurrent queries at run time, pipelining one operator's output to many
+//! queries simultaneously.
+//!
+//! ```no_run
+//! use qpipe_core::engine::{QPipe, QPipeConfig};
+//! use qpipe_exec::plan::{AggSpec, PlanNode};
+//! use qpipe_exec::expr::Expr;
+//! # fn main() -> qpipe_common::QResult<()> {
+//! # let catalog: std::sync::Arc<qpipe_storage::Catalog> = todo!();
+//! let engine = QPipe::new(catalog, QPipeConfig::default());
+//! let plan = PlanNode::scan_filtered("lineitem", Expr::col(4).ge(Expr::lit(10)))
+//!     .aggregate(vec![], vec![AggSpec::count_star()]);
+//! let rows = engine.submit(plan)?.collect();
+//! # Ok(()) }
+//! ```
+//!
+//! Module map (paper section in parentheses):
+//! * [`pipe`] — bounded 1-producer-N-consumer tuple buffers (§4.2).
+//! * [`packet`] — query packets and cancellation (§4.2).
+//! * [`engine`] — µEngines, packet dispatcher, query handles (§4.2–4.3).
+//! * [`host`] — OSP host/satellite attach machinery (§4.3, Figure 6b).
+//! * [`scan`] — circular scans with dynamic termination points (§4.3.1).
+//! * [`ops`] — operator workers incl. the restarting merge join (§4.3.2).
+//! * [`deadlock`] — waits-for-graph deadlock detection/resolution (§4.3.3).
+//! * [`cache`] — query result cache for exact sequential repeats (§2.3).
+//! * [`wop`] — Window-of-Opportunity taxonomy and savings model (§3.2).
+
+pub mod cache;
+pub mod deadlock;
+pub mod engine;
+pub mod host;
+pub mod ops;
+pub mod packet;
+pub mod pipe;
+pub mod scan;
+pub mod wop;
+
+pub use engine::{QPipe, QPipeConfig, QueryHandle};
+pub use packet::{CancelToken, Packet, QueryId};

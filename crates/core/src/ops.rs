@@ -1,0 +1,442 @@
+//! µEngine operator workers.
+//!
+//! Each worker executes one *host* packet to completion: it pulls input from
+//! the packet's child pipes, evaluates the relational operator (reusing the
+//! iterator-model kernels from `qpipe-exec`), and broadcasts output through a
+//! [`SharedHost`] so satellites attached by the OSP coordinator receive the
+//! same stream (paper Figure 6b step 4).
+
+use crate::host::{AttachWindow, SharedHost, ShareRegistry};
+use crate::packet::Packet;
+use crate::pipe::PipeIter;
+use qpipe_common::{Batch, Metrics, QResult, Tuple, Value};
+use qpipe_exec::iter::{
+    build, AggregateIter, HashJoinIter, MergeJoinIter, NestedLoopJoinIter, SortIter, TupleIter,
+};
+use qpipe_exec::plan::PlanNode;
+use std::sync::Arc;
+
+/// Shared environment handed to every worker.
+pub struct OpEnv {
+    pub ctx: qpipe_exec::iter::ExecContext,
+    pub metrics: Metrics,
+    /// OSP on/off; when off, no hosts are registered and no attaching occurs.
+    pub osp: bool,
+    /// Host history window in batches (buffering enhancement).
+    pub backfill: usize,
+}
+
+/// Prepare a packet for execution: build its [`SharedHost`] and (when OSP is
+/// on and the operator is shareable) register it under the packet's
+/// signature. Called by the µEngine dispatcher thread *synchronously*, so
+/// that the OSP lookup and host registration are atomic — a burst of
+/// identical packets dequeued back-to-back must all find the first one's
+/// host.
+pub fn prepare(
+    packet: Packet,
+    registry: &Arc<ShareRegistry>,
+    env: &OpEnv,
+) -> (Packet, Arc<SharedHost>, Option<crate::host::RegistryGuard>) {
+    let window = attach_window(&packet.plan);
+    let engine = packet.plan.op_name();
+    let mut packet = packet;
+    let output = packet.output.take().expect("fresh packet has an output");
+    let host = SharedHost::new(
+        window,
+        env.backfill,
+        packet.node,
+        output,
+        engine_static_name(engine),
+        env.metrics.clone(),
+    );
+    let guard = if env.osp && window_shareable(&packet.plan) {
+        Some(registry.register(packet.signature, host.clone()))
+    } else {
+        None
+    };
+    (packet, host, guard)
+}
+
+/// Execute a prepared packet on the calling thread.
+pub fn execute(mut packet: Packet, host: Arc<SharedHost>, env: &OpEnv) {
+    if packet.cancel.is_cancelled() {
+        host.abort();
+        return;
+    }
+    let children = std::mem::take(&mut packet.children);
+    let cancel = packet.cancel.clone();
+    let plan = packet.plan.clone();
+    let result = run_operator(&plan, children, &host, &cancel, env);
+    if result.is_err() {
+        // Close outputs so consumers see EOF rather than hanging; the error
+        // itself surfaces as a short result (acceptable: plans are validated
+        // at submit time, so runtime errors indicate storage failures).
+        host.abort();
+        return;
+    }
+    host.finish();
+}
+
+fn engine_static_name(name: &str) -> &'static str {
+    match name {
+        "sort" => "sort",
+        "agg" => "agg",
+        "hashjoin" => "hashjoin",
+        "mergejoin" => "mergejoin",
+        "nljoin" => "nljoin",
+        "uiscan" => "uiscan",
+        "filter" => "filter",
+        "project" => "project",
+        "iscan" => "iscan",
+        _ => "other",
+    }
+}
+
+/// Attach window per operator class (§3.2 → host rules).
+fn attach_window(plan: &PlanNode) -> AttachWindow {
+    match plan {
+        // Sort materializes its output (runs/sorted vector) — late attachers
+        // replay it: whole-lifetime window (full overlap + materialization).
+        PlanNode::Sort { .. } => AttachWindow::WholeLifetime,
+        // Single aggregates are full overlap; group-by is step but only emits
+        // at the end, so the window is identical in practice.
+        PlanNode::Aggregate { .. } => AttachWindow::WholeLifetime,
+        _ => AttachWindow::UntilFirstOutput,
+    }
+}
+
+/// Which operators register hosts at all.
+fn window_shareable(plan: &PlanNode) -> bool {
+    !matches!(plan, PlanNode::Filter { .. } | PlanNode::Project { .. })
+}
+
+/// Drive an iterator to completion, pushing batches into the host.
+fn drain_into_host(
+    mut it: impl TupleIter,
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+) -> QResult<()> {
+    let mut batch = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
+    loop {
+        if cancel.is_cancelled() {
+            return Ok(());
+        }
+        match it.next()? {
+            Some(t) => {
+                batch.push(t);
+                if batch.is_full() {
+                    host.push(std::mem::replace(
+                        &mut batch,
+                        Batch::with_capacity(Batch::DEFAULT_CAPACITY),
+                    ));
+                }
+            }
+            None => {
+                if !batch.is_empty() {
+                    host.push(batch);
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn run_operator(
+    plan: &PlanNode,
+    mut children: Vec<crate::pipe::PipeConsumer>,
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    match plan {
+        PlanNode::Sort { keys, .. } => {
+            let input = Box::new(PipeIter::new(children.remove(0)));
+            let it = SortIter::new(input, keys.clone(), env.ctx.clone());
+            drain_into_host(it, host, cancel)
+        }
+        PlanNode::Aggregate { group_by, aggs, .. } => {
+            let input = Box::new(PipeIter::new(children.remove(0)));
+            let it = AggregateIter::new(input, group_by.clone(), aggs.clone());
+            drain_into_host(it, host, cancel)
+        }
+        PlanNode::HashJoin { left_key, right_key, .. } => {
+            let left = Box::new(PipeIter::new(children.remove(0)));
+            let right = Box::new(PipeIter::new(children.remove(0)));
+            let it = HashJoinIter::new(left, right, *left_key, *right_key, env.ctx.clone());
+            drain_into_host(it, host, cancel)
+        }
+        PlanNode::NestedLoopJoin { predicate, .. } => {
+            let left = Box::new(PipeIter::new(children.remove(0)));
+            let right = Box::new(PipeIter::new(children.remove(0)));
+            let it = NestedLoopJoinIter::new(left, right, predicate.clone());
+            drain_into_host(it, host, cancel)
+        }
+        PlanNode::MergeJoin { left, right, left_key, right_key } => run_merge_join(
+            children,
+            (left, *left_key),
+            (right, *right_key),
+            host,
+            cancel,
+            env,
+        ),
+        PlanNode::Filter { predicate, .. } => {
+            let mut input = PipeIter::new(children.remove(0));
+            let mut out = Batch::new();
+            while let Some(t) = input.next()? {
+                if cancel.is_cancelled() {
+                    return Ok(());
+                }
+                if predicate.eval_bool(&t)? {
+                    out.push(t);
+                    if out.is_full() {
+                        host.push(std::mem::take(&mut out));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                host.push(out);
+            }
+            Ok(())
+        }
+        PlanNode::Project { exprs, .. } => {
+            let mut input = PipeIter::new(children.remove(0));
+            let mut out = Batch::new();
+            while let Some(t) = input.next()? {
+                if cancel.is_cancelled() {
+                    return Ok(());
+                }
+                let mut row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    row.push(e.eval(&t)?);
+                }
+                out.push(row);
+                if out.is_full() {
+                    host.push(std::mem::take(&mut out));
+                }
+            }
+            if !out.is_empty() {
+                host.push(out);
+            }
+            Ok(())
+        }
+        PlanNode::UnclusteredIndexScan { .. } | PlanNode::ClusteredIndexScan { .. } => {
+            // Bounded index scans execute directly via the iterator kernel
+            // (unbounded ordered scans are routed to the circular ScanManager
+            // by the engine and never reach here).
+            let it = build(plan, &env.ctx)?;
+            drain_into_host(it, host, cancel)
+        }
+        PlanNode::TableScan { .. } => {
+            // Table scans are handled by the ScanManager; reaching here means
+            // the engine routed a scan to the generic path (OSP off + tests).
+            let it = build(plan, &env.ctx)?;
+            drain_into_host(it, host, cancel)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge join with wrap restart (§4.3.2)
+// ---------------------------------------------------------------------------
+
+/// Pull iterator that stops at a *wrap* — the point where the key strictly
+/// decreases — and can be resumed for the wrapped segment.
+struct WrapSplitIter {
+    inner: PipeIter,
+    key: usize,
+    last_key: Option<Value>,
+    pending: Option<Tuple>,
+    wrapped: bool,
+    exhausted: bool,
+}
+
+impl WrapSplitIter {
+    fn new(inner: PipeIter, key: usize) -> Self {
+        Self { inner, key, last_key: None, pending: None, wrapped: false, exhausted: false }
+    }
+
+    /// Begin the post-wrap segment.
+    fn resume(&mut self) {
+        self.wrapped = false;
+        self.last_key = None;
+    }
+
+    fn has_wrapped(&self) -> bool {
+        self.wrapped
+    }
+
+    #[cfg(test)]
+    fn is_exhausted(&self) -> bool {
+        self.exhausted && self.pending.is_none()
+    }
+}
+
+impl TupleIter for WrapSplitIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        if self.wrapped {
+            return Ok(None); // segment boundary; call resume() to continue
+        }
+        let t = match self.pending.take() {
+            Some(t) => Some(t),
+            None => self.inner.next()?,
+        };
+        let Some(t) = t else {
+            self.exhausted = true;
+            return Ok(None);
+        };
+        let k = t[self.key].clone();
+        if let Some(last) = &self.last_key {
+            if k < *last {
+                // Wrap detected: hold the tuple for the next segment.
+                self.pending = Some(t);
+                self.wrapped = true;
+                return Ok(None);
+            }
+        }
+        self.last_key = Some(k);
+        Ok(Some(t))
+    }
+}
+
+/// Merge join that tolerates one circular wrap on either input.
+///
+/// When an input wraps (its satellite scan attached mid-file, §4.3.2), the
+/// OSP strategy is: finish joining segment 1 against the other relation, then
+/// re-read the other relation *from its plan* (the paper's "worst case ...
+/// reading the non-shared relation twice") and join segment 2 against it.
+fn run_merge_join(
+    mut children: Vec<crate::pipe::PipeConsumer>,
+    (left_plan, left_key): (&PlanNode, usize),
+    (right_plan, right_key): (&PlanNode, usize),
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    let left = PipeIter::new(children.remove(0));
+    let right = PipeIter::new(children.remove(0));
+    let mut lsplit = WrapSplitIter::new(left, left_key);
+    let mut rsplit = WrapSplitIter::new(right, right_key);
+
+    // Segment 1: both inputs until wrap/EOF.
+    {
+        let it = MergeJoinIter::new(
+            TakeRef(&mut lsplit),
+            TakeRef(&mut rsplit),
+            left_key,
+            right_key,
+        );
+        drain_into_host(it, host, cancel)?;
+    }
+    let lwrap = lsplit.has_wrapped();
+    let rwrap = rsplit.has_wrapped();
+    if !lwrap && !rwrap {
+        return Ok(());
+    }
+    // Drain the pre-wrap remainder of whichever side the merge join did not
+    // fully consume is unnecessary: a wrapped side stops at the boundary, the
+    // other side is simply dropped (detaching from its pipe/scan).
+    if lwrap && rwrap {
+        // The dispatcher marks at most one input as wrap-capable; if both
+        // wrapped anyway (defensive), fall back to a full re-read of both.
+        let fresh_l = build(left_plan, &env.ctx)?;
+        let fresh_r = build(right_plan, &env.ctx)?;
+        let it = MergeJoinIter::new(fresh_l, fresh_r, left_key, right_key);
+        return drain_into_host(it, host, cancel);
+    }
+    if lwrap {
+        lsplit.resume();
+        let fresh_right = build(right_plan, &env.ctx)?;
+        let it = MergeJoinIter::new(
+            lsplit,
+            fresh_right,
+            left_key,
+            right_key,
+        );
+        drain_into_host(it, host, cancel)?;
+    } else {
+        rsplit.resume();
+        let fresh_left = build(left_plan, &env.ctx)?;
+        let it = MergeJoinIter::new(
+            fresh_left,
+            rsplit,
+            left_key,
+            right_key,
+        );
+        drain_into_host(it, host, cancel)?;
+    }
+    Ok(())
+}
+
+/// Borrowing adapter so a `WrapSplitIter` can feed a `MergeJoinIter` and be
+/// inspected/resumed afterwards.
+struct TakeRef<'a>(&'a mut WrapSplitIter);
+
+impl TupleIter for TakeRef<'_> {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        self.0.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::{NodeId, WaitRegistry};
+    use crate::pipe::{Pipe, PipeConfig};
+
+    fn feed(rows: Vec<Tuple>) -> PipeIter {
+        let reg = Arc::new(WaitRegistry::new());
+        let pipe = Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg);
+        let c = pipe.attach_consumer(NodeId(2), false);
+        let mut p = pipe.producer();
+        for r in rows {
+            p.push(r);
+        }
+        p.finish();
+        PipeIter::new(c)
+    }
+
+    fn row(k: i64) -> Tuple {
+        vec![Value::Int(k)]
+    }
+
+    #[test]
+    fn wrap_split_detects_boundary() {
+        let rows: Vec<Tuple> = [5, 6, 7, 1, 2, 3].iter().map(|&k| row(k)).collect();
+        let mut w = WrapSplitIter::new(feed(rows), 0);
+        let mut seg1 = Vec::new();
+        while let Some(t) = w.next().unwrap() {
+            seg1.push(t[0].as_int().unwrap());
+        }
+        assert_eq!(seg1, vec![5, 6, 7]);
+        assert!(w.has_wrapped());
+        w.resume();
+        let mut seg2 = Vec::new();
+        while let Some(t) = w.next().unwrap() {
+            seg2.push(t[0].as_int().unwrap());
+        }
+        assert_eq!(seg2, vec![1, 2, 3]);
+        assert!(!w.has_wrapped());
+        assert!(w.is_exhausted());
+    }
+
+    #[test]
+    fn wrap_split_no_wrap() {
+        let rows: Vec<Tuple> = [1, 2, 2, 3].iter().map(|&k| row(k)).collect();
+        let mut w = WrapSplitIter::new(feed(rows), 0);
+        let mut all = Vec::new();
+        while let Some(t) = w.next().unwrap() {
+            all.push(t[0].as_int().unwrap());
+        }
+        assert_eq!(all, vec![1, 2, 2, 3]);
+        assert!(!w.has_wrapped());
+        assert!(w.is_exhausted());
+    }
+
+    #[test]
+    fn wrap_split_empty_input() {
+        let mut w = WrapSplitIter::new(feed(vec![]), 0);
+        assert!(w.next().unwrap().is_none());
+        assert!(w.is_exhausted());
+        assert!(!w.has_wrapped());
+    }
+}

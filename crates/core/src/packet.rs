@@ -1,0 +1,120 @@
+//! Query packets.
+//!
+//! The packet dispatcher breaks a query plan into one packet per plan node
+//! (paper §4.2): "packets mainly specify the input and output tuple buffers
+//! and the arguments for the relational operator". Packets also carry the
+//! canonical subtree signature used for run-time overlap detection and a
+//! cancellation token so the OSP coordinator can terminate a satellite's
+//! child subtree (§4.3, Figure 6b step 2).
+
+use crate::deadlock::NodeId;
+use crate::pipe::{PipeConsumer, PipeProducer};
+use qpipe_exec::plan::PlanNode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies a submitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(pub u64);
+
+static NEXT_QUERY: AtomicU64 = AtomicU64::new(1);
+static NEXT_NODE: AtomicU64 = AtomicU64::new(1);
+
+impl QueryId {
+    pub fn fresh() -> Self {
+        QueryId(NEXT_QUERY.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Fresh packet/node id for the waits-for graph.
+pub fn fresh_node() -> NodeId {
+    NodeId(NEXT_NODE.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Cooperative cancellation flag shared by a packet and its operators.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Work for one µEngine: evaluate `plan`'s root operator, reading from
+/// `children` pipes and writing to `output`.
+pub struct Packet {
+    pub query: QueryId,
+    pub node: NodeId,
+    /// Plan subtree rooted at this packet's operator.
+    pub plan: Arc<PlanNode>,
+    /// Stable signature of `plan` (overlap detection key).
+    pub signature: u64,
+    /// Output buffer for the operator's results (`None` once moved into a
+    /// host or the scan manager).
+    pub output: Option<PipeProducer>,
+    /// Input buffers, one per child, in `plan.children()` order.
+    pub children: Vec<PipeConsumer>,
+    /// This packet's cancellation token.
+    pub cancel: CancelToken,
+    /// Tokens of every node strictly below this one, so an OSP attach can
+    /// "notify Q2's children operators to terminate (recursively)".
+    pub subtree_cancels: Vec<CancelToken>,
+    /// For scans: the consumer requires stored tuple order.
+    pub ordered: bool,
+    /// For ordered scans: a wrapped (circularly shared) delivery is
+    /// acceptable because an ancestor merge-join will restart (§4.3.2).
+    pub split_ok: bool,
+}
+
+impl Packet {
+    /// Cancel the entire subtree below this packet and drop its input
+    /// consumers (OSP satellite attach, Figure 6b steps 1–2).
+    pub fn sever_subtree(&mut self) {
+        for t in &self.subtree_cancels {
+            t.cancel();
+        }
+        self.children.clear();
+    }
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Packet")
+            .field("query", &self.query)
+            .field("node", &self.node)
+            .field("op", &self.plan.op_name())
+            .field("signature", &self.signature)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_unique() {
+        assert_ne!(QueryId::fresh(), QueryId::fresh());
+        assert_ne!(fresh_node(), fresh_node());
+    }
+
+    #[test]
+    fn cancel_token() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+    }
+}

@@ -1,0 +1,567 @@
+//! Intermediate tuple buffers.
+//!
+//! QPipe µEngines exchange data through dedicated buffers (paper §4.2,
+//! Figure 5b). A [`Pipe`] is a bounded 1-producer-N-consumer broadcast
+//! channel of `Arc<Batch>`es:
+//!
+//! * The producer blocks while **any** attached consumer's queue is full —
+//!   "if any of the consumers is slower than the producer, all queries will
+//!   eventually adjust their consuming speed to the speed of the slowest
+//!   consumer" (§4.3).
+//! * Consumers can attach mid-stream (satellite packets). A configurable
+//!   *backfill window* retains the most recent batches so a newcomer can
+//!   receive output that was produced but not yet discarded — the paper's
+//!   **buffering** WoP-enhancement function (§3.2, Figure 4b).
+//! * Pipe state (empty / full / non-empty per consumer) is observable, and a
+//!   pipe can be **materialized** — its bound lifted so the producer never
+//!   blocks again — which is exactly the deadlock-resolution action of §4.3.3.
+//! * Every blocking wait registers a waits-for edge with the
+//!   [`deadlock`](crate::deadlock) registry so real deadlocks are detected.
+
+use crate::deadlock::{NodeId, WaitKind, WaitRegistry};
+use parking_lot::{Condvar, Mutex};
+use qpipe_common::{Batch, QResult, Tuple};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static NEXT_PIPE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_CONSUMER_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Pipe configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeConfig {
+    /// Per-consumer queue capacity in batches.
+    pub capacity: usize,
+    /// How many recent batches are retained for late attachers (buffering
+    /// enhancement). 0 disables backfill.
+    pub backfill: usize,
+}
+
+impl Default for PipeConfig {
+    fn default() -> Self {
+        Self { capacity: 8, backfill: 8 }
+    }
+}
+
+#[derive(Debug)]
+struct ConsumerQueue {
+    queue: VecDeque<Arc<Batch>>,
+    detached: bool,
+    /// Node id of the packet draining this queue (for waits-for edges).
+    node: NodeId,
+}
+
+#[derive(Debug)]
+struct PipeState {
+    consumers: HashMap<usize, ConsumerQueue>,
+    /// Retained recent batches for backfill, most recent last.
+    history: VecDeque<Arc<Batch>>,
+    /// Total batches ever produced.
+    produced: u64,
+    eof: bool,
+    materialized: bool,
+    /// Node id of the producing packet.
+    producer_node: NodeId,
+}
+
+/// Shared pipe internals.
+#[derive(Debug)]
+pub struct Pipe {
+    id: u64,
+    config: PipeConfig,
+    state: Mutex<PipeState>,
+    /// Producer waits here for queue space.
+    space: Condvar,
+    /// Consumers wait here for data.
+    data: Condvar,
+    registry: Arc<WaitRegistry>,
+}
+
+impl Pipe {
+    /// Create a pipe; returns the shared handle. Producer/consumer handles
+    /// are created from it.
+    pub fn new(config: PipeConfig, producer_node: NodeId, registry: Arc<WaitRegistry>) -> Arc<Self> {
+        Arc::new(Self {
+            id: NEXT_PIPE_ID.fetch_add(1, Ordering::Relaxed),
+            config,
+            state: Mutex::new(PipeState {
+                consumers: HashMap::new(),
+                history: VecDeque::new(),
+                produced: 0,
+                eof: false,
+                materialized: false,
+                producer_node,
+            }),
+            space: Condvar::new(),
+            data: Condvar::new(),
+            registry,
+        })
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Batches produced so far.
+    pub fn produced(&self) -> u64 {
+        self.state.lock().produced
+    }
+
+    /// Whether every already-produced batch is still available for a late
+    /// attacher via the backfill window.
+    pub fn backfill_covers_all(&self) -> bool {
+        let st = self.state.lock();
+        st.produced as usize <= self.config.backfill
+    }
+
+    /// Attach a new consumer. When `backfill` is true the retained history is
+    /// replayed into the new queue first (caller must have verified coverage
+    /// via [`backfill_covers_all`](Self::backfill_covers_all) if it needs *all*
+    /// prior output).
+    pub fn attach_consumer(
+        self: &Arc<Self>,
+        node: NodeId,
+        backfill: bool,
+    ) -> PipeConsumer {
+        let id = NEXT_CONSUMER_ID.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        let mut queue = VecDeque::new();
+        if backfill {
+            queue.extend(st.history.iter().cloned());
+        }
+        st.consumers.insert(id, ConsumerQueue { queue, detached: false, node });
+        drop(st);
+        self.data.notify_all();
+        PipeConsumer { pipe: self.clone(), id, node }
+    }
+
+    /// Create the producer handle.
+    pub fn producer(self: &Arc<Self>) -> PipeProducer {
+        PipeProducer { pipe: self.clone(), builder: qpipe_common::batch::BatchBuilder::new() }
+    }
+
+    /// Lift the capacity bound permanently (deadlock resolution: the paper
+    /// materializes the blocking node's output, §4.3.3).
+    pub fn materialize(&self) {
+        let mut st = self.state.lock();
+        st.materialized = true;
+        drop(st);
+        self.space.notify_all();
+    }
+
+    /// Estimated cost of materializing this pipe now (queued batches); the
+    /// deadlock resolver picks the minimum-cost victim set.
+    pub fn materialize_cost(&self) -> usize {
+        let st = self.state.lock();
+        st.consumers.values().map(|c| c.queue.len()).max().unwrap_or(0)
+    }
+
+    /// True once the producer closed the pipe.
+    pub fn is_eof(&self) -> bool {
+        self.state.lock().eof
+    }
+
+    /// Re-point this pipe's producer identity in the waits-for graph (used
+    /// when a host adopts a satellite's output pipe, or a circular scanner
+    /// adopts a scan packet's pipe: all outputs of one executing thread must
+    /// share one graph node for cycles to be visible).
+    pub fn set_producer_node(&self, node: NodeId) {
+        self.state.lock().producer_node = node;
+    }
+
+    /// Consumers currently attached (not detached).
+    pub fn active_consumers(&self) -> usize {
+        self.state.lock().consumers.values().filter(|c| !c.detached).count()
+    }
+
+    fn send(&self, batch: Arc<Batch>) {
+        let mut st = self.state.lock();
+        loop {
+            if st.materialized {
+                break;
+            }
+            // Collect every full, attached consumer: the producer waits for
+            // all of them (multi-consumer waits-for model, §4.3.3 / [30]).
+            let full: Vec<NodeId> = st
+                .consumers
+                .values()
+                .filter(|c| !c.detached && c.queue.len() >= self.config.capacity)
+                .map(|c| c.node)
+                .collect();
+            if full.is_empty() {
+                break;
+            }
+            let producer_node = st.producer_node;
+            self.registry.add_edges(producer_node, &full, self.id, WaitKind::ProducerFull);
+            self.space.wait(&mut st);
+            self.registry.remove_edge(producer_node);
+        }
+        st.produced += 1;
+        for c in st.consumers.values_mut() {
+            if !c.detached {
+                c.queue.push_back(batch.clone());
+            }
+        }
+        if self.config.backfill > 0 {
+            st.history.push_back(batch);
+            while st.history.len() > self.config.backfill {
+                st.history.pop_front();
+            }
+        }
+        drop(st);
+        self.data.notify_all();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock();
+        st.eof = true;
+        drop(st);
+        self.data.notify_all();
+        self.space.notify_all();
+    }
+
+    fn recv(&self, id: usize, node: NodeId) -> Option<Arc<Batch>> {
+        let mut st = self.state.lock();
+        loop {
+            let c = st.consumers.get_mut(&id)?;
+            if let Some(batch) = c.queue.pop_front() {
+                drop(st);
+                self.space.notify_all();
+                return Some(batch);
+            }
+            if st.eof {
+                return None;
+            }
+            let producer_node = st.producer_node;
+            self.registry.add_edge(node, producer_node, self.id, WaitKind::ConsumerEmpty);
+            self.data.wait(&mut st);
+            self.registry.remove_edge(node);
+        }
+    }
+
+    fn detach(&self, id: usize) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.consumers.get_mut(&id) {
+            c.detached = true;
+            c.queue.clear();
+        }
+        st.consumers.remove(&id);
+        drop(st);
+        self.space.notify_all();
+    }
+}
+
+/// Producer handle: push tuples/batches; close on drop.
+pub struct PipeProducer {
+    pipe: Arc<Pipe>,
+    builder: qpipe_common::batch::BatchBuilder,
+}
+
+impl PipeProducer {
+    /// Push one tuple, sending a batch when full.
+    pub fn push(&mut self, tuple: Tuple) {
+        if let Some(batch) = self.builder.push(tuple) {
+            self.pipe.send(Arc::new(batch));
+        }
+    }
+
+    /// Number of batches this producer's pipe has sent (observability).
+    pub fn batches_sent(&self) -> u64 {
+        self.pipe.produced()
+    }
+
+    /// Push a whole batch.
+    pub fn push_batch(&mut self, batch: Batch) {
+        if let Some(pending) = self.builder.finish() {
+            self.pipe.send(Arc::new(pending));
+        }
+        self.pipe.send(Arc::new(batch));
+    }
+
+    /// Push an already-shared batch without copying (broadcast path).
+    pub fn push_shared(&mut self, batch: Arc<Batch>) {
+        if let Some(pending) = self.builder.finish() {
+            self.pipe.send(Arc::new(pending));
+        }
+        self.pipe.send(batch);
+    }
+
+    /// Flush any buffered tuples and mark end-of-stream.
+    pub fn finish(mut self) {
+        if let Some(batch) = self.builder.finish() {
+            self.pipe.send(Arc::new(batch));
+        }
+        self.pipe.close();
+    }
+
+    pub fn pipe(&self) -> &Arc<Pipe> {
+        &self.pipe
+    }
+}
+
+impl Drop for PipeProducer {
+    fn drop(&mut self) {
+        // Defensive close so consumers never hang if a producer panics or is
+        // dropped without finish(); residual buffered tuples are flushed.
+        if let Some(batch) = self.builder.finish() {
+            self.pipe.send(Arc::new(batch));
+        }
+        self.pipe.close();
+    }
+}
+
+/// Consumer handle: pull batches; detaches on drop.
+pub struct PipeConsumer {
+    pipe: Arc<Pipe>,
+    id: usize,
+    node: NodeId,
+}
+
+impl PipeConsumer {
+    /// Blocking receive; `None` at end of stream.
+    pub fn recv(&self) -> Option<Arc<Batch>> {
+        self.pipe.recv(self.id, self.node)
+    }
+
+    pub fn pipe(&self) -> &Arc<Pipe> {
+        &self.pipe
+    }
+
+    /// Drain everything into a vector of tuples.
+    pub fn collect_tuples(self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(b) = self.recv() {
+            out.extend(b.rows().iter().cloned());
+        }
+        out
+    }
+}
+
+impl Drop for PipeConsumer {
+    fn drop(&mut self) {
+        self.pipe.detach(self.id);
+    }
+}
+
+/// Adapter exposing a pipe consumer as a pull [`TupleIter`](qpipe_exec::iter::TupleIter) so µEngines can
+/// reuse the iterator-model kernels over pipe inputs.
+pub struct PipeIter {
+    consumer: PipeConsumer,
+    current: Vec<Tuple>,
+    pos: usize,
+}
+
+impl PipeIter {
+    pub fn new(consumer: PipeConsumer) -> Self {
+        Self { consumer, current: Vec::new(), pos: 0 }
+    }
+}
+
+impl qpipe_exec::iter::TupleIter for PipeIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        loop {
+            if self.pos < self.current.len() {
+                let t = std::mem::take(&mut self.current[self.pos]);
+                self.pos += 1;
+                return Ok(Some(t));
+            }
+            match self.consumer.recv() {
+                None => return Ok(None),
+                Some(batch) => {
+                    self.current = batch.rows().to_vec();
+                    self.pos = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpipe_common::Value;
+    use std::time::Duration;
+
+    fn registry() -> Arc<WaitRegistry> {
+        Arc::new(WaitRegistry::new())
+    }
+
+    fn tuple(i: i64) -> Tuple {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn single_consumer_round_trip() {
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let consumer = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        for i in 0..1000 {
+            producer.push(tuple(i));
+        }
+        producer.finish();
+        let rows = consumer.collect_tuples();
+        assert_eq!(rows.len(), 1000);
+        assert_eq!(rows[999], tuple(999));
+    }
+
+    #[test]
+    fn broadcast_to_three_consumers() {
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let consumers: Vec<_> = (0..3).map(|i| pipe.attach_consumer(NodeId(10 + i), false)).collect();
+        let mut producer = pipe.producer();
+        let handle = std::thread::spawn(move || {
+            for i in 0..600 {
+                producer.push(tuple(i));
+            }
+            producer.finish();
+        });
+        let mut joins = Vec::new();
+        for c in consumers {
+            joins.push(std::thread::spawn(move || c.collect_tuples().len()));
+        }
+        handle.join().unwrap();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 600);
+        }
+    }
+
+    #[test]
+    fn producer_blocks_on_slow_consumer_until_detach() {
+        let pipe = Pipe::new(PipeConfig { capacity: 1, backfill: 0 }, NodeId(1), registry());
+        let slow = pipe.attach_consumer(NodeId(2), false);
+        let fast = pipe.attach_consumer(NodeId(3), false);
+        let mut producer = pipe.producer();
+        let producer_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = producer_done.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..2000 {
+                producer.push(tuple(i));
+            }
+            producer.finish();
+            flag.store(true, Ordering::SeqCst);
+        });
+        // Fast consumer drains in its own thread.
+        let fh = std::thread::spawn(move || fast.collect_tuples().len());
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!producer_done.load(Ordering::SeqCst), "slow consumer must throttle producer");
+        drop(slow); // detaching unblocks the producer
+        h.join().unwrap();
+        assert_eq!(fh.join().unwrap(), 2000);
+    }
+
+    #[test]
+    fn backfill_replays_history() {
+        let pipe = Pipe::new(PipeConfig { capacity: 64, backfill: 64 }, NodeId(1), registry());
+        let early = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        for i in 0..Batch::DEFAULT_CAPACITY as i64 * 3 {
+            producer.push(tuple(i));
+        }
+        assert!(pipe.backfill_covers_all());
+        // Late consumer with backfill sees everything.
+        let late = pipe.attach_consumer(NodeId(3), true);
+        producer.finish();
+        assert_eq!(early.collect_tuples().len(), Batch::DEFAULT_CAPACITY * 3);
+        assert_eq!(late.collect_tuples().len(), Batch::DEFAULT_CAPACITY * 3);
+    }
+
+    #[test]
+    fn backfill_window_expires() {
+        let pipe = Pipe::new(PipeConfig { capacity: 256, backfill: 2 }, NodeId(1), registry());
+        let _sink = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        for i in 0..Batch::DEFAULT_CAPACITY as i64 * 5 {
+            producer.push(tuple(i));
+        }
+        assert!(!pipe.backfill_covers_all(), "5 batches > window of 2");
+    }
+
+    #[test]
+    fn materialize_unblocks_producer() {
+        let pipe = Pipe::new(PipeConfig { capacity: 1, backfill: 0 }, NodeId(1), registry());
+        let stuck = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        let pipe2 = pipe.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..2000 {
+                producer.push(tuple(i));
+            }
+            producer.finish();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        pipe2.materialize();
+        h.join().unwrap();
+        assert_eq!(stuck.collect_tuples().len(), 2000);
+    }
+
+    #[test]
+    fn consumer_sees_eof_without_data() {
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        let producer = pipe.producer();
+        producer.finish();
+        assert!(c.recv().is_none());
+    }
+
+    #[test]
+    fn drop_producer_closes_pipe() {
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        {
+            let mut p = pipe.producer();
+            p.push(tuple(1));
+            // Dropped without finish() — must still flush + close.
+        }
+        let rows = c.collect_tuples();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn pipe_iter_adapter() {
+        use qpipe_exec::iter::TupleIter;
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        for i in 0..10 {
+            producer.push(tuple(i));
+        }
+        producer.finish();
+        let mut it = PipeIter::new(c);
+        let mut n = 0;
+        while let Some(t) = it.next().unwrap() {
+            assert_eq!(t, tuple(n));
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn waits_for_edges_appear_and_clear() {
+        let reg = registry();
+        let pipe = Pipe::new(PipeConfig { capacity: 1, backfill: 0 }, NodeId(1), reg.clone());
+        let slow = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        let n = Batch::DEFAULT_CAPACITY as i64 * 8;
+        let h = std::thread::spawn(move || {
+            for i in 0..n {
+                producer.push(tuple(i));
+            }
+            producer.finish();
+        });
+        // Wait until the producer blocks.
+        let mut saw_edge = false;
+        for _ in 0..200 {
+            if !reg.edges().is_empty() {
+                saw_edge = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(saw_edge, "blocked producer must register a waits-for edge");
+        let rows = slow.collect_tuples();
+        h.join().unwrap();
+        assert_eq!(rows.len(), n as usize);
+        assert!(reg.edges().is_empty(), "edges must clear after unblock");
+    }
+}

@@ -1,0 +1,478 @@
+//! Circular scans (paper §4.3.1, Figure 7).
+//!
+//! A dedicated *scanner thread* serves each in-progress shared scan of a
+//! relation. The first scan request starts the scanner; later requests attach
+//! immediately as satellites, each recording the scanner's current position
+//! as its own start (and thereby "setting the new termination point"). When
+//! the scanner reaches end-of-file with unsatisfied satellites it wraps
+//! around and keeps reading, so every consumer eventually sees every page
+//! exactly once. Per-consumer predicates/projections are applied by the
+//! scanner, so queries with *different* selection predicates still share one
+//! physical scan — the property Figure 12's random-predicate TPC-H mix
+//! exploits.
+//!
+//! Ordered consumers (spike overlap) may only join a scanner sitting at page
+//! 0, unless their packet is flagged `split_ok` (an ancestor merge-join will
+//! restart at the wrap point, §4.3.2); otherwise they get a dedicated
+//! scanner. With OSP disabled every request gets a dedicated scanner and all
+//! sharing degenerates to buffer-pool timing — the paper's Baseline.
+
+use crate::packet::CancelToken;
+use crate::pipe::PipeProducer;
+use parking_lot::Mutex;
+use qpipe_common::{Metrics, QResult, Tuple};
+use qpipe_exec::expr::Expr;
+use qpipe_exec::iter::ExecContext;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A request to scan one table on behalf of one packet.
+pub struct ScanRequest {
+    pub table: String,
+    pub predicate: Option<Expr>,
+    pub projection: Option<Vec<usize>>,
+    pub output: PipeProducer,
+    pub cancel: CancelToken,
+    /// Consumer requires stored order.
+    pub ordered: bool,
+    /// Wrapped delivery acceptable despite `ordered` (merge-join restart).
+    pub split_ok: bool,
+}
+
+struct ScanConsumer {
+    predicate: Option<Expr>,
+    projection: Option<Vec<usize>>,
+    output: PipeProducer,
+    cancel: CancelToken,
+    pages_seen: u64,
+}
+
+struct GroupInner {
+    /// Next page the scanner will read.
+    position: u64,
+    /// Total pages read by this scanner (0 ⇒ brand new, ordered-joinable).
+    pages_read: u64,
+    /// Consumers waiting to be adopted by the scanner thread.
+    inbox: Vec<ScanConsumer>,
+    /// Set when the scanner thread has exited; no further attaches.
+    finished: bool,
+    /// Live consumers (scanner-owned count, for visibility).
+    active: usize,
+}
+
+/// One shared scan of one table, driven by a dedicated scanner thread.
+pub struct ScanGroup {
+    table: String,
+    inner: Mutex<GroupInner>,
+}
+
+impl ScanGroup {
+    /// Try to enroll a consumer; applies the WoP rules for ordered scans.
+    #[allow(clippy::result_large_err)] // the Err hands the request back
+    fn try_attach(&self, req: ScanRequest) -> Result<(), ScanRequest> {
+        let mut g = self.inner.lock();
+        if g.finished {
+            return Err(req);
+        }
+        if req.ordered && !req.split_ok && g.pages_read > 0 {
+            // Spike overlap: the window closed the moment the first page went
+            // out of order for this newcomer.
+            return Err(req);
+        }
+        g.inbox.push(ScanConsumer {
+            predicate: req.predicate,
+            projection: req.projection,
+            output: req.output,
+            cancel: req.cancel,
+            pages_seen: 0,
+        });
+        g.active += 1;
+        Ok(())
+    }
+}
+
+/// Configuration for the scan manager.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanConfig {
+    /// OSP on/off: off means one dedicated scanner per request (Baseline).
+    pub osp: bool,
+    /// Late-activation delay (§4.3.1): a new scanner waits briefly before
+    /// reading its first page so that a burst of simultaneously submitted
+    /// queries all attach at position 0 instead of trailing a scanner that
+    /// already raced ahead. Applied only when OSP is on.
+    pub startup_delay: std::time::Duration,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        Self { osp: true, startup_delay: std::time::Duration::from_micros(1500) }
+    }
+}
+
+/// Manages all shared scans; one entry point for scan/iscan packets.
+pub struct ScanManager {
+    ctx: ExecContext,
+    config: ScanConfig,
+    metrics: Metrics,
+    groups: Mutex<HashMap<String, Vec<Arc<ScanGroup>>>>,
+}
+
+impl ScanManager {
+    pub fn new(ctx: ExecContext, config: ScanConfig, metrics: Metrics) -> Arc<Self> {
+        Arc::new(Self { ctx, config, metrics, groups: Mutex::new(HashMap::new()) })
+    }
+
+    /// Number of live scan groups for `table` (tests/metrics).
+    pub fn group_count(&self, table: &str) -> usize {
+        self.groups.lock().get(table).map_or(0, |v| v.len())
+    }
+
+    /// Submit a scan request: attach to an in-progress scanner when OSP
+    /// allows it, otherwise start a dedicated scanner thread.
+    pub fn submit(self: &Arc<Self>, mut req: ScanRequest) -> QResult<()> {
+        if self.config.osp {
+            let groups = self.groups.lock().get(&req.table).cloned().unwrap_or_default();
+            for g in groups {
+                match g.try_attach(req) {
+                    Ok(()) => {
+                        self.metrics.add_osp_attach("scan");
+                        return Ok(());
+                    }
+                    Err(back) => req = back,
+                }
+            }
+        }
+        self.start_group(req)
+    }
+
+    fn start_group(self: &Arc<Self>, req: ScanRequest) -> QResult<()> {
+        // Validate the table before spawning.
+        let info = self.ctx.catalog.table(&req.table)?;
+        let num_pages = info.num_pages()?;
+        let group = Arc::new(ScanGroup {
+            table: req.table.clone(),
+            inner: Mutex::new(GroupInner {
+                position: 0,
+                pages_read: 0,
+                inbox: vec![ScanConsumer {
+                    predicate: req.predicate,
+                    projection: req.projection,
+                    output: req.output,
+                    cancel: req.cancel,
+                    pages_seen: 0,
+                }],
+                finished: false,
+                active: 1,
+            }),
+        });
+        self.groups.lock().entry(req.table.clone()).or_default().push(group.clone());
+        let mgr = self.clone();
+        let table = req.table;
+        std::thread::Builder::new()
+            .name(format!("qpipe-scan-{table}"))
+            .spawn(move || {
+                mgr.run_scanner(&group, num_pages);
+                // Remove the group from the index.
+                let mut groups = mgr.groups.lock();
+                if let Some(v) = groups.get_mut(&group.table) {
+                    v.retain(|g| !Arc::ptr_eq(g, &group));
+                    if v.is_empty() {
+                        groups.remove(&group.table);
+                    }
+                }
+            })
+            .expect("spawn scanner thread");
+        Ok(())
+    }
+
+    /// The scanner thread body: circular page delivery to all consumers.
+    fn run_scanner(&self, group: &Arc<ScanGroup>, num_pages: u64) {
+        let info = match self.ctx.catalog.table(&group.table) {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        // Shared table lock held for the whole scan (§4.3.4: if the table is
+        // locked for writing, the scan — and all its satellites — waits).
+        let _lock = self.ctx.catalog.locks().lock_shared(&group.table);
+        if self.config.osp && !self.config.startup_delay.is_zero() {
+            std::thread::sleep(self.config.startup_delay);
+        }
+        let pool = self.ctx.catalog.pool().clone();
+        let file = info.heap.file_id();
+        let scanner_node = crate::packet::fresh_node();
+        let mut consumers: Vec<ScanConsumer> = Vec::new();
+        loop {
+            // Adopt newcomers and decide termination under the lock.
+            {
+                let mut g = group.inner.lock();
+                for c in &g.inbox {
+                    // One graph identity per scanner thread (§4.3.3 model).
+                    c.output.pipe().set_producer_node(scanner_node);
+                }
+                consumers.append(&mut g.inbox);
+                if consumers.is_empty() || num_pages == 0 {
+                    g.finished = true;
+                    g.active = 0;
+                    drop(g);
+                    for c in consumers.drain(..) {
+                        c.output.finish();
+                    }
+                    return;
+                }
+            }
+            let position = group.inner.lock().position;
+            let page = match pool.get(file, position) {
+                Ok(p) => p,
+                Err(_) => {
+                    // Table shrank or storage failure: close everyone.
+                    let mut g = group.inner.lock();
+                    g.finished = true;
+                    drop(g);
+                    for c in consumers.drain(..) {
+                        c.output.finish();
+                    }
+                    return;
+                }
+            };
+            let tuples: Vec<Tuple> = page.decode_tuples().unwrap_or_default();
+            // Deliver the page to every live consumer.
+            let mut done_indices = Vec::new();
+            for (i, c) in consumers.iter_mut().enumerate() {
+                if c.cancel.is_cancelled() || c.output.pipe().active_consumers() == 0 {
+                    done_indices.push(i);
+                    continue;
+                }
+                for t in &tuples {
+                    let keep = match &c.predicate {
+                        Some(p) => p.eval_bool(t).unwrap_or(false),
+                        None => true,
+                    };
+                    if !keep {
+                        continue;
+                    }
+                    let out = match &c.projection {
+                        None => t.clone(),
+                        Some(cols) => cols.iter().map(|&ci| t[ci].clone()).collect(),
+                    };
+                    c.output.push(out);
+                }
+                c.pages_seen += 1;
+                if c.pages_seen >= num_pages {
+                    done_indices.push(i);
+                }
+            }
+            for &i in done_indices.iter().rev() {
+                let c = consumers.remove(i);
+                c.output.finish();
+            }
+            // Advance (circularly) and track wraps.
+            {
+                let mut g = group.inner.lock();
+                g.pages_read += 1;
+                g.position = (position + 1) % num_pages.max(1);
+                g.active = consumers.len() + g.inbox.len();
+                if g.position == 0 && !consumers.is_empty() {
+                    self.metrics.add_circular_wrap();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::{NodeId, WaitRegistry};
+    use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
+    use qpipe_common::{DataType, Metrics, Schema, Value};
+    use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
+    use std::time::Duration;
+
+    fn ctx_with_table(rows: i64) -> (ExecContext, Metrics) {
+        let metrics = Metrics::new();
+        let disk = SimDisk::new(DiskConfig::instant(), metrics.clone());
+        let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(16, PolicyKind::Lru));
+        let catalog = Catalog::new(disk, pool);
+        catalog
+            .create_table(
+                "t",
+                Schema::of(&[("k", DataType::Int)]),
+                (0..rows).map(|i| vec![Value::Int(i)]).collect(),
+                Some(0),
+            )
+            .unwrap();
+        (ExecContext::new(catalog), metrics)
+    }
+
+    fn request(
+        reg: &Arc<WaitRegistry>,
+        ordered: bool,
+        split_ok: bool,
+    ) -> (ScanRequest, PipeConsumer) {
+        let pipe = Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg.clone());
+        let consumer = pipe.attach_consumer(NodeId(2), false);
+        let req = ScanRequest {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+            output: pipe.producer(),
+            cancel: CancelToken::new(),
+            ordered,
+            split_ok,
+        };
+        (req, consumer)
+    }
+
+    fn manager(ctx: &ExecContext, metrics: &Metrics, osp: bool) -> Arc<ScanManager> {
+        ScanManager::new(
+            ctx.clone(),
+            ScanConfig { osp, startup_delay: Duration::from_millis(5) },
+            metrics.clone(),
+        )
+    }
+
+    #[test]
+    fn single_scan_delivers_everything_in_order() {
+        let (ctx, m) = ctx_with_table(5000);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (req, consumer) = request(&reg, true, false);
+        mgr.submit(req).unwrap();
+        let rows = consumer.collect_tuples();
+        assert_eq!(rows.len(), 5000);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r[0], Value::Int(i as i64), "stored order preserved");
+        }
+    }
+
+    #[test]
+    fn burst_of_unordered_scans_shares_one_group() {
+        let (ctx, m) = ctx_with_table(5000);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let (req, c) = request(&reg, false, false);
+            mgr.submit(req).unwrap();
+            consumers.push(c);
+        }
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .map(|c| std::thread::spawn(move || c.collect_tuples().len()))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5000);
+        }
+        assert_eq!(m.snapshot().osp_attaches, 3, "three satellites on one host scan");
+        let pages = ctx.catalog.table("t").unwrap().num_pages().unwrap();
+        assert_eq!(m.snapshot().disk_blocks_read, pages, "one physical read");
+    }
+
+    #[test]
+    fn osp_off_gives_every_request_its_own_group() {
+        let (ctx, m) = ctx_with_table(2000);
+        let mgr = manager(&ctx, &m, false);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = request(&reg, false, false);
+        let (r2, c2) = request(&reg, false, false);
+        mgr.submit(r1).unwrap();
+        mgr.submit(r2).unwrap();
+        assert_eq!(c1.collect_tuples().len(), 2000);
+        assert_eq!(c2.collect_tuples().len(), 2000);
+        assert_eq!(m.snapshot().osp_attaches, 0);
+    }
+
+    #[test]
+    fn ordered_late_arrival_gets_dedicated_group() {
+        let (ctx, m) = ctx_with_table(50_000);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = request(&reg, false, false);
+        mgr.submit(r1).unwrap();
+        let drain1 = std::thread::spawn(move || c1.collect_tuples().len());
+        // Wait until the first scanner has made progress past page 0.
+        std::thread::sleep(Duration::from_millis(20));
+        let (r2, c2) = request(&reg, true, false);
+        mgr.submit(r2).unwrap();
+        let rows = c2.collect_tuples();
+        assert_eq!(rows.len(), 50_000);
+        // Strictly in order despite the in-progress unordered scan.
+        for w in rows.windows(2) {
+            assert!(w[0][0] <= w[1][0]);
+        }
+        assert_eq!(drain1.join().unwrap(), 50_000);
+    }
+
+    #[test]
+    fn ordered_with_split_ok_attaches_wrapped() {
+        let (ctx, m) = ctx_with_table(50_000);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = request(&reg, false, false);
+        mgr.submit(r1).unwrap();
+        let drain1 = std::thread::spawn(move || c1.collect_tuples().len());
+        std::thread::sleep(Duration::from_millis(20));
+        let (r2, c2) = request(&reg, true, true);
+        mgr.submit(r2).unwrap();
+        let rows = c2.collect_tuples();
+        assert_eq!(rows.len(), 50_000, "wrapped delivery still covers every tuple");
+        assert!(m.snapshot().osp_attaches >= 1, "split_ok scan must attach");
+        drain1.join().unwrap();
+    }
+
+    #[test]
+    fn cancelled_consumer_detaches_without_blocking_group() {
+        let (ctx, m) = ctx_with_table(20_000);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = request(&reg, false, false);
+        let cancel = r1.cancel.clone();
+        mgr.submit(r1).unwrap();
+        let (r2, c2) = request(&reg, false, false);
+        mgr.submit(r2).unwrap();
+        cancel.cancel();
+        drop(c1);
+        // The second consumer still gets the full table.
+        assert_eq!(c2.collect_tuples().len(), 20_000);
+    }
+
+    #[test]
+    fn per_consumer_predicates_filter_independently() {
+        let (ctx, m) = ctx_with_table(1000);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let mk = |lo: i64| {
+            let pipe =
+                Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg.clone());
+            let c = pipe.attach_consumer(NodeId(2), false);
+            (
+                ScanRequest {
+                    table: "t".into(),
+                    predicate: Some(Expr::col(0).ge(Expr::lit(lo))),
+                    projection: Some(vec![0]),
+                    output: pipe.producer(),
+                    cancel: CancelToken::new(),
+                    ordered: false,
+                    split_ok: false,
+                },
+                c,
+            )
+        };
+        let (r1, c1) = mk(500);
+        let (r2, c2) = mk(900);
+        mgr.submit(r1).unwrap();
+        mgr.submit(r2).unwrap();
+        assert_eq!(c1.collect_tuples().len(), 500);
+        assert_eq!(c2.collect_tuples().len(), 100);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let (ctx, m) = ctx_with_table(10);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (mut req, _c) = request(&reg, false, false);
+        req.table = "missing".into();
+        assert!(mgr.submit(req).is_err());
+    }
+}

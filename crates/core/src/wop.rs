@@ -1,0 +1,197 @@
+//! Windows of Opportunity (paper §3.2, Figure 4).
+//!
+//! Classifies every relational operation by how an in-progress instance can
+//! be shared with a newly arriving identical operation, and estimates the
+//! cost savings for the newcomer as a function of the host's progress. The
+//! µEngines consult these classes when deciding whether a satellite may
+//! attach; the `wop_table` bench prints the full taxonomy (Figure 4a) and
+//! the enhancement functions (Figure 4b).
+
+/// The four basic overlap types of Figure 4a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlapClass {
+    /// Newcomer can always exploit the *uncompleted* part (unordered scans):
+    /// savings fall linearly from 100% to 0% with host progress.
+    Linear,
+    /// Newcomer gets 100% savings as long as the host has not produced its
+    /// first output tuple, then nothing (group-by, NL/merge join, hash-join
+    /// probe).
+    Step,
+    /// 100% savings for the host's entire lifetime (sort phase 1, hash-join
+    /// build, single aggregates, RID-list creation).
+    Full,
+    /// Shareable only at the exact start (strictly ordered scans).
+    Spike,
+}
+
+/// WoP enhancement functions of Figure 4b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enhancement {
+    /// Retaining the last N output tuples widens a step/spike window.
+    Buffering,
+    /// Storing results converts a spike into (a shallower) linear.
+    Materialization,
+}
+
+/// Execution phase of a multi-phase operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpPhase {
+    /// Input-consumption / preparation phase (sort run generation, hash-join
+    /// build, RID-list creation).
+    Prepare,
+    /// Output-producing phase.
+    Produce,
+}
+
+/// Overlap class of an operator (by µEngine name) in a given phase.
+///
+/// `ordered` applies to scans: does the *consumer* require stored order?
+pub fn overlap_class(op: &str, phase: OpPhase, ordered: bool) -> OverlapClass {
+    match (op, phase) {
+        ("scan", _) | ("iscan", _) => {
+            if ordered {
+                OverlapClass::Spike
+            } else {
+                OverlapClass::Linear
+            }
+        }
+        // Unclustered index scan: RID-list phase is full, fetch is linear.
+        ("uiscan", OpPhase::Prepare) => OverlapClass::Full,
+        ("uiscan", OpPhase::Produce) => OverlapClass::Linear,
+        ("sort", OpPhase::Prepare) => OverlapClass::Full,
+        ("sort", OpPhase::Produce) => {
+            if ordered {
+                OverlapClass::Spike
+            } else {
+                OverlapClass::Linear
+            }
+        }
+        ("agg", _) => OverlapClass::Full,
+        ("groupby", _) => OverlapClass::Step,
+        ("hashjoin", OpPhase::Prepare) => OverlapClass::Full,
+        ("hashjoin", OpPhase::Produce) => OverlapClass::Step,
+        ("mergejoin", _) | ("nljoin", _) => OverlapClass::Step,
+        _ => OverlapClass::Spike,
+    }
+}
+
+/// Fraction of the host operation's cost a newcomer saves by attaching when
+/// the host is `progress` (0..1) through the operation, per Figure 4a.
+///
+/// For `Step`, `first_output_emitted` gates the window.
+pub fn savings(class: OverlapClass, progress: f64, first_output_emitted: bool) -> f64 {
+    let p = progress.clamp(0.0, 1.0);
+    match class {
+        OverlapClass::Linear => 1.0 - p,
+        OverlapClass::Step => {
+            if first_output_emitted {
+                0.0
+            } else {
+                1.0
+            }
+        }
+        OverlapClass::Full => 1.0,
+        OverlapClass::Spike => {
+            if p == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Apply an enhancement function to a class (Figure 4b).
+///
+/// * Buffering widens `Step` (already modeled by the pipe backfill window)
+///   and converts `Spike` to `Step` (an ordered scan that buffers N tuples
+///   can admit a newcomer while the buffer still holds everything).
+/// * Materialization converts `Spike` to `Linear` (with a shallower slope,
+///   reflected in the cost model, not the class).
+pub fn enhance(class: OverlapClass, e: Enhancement) -> OverlapClass {
+    match (class, e) {
+        (OverlapClass::Spike, Enhancement::Buffering) => OverlapClass::Step,
+        (OverlapClass::Spike, Enhancement::Materialization) => OverlapClass::Linear,
+        (c, _) => c,
+    }
+}
+
+/// The full Figure 4a inventory: (operation, phase description, class).
+pub fn figure4a_inventory() -> Vec<(&'static str, &'static str, OverlapClass)> {
+    vec![
+        ("table scan (unordered)", "single phase", OverlapClass::Linear),
+        ("table scan (ordered)", "single phase", OverlapClass::Spike),
+        ("clustered index scan (unordered)", "single phase", OverlapClass::Linear),
+        ("clustered index scan (ordered)", "single phase", OverlapClass::Spike),
+        ("non-clustered index scan", "RID list creation", OverlapClass::Full),
+        ("non-clustered index scan", "fetch", OverlapClass::Linear),
+        ("sort", "sorting", OverlapClass::Full),
+        ("sort", "pipelining sorted tuples", OverlapClass::Linear),
+        ("single aggregate", "single phase", OverlapClass::Full),
+        ("group-by", "single phase", OverlapClass::Step),
+        ("nested-loop join", "single phase", OverlapClass::Step),
+        ("merge join", "merging", OverlapClass::Step),
+        ("hash join", "partitioning/build", OverlapClass::Full),
+        ("hash join", "probe", OverlapClass::Step),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_classes() {
+        assert_eq!(overlap_class("scan", OpPhase::Produce, false), OverlapClass::Linear);
+        assert_eq!(overlap_class("scan", OpPhase::Produce, true), OverlapClass::Spike);
+        assert_eq!(overlap_class("iscan", OpPhase::Produce, true), OverlapClass::Spike);
+    }
+
+    #[test]
+    fn multi_phase_operators() {
+        assert_eq!(overlap_class("sort", OpPhase::Prepare, true), OverlapClass::Full);
+        assert_eq!(overlap_class("hashjoin", OpPhase::Prepare, false), OverlapClass::Full);
+        assert_eq!(overlap_class("hashjoin", OpPhase::Produce, false), OverlapClass::Step);
+        assert_eq!(overlap_class("uiscan", OpPhase::Prepare, false), OverlapClass::Full);
+        assert_eq!(overlap_class("uiscan", OpPhase::Produce, false), OverlapClass::Linear);
+    }
+
+    #[test]
+    fn savings_curves_match_figure_4a() {
+        // Linear: 1-p.
+        assert_eq!(savings(OverlapClass::Linear, 0.0, false), 1.0);
+        assert!((savings(OverlapClass::Linear, 0.25, false) - 0.75).abs() < 1e-12);
+        assert_eq!(savings(OverlapClass::Linear, 1.0, false), 0.0);
+        // Step: gated by first output, independent of progress.
+        assert_eq!(savings(OverlapClass::Step, 0.9, false), 1.0);
+        assert_eq!(savings(OverlapClass::Step, 0.1, true), 0.0);
+        // Full: always 1.
+        assert_eq!(savings(OverlapClass::Full, 0.99, true), 1.0);
+        // Spike: only at the very start.
+        assert_eq!(savings(OverlapClass::Spike, 0.0, false), 1.0);
+        assert_eq!(savings(OverlapClass::Spike, 0.01, false), 0.0);
+    }
+
+    #[test]
+    fn enhancements() {
+        assert_eq!(enhance(OverlapClass::Spike, Enhancement::Buffering), OverlapClass::Step);
+        assert_eq!(enhance(OverlapClass::Spike, Enhancement::Materialization), OverlapClass::Linear);
+        assert_eq!(enhance(OverlapClass::Linear, Enhancement::Buffering), OverlapClass::Linear);
+        assert_eq!(enhance(OverlapClass::Full, Enhancement::Materialization), OverlapClass::Full);
+    }
+
+    #[test]
+    fn inventory_covers_all_classes() {
+        let inv = figure4a_inventory();
+        for class in [OverlapClass::Linear, OverlapClass::Step, OverlapClass::Full, OverlapClass::Spike] {
+            assert!(inv.iter().any(|(_, _, c)| *c == class), "{class:?} missing");
+        }
+        assert!(inv.len() >= 12);
+    }
+
+    #[test]
+    fn progress_clamped() {
+        assert_eq!(savings(OverlapClass::Linear, -3.0, false), 1.0);
+        assert_eq!(savings(OverlapClass::Linear, 7.0, false), 0.0);
+    }
+}

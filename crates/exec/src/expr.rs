@@ -1,0 +1,353 @@
+//! Scalar expressions and predicates.
+//!
+//! Both engines evaluate the same [`Expr`] tree per tuple. Expressions also
+//! know how to serialize themselves into a canonical byte string
+//! ([`Expr::encode_sig`]) — the packet dispatcher hashes these encodings to
+//! detect overlapping work across queries (paper §4.3: "a quick check of the
+//! encoded argument list for each packet").
+
+use qpipe_common::{QResult, Tuple, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// A scalar expression over a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Binary comparison producing Int(0)/Int(1) (NULL operands → 0).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Membership in a literal list.
+    In(Box<Expr>, Vec<Value>),
+    /// NULL test.
+    IsNull(Box<Expr>),
+    /// String prefix test (`LIKE 'foo%'`).
+    StartsWith(Box<Expr>, String),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    pub fn and(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::And(parts.into_iter().collect())
+    }
+
+    pub fn or(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::Or(parts.into_iter().collect())
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> QResult<Value> {
+        Ok(match self {
+            Expr::Col(i) => tuple
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| qpipe_common::QError::Exec(format!("column {i} out of range")))?,
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (a, b) = (a.eval(tuple)?, b.eval(tuple)?);
+                if a.is_null() || b.is_null() {
+                    return Ok(Value::Int(0));
+                }
+                let ord = a.total_cmp(&b);
+                let res = match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                };
+                Value::Int(res as i64)
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    if !p.eval_bool(tuple)? {
+                        return Ok(Value::Int(0));
+                    }
+                }
+                Value::Int(1)
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if p.eval_bool(tuple)? {
+                        return Ok(Value::Int(1));
+                    }
+                }
+                Value::Int(0)
+            }
+            Expr::Not(e) => Value::Int(!e.eval_bool(tuple)? as i64),
+            Expr::Arith(op, a, b) => {
+                let (a, b) = (a.eval(tuple)?, b.eval(tuple)?);
+                if a.is_null() || b.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&a, &b) {
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        ArithOp::Add => Value::Int(x + y),
+                        ArithOp::Sub => Value::Int(x - y),
+                        ArithOp::Mul => Value::Int(x * y),
+                        ArithOp::Div => {
+                            if *y == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(x / y)
+                            }
+                        }
+                    },
+                    _ => {
+                        let x = a.as_float().unwrap_or(f64::NAN);
+                        let y = b.as_float().unwrap_or(f64::NAN);
+                        match op {
+                            ArithOp::Add => Value::Float(x + y),
+                            ArithOp::Sub => Value::Float(x - y),
+                            ArithOp::Mul => Value::Float(x * y),
+                            ArithOp::Div => {
+                                if y == 0.0 {
+                                    Value::Null
+                                } else {
+                                    Value::Float(x / y)
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::In(e, list) => {
+                let v = e.eval(tuple)?;
+                Value::Int(list.contains(&v) as i64)
+            }
+            Expr::IsNull(e) => Value::Int(e.eval(tuple)?.is_null() as i64),
+            Expr::StartsWith(e, prefix) => {
+                let v = e.eval(tuple)?;
+                Value::Int(v.as_str().is_some_and(|s| s.starts_with(prefix.as_str())) as i64)
+            }
+        })
+    }
+
+    /// Evaluate as a predicate: truthy iff non-null and non-zero.
+    pub fn eval_bool(&self, tuple: &Tuple) -> QResult<bool> {
+        Ok(match self.eval(tuple)? {
+            Value::Int(v) => v != 0,
+            Value::Float(v) => v != 0.0,
+            Value::Null => false,
+            _ => true,
+        })
+    }
+
+    /// Canonical signature encoding for overlap detection.
+    pub fn encode_sig(&self, out: &mut Vec<u8>) {
+        fn val(out: &mut Vec<u8>, v: &Value) {
+            out.extend_from_slice(&v.stable_hash().to_le_bytes());
+        }
+        match self {
+            Expr::Col(i) => {
+                out.push(1);
+                out.extend_from_slice(&(*i as u32).to_le_bytes());
+            }
+            Expr::Lit(v) => {
+                out.push(2);
+                val(out, v);
+            }
+            Expr::Cmp(op, a, b) => {
+                out.push(3);
+                out.push(*op as u8);
+                a.encode_sig(out);
+                b.encode_sig(out);
+            }
+            Expr::And(parts) => {
+                out.push(4);
+                out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+                for p in parts {
+                    p.encode_sig(out);
+                }
+            }
+            Expr::Or(parts) => {
+                out.push(5);
+                out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+                for p in parts {
+                    p.encode_sig(out);
+                }
+            }
+            Expr::Not(e) => {
+                out.push(6);
+                e.encode_sig(out);
+            }
+            Expr::Arith(op, a, b) => {
+                out.push(7);
+                out.push(*op as u8);
+                a.encode_sig(out);
+                b.encode_sig(out);
+            }
+            Expr::In(e, list) => {
+                out.push(8);
+                e.encode_sig(out);
+                out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                for v in list {
+                    val(out, v);
+                }
+            }
+            Expr::IsNull(e) => {
+                out.push(9);
+                e.encode_sig(out);
+            }
+            Expr::StartsWith(e, p) => {
+                out.push(10);
+                e.encode_sig(out);
+                out.extend_from_slice(p.as_bytes());
+                out.push(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        vec![Value::Int(10), Value::Float(2.5), Value::str("widget-a"), Value::Null]
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Expr::col(0).eq(Expr::lit(10)).eval_bool(&t()).unwrap());
+        assert!(Expr::col(0).gt(Expr::lit(5)).eval_bool(&t()).unwrap());
+        assert!(!Expr::col(0).lt(Expr::lit(5)).eval_bool(&t()).unwrap());
+        assert!(Expr::col(1).le(Expr::lit(2.5)).eval_bool(&t()).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        assert!(!Expr::col(3).eq(Expr::col(3)).eval_bool(&t()).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::col(3))).eval_bool(&t()).unwrap());
+        assert!(!Expr::IsNull(Box::new(Expr::col(0))).eval_bool(&t()).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = Expr::and([
+            Expr::col(0).ge(Expr::lit(10)),
+            Expr::or([Expr::col(1).gt(Expr::lit(99.0)), Expr::col(1).lt(Expr::lit(3.0))]),
+        ]);
+        assert!(p.eval_bool(&t()).unwrap());
+        assert!(!Expr::Not(Box::new(p)).eval_bool(&t()).unwrap());
+        // Empty AND is true, empty OR is false (SQL convention for our use).
+        assert!(Expr::and([]).eval_bool(&t()).unwrap());
+        assert!(!Expr::or([]).eval_bool(&t()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::col(0).add(Expr::lit(5)).mul(Expr::lit(2));
+        assert_eq!(e.eval(&t()).unwrap(), Value::Int(30));
+        let f = Expr::col(1).mul(Expr::lit(4));
+        assert_eq!(f.eval(&t()).unwrap(), Value::Float(10.0));
+        // Division by zero yields NULL, not a panic.
+        let z = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(1)), Box::new(Expr::lit(0)));
+        assert!(z.eval(&t()).unwrap().is_null());
+        // NULL propagates through arithmetic.
+        assert!(Expr::col(3).add(Expr::lit(1)).eval(&t()).unwrap().is_null());
+    }
+
+    #[test]
+    fn in_list_and_prefix() {
+        let e = Expr::In(Box::new(Expr::col(0)), vec![Value::Int(9), Value::Int(10)]);
+        assert!(e.eval_bool(&t()).unwrap());
+        let s = Expr::StartsWith(Box::new(Expr::col(2)), "widget".into());
+        assert!(s.eval_bool(&t()).unwrap());
+        let s2 = Expr::StartsWith(Box::new(Expr::col(2)), "gadget".into());
+        assert!(!s2.eval_bool(&t()).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        assert!(Expr::col(9).eval(&t()).is_err());
+    }
+
+    #[test]
+    fn signatures_distinguish_and_match() {
+        let a = Expr::col(0).eq(Expr::lit(10));
+        let a2 = Expr::col(0).eq(Expr::lit(10));
+        let b = Expr::col(0).eq(Expr::lit(11));
+        let (mut sa, mut sa2, mut sb) = (Vec::new(), Vec::new(), Vec::new());
+        a.encode_sig(&mut sa);
+        a2.encode_sig(&mut sa2);
+        b.encode_sig(&mut sb);
+        assert_eq!(sa, sa2);
+        assert_ne!(sa, sb);
+    }
+}

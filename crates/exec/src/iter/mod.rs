@@ -1,0 +1,231 @@
+//! The conventional "one-query, many-operators" engine (paper §4.1).
+//!
+//! A classic Volcano-style pull iterator tree: each query gets a private
+//! operator instance tree and (in the multi-client harness) its own thread.
+//! Queries interact only through the shared buffer pool — exactly the
+//! sharing-through-timing behaviour §1.1 and Figure 3 describe. This engine
+//! is both the "DBMS X" stand-in and the per-packet execution kernel reused
+//! by some µEngines.
+
+mod agg;
+mod join;
+mod scan;
+mod sort;
+pub mod spill;
+
+pub use agg::{AggState, AggregateIter};
+pub use join::{HashJoinIter, MergeJoinIter, NestedLoopJoinIter};
+pub use scan::{ClusteredIndexScanIter, SeqScanIter, UnclusteredIndexScanIter};
+pub use sort::{cmp_keys, SortIter};
+
+use crate::expr::Expr;
+use crate::plan::PlanNode;
+use qpipe_common::{QError, QResult, Tuple};
+use qpipe_storage::Catalog;
+use std::sync::Arc;
+
+/// Per-engine execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Tuples a sort may hold in memory before spilling a run
+    /// (the paper gives each client 128 MB of sort heap; this is the scaled
+    /// equivalent).
+    pub sort_budget: usize,
+    /// Tuples a hash-join build side may hold before going grace (partitioned).
+    pub hash_budget: usize,
+    /// Number of grace hash-join partitions.
+    pub partitions: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self { sort_budget: 64 * 1024, hash_budget: 64 * 1024, partitions: 8 }
+    }
+}
+
+/// Everything an operator needs at run time.
+#[derive(Clone)]
+pub struct ExecContext {
+    pub catalog: Arc<Catalog>,
+    pub config: ExecConfig,
+}
+
+impl ExecContext {
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self { catalog, config: ExecConfig::default() }
+    }
+
+    pub fn with_config(catalog: Arc<Catalog>, config: ExecConfig) -> Self {
+        Self { catalog, config }
+    }
+}
+
+/// A pull-based tuple iterator (Volcano's `next()`).
+pub trait TupleIter: Send {
+    /// Produce the next tuple, or `None` at end of stream.
+    fn next(&mut self) -> QResult<Option<Tuple>>;
+}
+
+impl TupleIter for Box<dyn TupleIter> {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        (**self).next()
+    }
+}
+
+/// Drain an iterator into a vector (tests and single-threaded clients).
+pub fn collect(mut it: Box<dyn TupleIter>) -> QResult<Vec<Tuple>> {
+    let mut out = Vec::new();
+    while let Some(t) = it.next()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Build an operator tree for `plan`.
+pub fn build(plan: &PlanNode, ctx: &ExecContext) -> QResult<Box<dyn TupleIter>> {
+    Ok(match plan {
+        PlanNode::TableScan { table, predicate, projection, ordered: _ } => Box::new(
+            SeqScanIter::open(ctx, table, predicate.clone(), projection.clone())?,
+        ),
+        PlanNode::ClusteredIndexScan { table, lo, hi, predicate, projection, ordered: _ } => {
+            Box::new(ClusteredIndexScanIter::open(
+                ctx,
+                table,
+                lo.clone(),
+                hi.clone(),
+                predicate.clone(),
+                projection.clone(),
+            )?)
+        }
+        PlanNode::UnclusteredIndexScan { table, column, lo, hi, predicate, projection } => {
+            Box::new(UnclusteredIndexScanIter::open(
+                ctx,
+                table,
+                column,
+                lo.clone(),
+                hi.clone(),
+                predicate.clone(),
+                projection.clone(),
+            )?)
+        }
+        PlanNode::Filter { input, predicate } => {
+            Box::new(FilterIter { input: build(input, ctx)?, predicate: predicate.clone() })
+        }
+        PlanNode::Project { input, exprs } => {
+            Box::new(ProjectIter { input: build(input, ctx)?, exprs: exprs.clone() })
+        }
+        PlanNode::Sort { input, keys } => {
+            Box::new(SortIter::new(build(input, ctx)?, keys.clone(), ctx.clone()))
+        }
+        PlanNode::Aggregate { input, group_by, aggs } => {
+            Box::new(AggregateIter::new(build(input, ctx)?, group_by.clone(), aggs.clone()))
+        }
+        PlanNode::HashJoin { left, right, left_key, right_key } => Box::new(HashJoinIter::new(
+            build(left, ctx)?,
+            build(right, ctx)?,
+            *left_key,
+            *right_key,
+            ctx.clone(),
+        )),
+        PlanNode::MergeJoin { left, right, left_key, right_key } => Box::new(MergeJoinIter::new(
+            build(left, ctx)?,
+            build(right, ctx)?,
+            *left_key,
+            *right_key,
+        )),
+        PlanNode::NestedLoopJoin { left, right, predicate } => Box::new(NestedLoopJoinIter::new(
+            build(left, ctx)?,
+            build(right, ctx)?,
+            predicate.clone(),
+        )),
+    })
+}
+
+/// Run a plan to completion and return its rows.
+pub fn run(plan: &PlanNode, ctx: &ExecContext) -> QResult<Vec<Tuple>> {
+    collect(build(plan, ctx)?)
+}
+
+/// Filter operator.
+pub struct FilterIter {
+    input: Box<dyn TupleIter>,
+    predicate: Expr,
+}
+
+impl TupleIter for FilterIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            if self.predicate.eval_bool(&t)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projection operator.
+pub struct ProjectIter {
+    input: Box<dyn TupleIter>,
+    exprs: Vec<Expr>,
+}
+
+impl TupleIter for ProjectIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(t) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(&t)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Apply an optional predicate + projection to a decoded tuple; used by all
+/// scan kernels.
+pub(crate) fn finish_tuple(
+    tuple: Tuple,
+    predicate: &Option<Expr>,
+    projection: &Option<Vec<usize>>,
+) -> QResult<Option<Tuple>> {
+    if let Some(p) = predicate {
+        if !p.eval_bool(&tuple)? {
+            return Ok(None);
+        }
+    }
+    Ok(Some(match projection {
+        None => tuple,
+        Some(cols) => {
+            let mut out = Vec::with_capacity(cols.len());
+            for &c in cols {
+                out.push(
+                    tuple
+                        .get(c)
+                        .cloned()
+                        .ok_or_else(|| QError::Plan(format!("projection col {c} out of range")))?,
+                );
+            }
+            out
+        }
+    }))
+}
+
+/// In-memory iterator over a vector (tests, buffered intermediates).
+pub struct VecIter {
+    rows: std::vec::IntoIter<Tuple>,
+}
+
+impl VecIter {
+    pub fn new(rows: Vec<Tuple>) -> Self {
+        Self { rows: rows.into_iter() }
+    }
+}
+
+impl TupleIter for VecIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        Ok(self.rows.next())
+    }
+}

@@ -1,0 +1,242 @@
+//! Scan operators: sequential heap scan, clustered index (range) scan, and
+//! two-phase unclustered index scan.
+
+use super::{finish_tuple, ExecContext, TupleIter};
+use crate::expr::Expr;
+use qpipe_common::{QError, QResult, Tuple, Value};
+use qpipe_storage::catalog::TableInfo;
+use qpipe_storage::lock::TableLockGuard;
+use qpipe_storage::{BufferPool, Rid};
+use std::sync::Arc;
+
+/// Sequential scan over a heap file, through the buffer pool.
+pub struct SeqScanIter {
+    pool: Arc<BufferPool>,
+    table: Arc<TableInfo>,
+    predicate: Option<Expr>,
+    projection: Option<Vec<usize>>,
+    num_pages: u64,
+    next_page: u64,
+    current: Vec<Tuple>,
+    pos: usize,
+    /// Shared table lock held for the scan's lifetime (§4.3.4).
+    _lock: TableLockGuard,
+}
+
+impl SeqScanIter {
+    pub fn open(
+        ctx: &ExecContext,
+        table: &str,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+    ) -> QResult<Self> {
+        let info = ctx.catalog.table(table)?;
+        let lock = ctx.catalog.locks().lock_shared(table);
+        Ok(Self {
+            pool: ctx.catalog.pool().clone(),
+            num_pages: info.num_pages()?,
+            table: info,
+            predicate,
+            projection,
+            next_page: 0,
+            current: Vec::new(),
+            pos: 0,
+            _lock: lock,
+        })
+    }
+}
+
+impl TupleIter for SeqScanIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        loop {
+            while self.pos < self.current.len() {
+                let t = std::mem::take(&mut self.current[self.pos]);
+                self.pos += 1;
+                if let Some(out) = finish_tuple(t, &self.predicate, &self.projection)? {
+                    return Ok(Some(out));
+                }
+            }
+            if self.next_page >= self.num_pages {
+                return Ok(None);
+            }
+            let page = self.pool.get(self.table.heap.file_id(), self.next_page)?;
+            self.next_page += 1;
+            self.current = page.decode_tuples()?;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Clustered index scan: reads only the page range covering `[lo, hi]` on
+/// the table's sort key, re-checking the key bounds per tuple.
+pub struct ClusteredIndexScanIter {
+    pool: Arc<BufferPool>,
+    table: Arc<TableInfo>,
+    key_col: usize,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    predicate: Option<Expr>,
+    projection: Option<Vec<usize>>,
+    next_page: u64,
+    end_page: u64,
+    current: Vec<Tuple>,
+    pos: usize,
+    _lock: TableLockGuard,
+}
+
+impl ClusteredIndexScanIter {
+    pub fn open(
+        ctx: &ExecContext,
+        table: &str,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+    ) -> QResult<Self> {
+        let info = ctx.catalog.table(table)?;
+        let ci = info.clustered.as_ref().ok_or_else(|| {
+            QError::Plan(format!("table {table:?} has no clustered index"))
+        })?;
+        let (start, end) = ci.page_range(lo.as_ref(), hi.as_ref());
+        let key_col = ci.key_col();
+        let lock = ctx.catalog.locks().lock_shared(table);
+        Ok(Self {
+            pool: ctx.catalog.pool().clone(),
+            table: info,
+            key_col,
+            lo,
+            hi,
+            predicate,
+            projection,
+            next_page: start,
+            end_page: end,
+            current: Vec::new(),
+            pos: 0,
+            _lock: lock,
+        })
+    }
+}
+
+impl TupleIter for ClusteredIndexScanIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        loop {
+            while self.pos < self.current.len() {
+                let t = std::mem::take(&mut self.current[self.pos]);
+                self.pos += 1;
+                let key = &t[self.key_col];
+                if self.lo.as_ref().is_some_and(|v| key < v) {
+                    continue;
+                }
+                if self.hi.as_ref().is_some_and(|v| key > v) {
+                    // Sorted: nothing further can match.
+                    self.next_page = self.end_page;
+                    self.current.clear();
+                    self.pos = 0;
+                    return Ok(None);
+                }
+                if let Some(out) = finish_tuple(t, &self.predicate, &self.projection)? {
+                    return Ok(Some(out));
+                }
+            }
+            if self.next_page >= self.end_page {
+                return Ok(None);
+            }
+            let page = self.pool.get(self.table.heap.file_id(), self.next_page)?;
+            self.next_page += 1;
+            self.current = page.decode_tuples()?;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Unclustered index scan (paper §3.2): phase 1 probes the index and builds a
+/// RID list sorted by page (full overlap); phase 2 fetches heap pages in
+/// ascending page order.
+pub struct UnclusteredIndexScanIter {
+    ctx: ExecContext,
+    table_name: String,
+    column: String,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    predicate: Option<Expr>,
+    projection: Option<Vec<usize>>,
+    state: Option<FetchState>,
+    _lock: Option<TableLockGuard>,
+}
+
+struct FetchState {
+    pool: Arc<BufferPool>,
+    table: Arc<TableInfo>,
+    rids: Vec<Rid>,
+    next: usize,
+    /// Cached page to serve consecutive RIDs on the same page.
+    cached_page: Option<(u64, qpipe_storage::Page)>,
+}
+
+impl UnclusteredIndexScanIter {
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        ctx: &ExecContext,
+        table: &str,
+        column: &str,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+    ) -> QResult<Self> {
+        // Validate eagerly so planning errors surface at open.
+        let info = ctx.catalog.table(table)?;
+        info.unclustered_index(column).ok_or_else(|| {
+            QError::Plan(format!("no unclustered index on {table}.{column}"))
+        })?;
+        let lock = ctx.catalog.locks().lock_shared(table);
+        Ok(Self {
+            ctx: ctx.clone(),
+            table_name: table.to_string(),
+            column: column.to_string(),
+            lo,
+            hi,
+            predicate,
+            projection,
+            state: None,
+            _lock: Some(lock),
+        })
+    }
+
+    fn ensure_probed(&mut self) -> QResult<&mut FetchState> {
+        if self.state.is_none() {
+            let table = self.ctx.catalog.table(&self.table_name)?;
+            let idx = table
+                .unclustered_index(&self.column)
+                .ok_or_else(|| QError::NotFound(format!("index {}", self.column)))?;
+            let pool = self.ctx.catalog.pool().clone();
+            // Phase 1: RID-list creation (sorted on page number inside).
+            let rids = idx.rid_list(&pool, self.lo.as_ref(), self.hi.as_ref())?;
+            self.state = Some(FetchState { pool, table, rids, next: 0, cached_page: None });
+        }
+        Ok(self.state.as_mut().expect("just initialized"))
+    }
+}
+
+impl TupleIter for UnclusteredIndexScanIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        let predicate = self.predicate.clone();
+        let projection = self.projection.clone();
+        let st = self.ensure_probed()?;
+        while st.next < st.rids.len() {
+            let rid = st.rids[st.next];
+            st.next += 1;
+            let page_ok = st.cached_page.as_ref().is_some_and(|(no, _)| *no == rid.page);
+            if !page_ok {
+                let page = st.pool.get(st.table.heap.file_id(), rid.page)?;
+                st.cached_page = Some((rid.page, page));
+            }
+            let (_, page) = st.cached_page.as_ref().expect("cached");
+            let tuple = qpipe_storage::page::decode_tuple(page.record(rid.slot)?)?;
+            if let Some(out) = finish_tuple(tuple, &predicate, &projection)? {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}

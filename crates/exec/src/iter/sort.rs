@@ -1,0 +1,168 @@
+//! External merge sort.
+//!
+//! Phase 1 (run generation) accumulates up to the memory budget, sorts, and
+//! spills runs to temp files; phase 2 k-way-merges the runs. When the input
+//! fits in budget the sort stays fully in memory. The paper treats sort as a
+//! two-phase operator (§3.2): phase 1 is a *full* overlap (any newcomer can
+//! share), phase 2 pipelines like a file scan.
+
+use super::spill::{RunHandle, RunReader, RunWriter};
+use super::{ExecContext, TupleIter};
+use crate::plan::SortKey;
+use qpipe_common::{QResult, Tuple};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Compare two tuples on a key list.
+pub fn cmp_keys(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.col].cmp(&b[k.col]);
+        let ord = if k.asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+enum SortState {
+    /// Not yet executed.
+    Pending(Option<Box<dyn TupleIter>>),
+    /// Fully in-memory result.
+    Memory(std::vec::IntoIter<Tuple>),
+    /// Merging spilled runs.
+    Merge(MergeState),
+    Done,
+}
+
+pub struct SortIter {
+    keys: Vec<SortKey>,
+    ctx: ExecContext,
+    state: SortState,
+}
+
+impl SortIter {
+    pub fn new(input: Box<dyn TupleIter>, keys: Vec<SortKey>, ctx: ExecContext) -> Self {
+        Self { keys, ctx, state: SortState::Pending(Some(input)) }
+    }
+
+    /// Phase 1: consume the input, producing either an in-memory sorted
+    /// vector or a set of spilled runs.
+    fn run_phase1(&mut self, mut input: Box<dyn TupleIter>) -> QResult<SortState> {
+        let budget = self.ctx.config.sort_budget.max(2);
+        let mut buf: Vec<Tuple> = Vec::new();
+        let mut runs: Vec<RunHandle> = Vec::new();
+        while let Some(t) = input.next()? {
+            buf.push(t);
+            if buf.len() >= budget {
+                buf.sort_by(|a, b| cmp_keys(a, b, &self.keys));
+                let mut w = RunWriter::create(self.ctx.catalog.disk().clone(), "sortrun")?;
+                for t in buf.drain(..) {
+                    w.push(&t)?;
+                }
+                runs.push(w.finish()?);
+            }
+        }
+        buf.sort_by(|a, b| cmp_keys(a, b, &self.keys));
+        if runs.is_empty() {
+            return Ok(SortState::Memory(buf.into_iter()));
+        }
+        if !buf.is_empty() {
+            let mut w = RunWriter::create(self.ctx.catalog.disk().clone(), "sortrun")?;
+            for t in buf.drain(..) {
+                w.push(&t)?;
+            }
+            runs.push(w.finish()?);
+        }
+        Ok(SortState::Merge(MergeState::open(runs, self.keys.clone())?))
+    }
+}
+
+impl TupleIter for SortIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        loop {
+            match &mut self.state {
+                SortState::Pending(input) => {
+                    let input = input.take().expect("pending input present");
+                    self.state = self.run_phase1(input)?;
+                }
+                SortState::Memory(it) => {
+                    return Ok(match it.next() {
+                        Some(t) => Some(t),
+                        None => {
+                            self.state = SortState::Done;
+                            None
+                        }
+                    })
+                }
+                SortState::Merge(m) => {
+                    return Ok(match m.next()? {
+                        Some(t) => Some(t),
+                        None => {
+                            self.state = SortState::Done;
+                            None
+                        }
+                    })
+                }
+                SortState::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Heap entry ordering for the k-way merge (min-heap via reversed compare).
+struct HeapEntry {
+    tuple: Tuple,
+    run: usize,
+    keys: std::sync::Arc<[SortKey]>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_keys(&self.tuple, &other.tuple, &self.keys) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; tie-break on run index for stability.
+        cmp_keys(&other.tuple, &self.tuple, &self.keys)
+            .then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+pub(crate) struct MergeState {
+    readers: Vec<RunReader>,
+    heap: BinaryHeap<HeapEntry>,
+    keys: std::sync::Arc<[SortKey]>,
+}
+
+impl MergeState {
+    fn open(runs: Vec<RunHandle>, keys: Vec<SortKey>) -> QResult<Self> {
+        let keys: std::sync::Arc<[SortKey]> = keys.into();
+        let mut readers: Vec<RunReader> = runs.iter().map(|r| r.reader()).collect();
+        let mut heap = BinaryHeap::with_capacity(readers.len());
+        for (i, r) in readers.iter_mut().enumerate() {
+            if let Some(t) = r.next()? {
+                heap.push(HeapEntry { tuple: t, run: i, keys: keys.clone() });
+            }
+        }
+        Ok(Self { readers, heap, keys })
+    }
+
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        let Some(top) = self.heap.pop() else {
+            return Ok(None);
+        };
+        let run = top.run;
+        if let Some(t) = self.readers[run].next()? {
+            self.heap.push(HeapEntry { tuple: t, run, keys: self.keys.clone() });
+        }
+        Ok(Some(top.tuple))
+    }
+}

@@ -1,0 +1,4 @@
+//! Conventional "one-query, many-operators" engine (paper §4.1).
+pub mod expr;
+pub mod iter;
+pub mod plan;

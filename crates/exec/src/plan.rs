@@ -1,0 +1,423 @@
+//! Physical query plans.
+//!
+//! Both engines execute the same [`PlanNode`] trees (the paper feeds QPipe
+//! "precompiled query plans ... derived from a commercial system's
+//! optimizer"; our workload crate plays the optimizer's role). Plans know how
+//! to produce a canonical *signature* per subtree — the encoded argument list
+//! the packet dispatcher attaches to each packet so µEngines can detect
+//! overlapping work with a cheap comparison (§4.3).
+
+use crate::expr::Expr;
+use qpipe_common::Value;
+
+/// Sort key: column index + direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub col: usize,
+    pub asc: bool,
+}
+
+impl SortKey {
+    pub fn asc(col: usize) -> Self {
+        Self { col, asc: true }
+    }
+
+    pub fn desc(col: usize) -> Self {
+        Self { col, asc: false }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// One aggregate column: `func(expr)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Ignored for `CountStar`.
+    pub expr: Expr,
+}
+
+impl AggSpec {
+    pub fn count_star() -> Self {
+        Self { func: AggFunc::CountStar, expr: Expr::Lit(Value::Int(1)) }
+    }
+
+    pub fn sum(expr: Expr) -> Self {
+        Self { func: AggFunc::Sum, expr }
+    }
+
+    pub fn min(expr: Expr) -> Self {
+        Self { func: AggFunc::Min, expr }
+    }
+
+    pub fn max(expr: Expr) -> Self {
+        Self { func: AggFunc::Max, expr }
+    }
+
+    pub fn avg(expr: Expr) -> Self {
+        Self { func: AggFunc::Avg, expr }
+    }
+
+    pub fn count(expr: Expr) -> Self {
+        Self { func: AggFunc::Count, expr }
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Sequential heap scan. `ordered` means the consumer requires tuples in
+    /// stored order (spike overlap); unordered scans have linear overlap.
+    TableScan {
+        table: String,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+        ordered: bool,
+    },
+    /// Clustered index (range) scan: the heap is sorted on `lo/hi`'s column.
+    ClusteredIndexScan {
+        table: String,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+        ordered: bool,
+    },
+    /// Unclustered index scan: RID-list phase then page-ordered fetch.
+    UnclusteredIndexScan {
+        table: String,
+        column: String,
+        lo: Option<Value>,
+        hi: Option<Value>,
+        predicate: Option<Expr>,
+        projection: Option<Vec<usize>>,
+    },
+    /// Filter.
+    Filter { input: Box<PlanNode>, predicate: Expr },
+    /// Projection by expression list.
+    Project { input: Box<PlanNode>, exprs: Vec<Expr> },
+    /// Sort (external when the input exceeds the memory budget).
+    Sort { input: Box<PlanNode>, keys: Vec<SortKey> },
+    /// Aggregation; empty `group_by` = single-result aggregate (full WoP).
+    Aggregate { input: Box<PlanNode>, group_by: Vec<usize>, aggs: Vec<AggSpec> },
+    /// Hybrid hash join; `left` is the build side.
+    HashJoin { left: Box<PlanNode>, right: Box<PlanNode>, left_key: usize, right_key: usize },
+    /// Merge join over key-ordered inputs.
+    MergeJoin { left: Box<PlanNode>, right: Box<PlanNode>, left_key: usize, right_key: usize },
+    /// Nested-loop join with arbitrary predicate (right side buffered).
+    NestedLoopJoin { left: Box<PlanNode>, right: Box<PlanNode>, predicate: Expr },
+}
+
+impl PlanNode {
+    pub fn scan(table: &str) -> PlanNode {
+        PlanNode::TableScan { table: table.into(), predicate: None, projection: None, ordered: false }
+    }
+
+    pub fn scan_filtered(table: &str, predicate: Expr) -> PlanNode {
+        PlanNode::TableScan {
+            table: table.into(),
+            predicate: Some(predicate),
+            projection: None,
+            ordered: false,
+        }
+    }
+
+    pub fn filter(self, predicate: Expr) -> PlanNode {
+        PlanNode::Filter { input: Box::new(self), predicate }
+    }
+
+    pub fn project(self, exprs: Vec<Expr>) -> PlanNode {
+        PlanNode::Project { input: Box::new(self), exprs }
+    }
+
+    pub fn sort(self, keys: Vec<SortKey>) -> PlanNode {
+        PlanNode::Sort { input: Box::new(self), keys }
+    }
+
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> PlanNode {
+        PlanNode::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    pub fn hash_join(self, right: PlanNode, left_key: usize, right_key: usize) -> PlanNode {
+        PlanNode::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key,
+            right_key,
+        }
+    }
+
+    pub fn merge_join(self, right: PlanNode, left_key: usize, right_key: usize) -> PlanNode {
+        PlanNode::MergeJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_key,
+            right_key,
+        }
+    }
+
+    /// Child nodes, left to right.
+    pub fn children(&self) -> Vec<&PlanNode> {
+        match self {
+            PlanNode::TableScan { .. }
+            | PlanNode::ClusteredIndexScan { .. }
+            | PlanNode::UnclusteredIndexScan { .. } => vec![],
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Aggregate { input, .. } => vec![input],
+            PlanNode::HashJoin { left, right, .. }
+            | PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NestedLoopJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Number of nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Names of every base table this subtree reads (sorted, deduplicated).
+    /// Used by the query-result cache for invalidation on updates.
+    pub fn tables(&self) -> Vec<String> {
+        fn walk(node: &PlanNode, out: &mut Vec<String>) {
+            match node {
+                PlanNode::TableScan { table, .. }
+                | PlanNode::ClusteredIndexScan { table, .. }
+                | PlanNode::UnclusteredIndexScan { table, .. } => out.push(table.clone()),
+                _ => {}
+            }
+            for c in node.children() {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Short operator name, matching the µEngine that will serve the node.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PlanNode::TableScan { .. } => "scan",
+            PlanNode::ClusteredIndexScan { .. } => "iscan",
+            PlanNode::UnclusteredIndexScan { .. } => "uiscan",
+            PlanNode::Filter { .. } => "filter",
+            PlanNode::Project { .. } => "project",
+            PlanNode::Sort { .. } => "sort",
+            PlanNode::Aggregate { .. } => "agg",
+            PlanNode::HashJoin { .. } => "hashjoin",
+            PlanNode::MergeJoin { .. } => "mergejoin",
+            PlanNode::NestedLoopJoin { .. } => "nljoin",
+        }
+    }
+
+    /// Canonical byte encoding of the whole subtree.
+    pub fn encode_sig(&self, out: &mut Vec<u8>) {
+        fn opt_expr(out: &mut Vec<u8>, e: &Option<Expr>) {
+            match e {
+                None => out.push(0),
+                Some(e) => {
+                    out.push(1);
+                    e.encode_sig(out);
+                }
+            }
+        }
+        fn opt_val(out: &mut Vec<u8>, v: &Option<Value>) {
+            match v {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    out.extend_from_slice(&v.stable_hash().to_le_bytes());
+                }
+            }
+        }
+        fn proj(out: &mut Vec<u8>, p: &Option<Vec<usize>>) {
+            match p {
+                None => out.push(0),
+                Some(cols) => {
+                    out.push(1);
+                    out.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+                    for c in cols {
+                        out.extend_from_slice(&(*c as u32).to_le_bytes());
+                    }
+                }
+            }
+        }
+        match self {
+            PlanNode::TableScan { table, predicate, projection, ordered } => {
+                out.push(20);
+                out.extend_from_slice(table.as_bytes());
+                out.push(0);
+                opt_expr(out, predicate);
+                proj(out, projection);
+                out.push(*ordered as u8);
+            }
+            PlanNode::ClusteredIndexScan { table, lo, hi, predicate, projection, ordered } => {
+                out.push(21);
+                out.extend_from_slice(table.as_bytes());
+                out.push(0);
+                opt_val(out, lo);
+                opt_val(out, hi);
+                opt_expr(out, predicate);
+                proj(out, projection);
+                out.push(*ordered as u8);
+            }
+            PlanNode::UnclusteredIndexScan { table, column, lo, hi, predicate, projection } => {
+                out.push(22);
+                out.extend_from_slice(table.as_bytes());
+                out.push(0);
+                out.extend_from_slice(column.as_bytes());
+                out.push(0);
+                opt_val(out, lo);
+                opt_val(out, hi);
+                opt_expr(out, predicate);
+                proj(out, projection);
+            }
+            PlanNode::Filter { input, predicate } => {
+                out.push(23);
+                predicate.encode_sig(out);
+                input.encode_sig(out);
+            }
+            PlanNode::Project { input, exprs } => {
+                out.push(24);
+                out.extend_from_slice(&(exprs.len() as u32).to_le_bytes());
+                for e in exprs {
+                    e.encode_sig(out);
+                }
+                input.encode_sig(out);
+            }
+            PlanNode::Sort { input, keys } => {
+                out.push(25);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    out.extend_from_slice(&(k.col as u32).to_le_bytes());
+                    out.push(k.asc as u8);
+                }
+                input.encode_sig(out);
+            }
+            PlanNode::Aggregate { input, group_by, aggs } => {
+                out.push(26);
+                out.extend_from_slice(&(group_by.len() as u32).to_le_bytes());
+                for g in group_by {
+                    out.extend_from_slice(&(*g as u32).to_le_bytes());
+                }
+                out.extend_from_slice(&(aggs.len() as u32).to_le_bytes());
+                for a in aggs {
+                    out.push(a.func as u8);
+                    a.expr.encode_sig(out);
+                }
+                input.encode_sig(out);
+            }
+            PlanNode::HashJoin { left, right, left_key, right_key } => {
+                out.push(27);
+                out.extend_from_slice(&(*left_key as u32).to_le_bytes());
+                out.extend_from_slice(&(*right_key as u32).to_le_bytes());
+                left.encode_sig(out);
+                right.encode_sig(out);
+            }
+            PlanNode::MergeJoin { left, right, left_key, right_key } => {
+                out.push(28);
+                out.extend_from_slice(&(*left_key as u32).to_le_bytes());
+                out.extend_from_slice(&(*right_key as u32).to_le_bytes());
+                left.encode_sig(out);
+                right.encode_sig(out);
+            }
+            PlanNode::NestedLoopJoin { left, right, predicate } => {
+                out.push(29);
+                predicate.encode_sig(out);
+                left.encode_sig(out);
+                right.encode_sig(out);
+            }
+        }
+    }
+
+    /// Stable 64-bit signature of this subtree (FNV-1a over the canonical
+    /// encoding). Two plan subtrees have the same signature iff they describe
+    /// the same computation.
+    pub fn signature(&self) -> u64 {
+        let mut buf = Vec::with_capacity(64);
+        self.encode_sig(&mut buf);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in buf {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q6ish(lo: i64) -> PlanNode {
+        PlanNode::scan_filtered("lineitem", Expr::col(4).ge(Expr::lit(lo)))
+            .aggregate(vec![], vec![AggSpec::sum(Expr::col(1).mul(Expr::col(2)))])
+    }
+
+    #[test]
+    fn identical_plans_same_signature() {
+        assert_eq!(q6ish(5).signature(), q6ish(5).signature());
+    }
+
+    #[test]
+    fn different_predicates_different_signature() {
+        assert_ne!(q6ish(5).signature(), q6ish(6).signature());
+    }
+
+    #[test]
+    fn subtree_signature_differs_from_root() {
+        let plan = q6ish(5);
+        let child = plan.children()[0];
+        assert_ne!(plan.signature(), child.signature());
+    }
+
+    #[test]
+    fn node_count_and_children() {
+        let j = PlanNode::scan("a").hash_join(PlanNode::scan("b"), 0, 0).sort(vec![SortKey::asc(0)]);
+        assert_eq!(j.node_count(), 4);
+        assert_eq!(j.children().len(), 1);
+        assert_eq!(j.op_name(), "sort");
+    }
+
+    #[test]
+    fn ordered_flag_changes_signature() {
+        let a = PlanNode::TableScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+            ordered: false,
+        };
+        let mut b = a.clone();
+        if let PlanNode::TableScan { ordered, .. } = &mut b {
+            *ordered = true;
+        }
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn tables_collects_all_scans() {
+        let plan = PlanNode::scan("a")
+            .hash_join(PlanNode::scan("b").merge_join(PlanNode::scan("a"), 0, 0), 0, 0)
+            .sort(vec![SortKey::asc(0)]);
+        assert_eq!(plan.tables(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn join_sides_not_commutative_in_signature() {
+        let ab = PlanNode::scan("a").hash_join(PlanNode::scan("b"), 0, 0);
+        let ba = PlanNode::scan("b").hash_join(PlanNode::scan("a"), 0, 0);
+        assert_ne!(ab.signature(), ba.signature());
+    }
+}

@@ -1,0 +1,33 @@
+//! Storage manager substrate for the QPipe reproduction.
+//!
+//! The paper builds QPipe on top of BerkeleyDB; QPipe only uses BerkeleyDB's
+//! page-level access methods, buffer pool and table locking. This crate
+//! implements exactly that surface, plus the simulated disk that stands in
+//! for the authors' 4-disk RAID array (see DESIGN.md §3):
+//!
+//! * [`disk`] — an in-memory block device that charges a configurable latency
+//!   per block read and counts per-file I/O (Figure 8's metric).
+//! * [`page`] — slotted 8 KiB pages with a compact binary tuple codec.
+//! * [`heap`] — append-only heap files of pages.
+//! * [`bufferpool`] — a pin/unpin buffer pool with pluggable replacement
+//!   policies (LRU, Clock, LRU-K, 2Q, ARC — the policies §2.1 surveys).
+//! * [`index`] — bulk-loaded paged indexes: clustered (table stored in key
+//!   order) and unclustered (key → RID list, fetched in page order).
+//! * [`catalog`] — table metadata and creation/loading helpers.
+//! * [`lock`] — table-level shared/exclusive locks for the update path.
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod disk;
+pub mod heap;
+pub mod index;
+pub mod lock;
+pub mod page;
+
+pub use bufferpool::{BufferPool, BufferPoolConfig, PolicyKind};
+pub use catalog::{Catalog, TableInfo};
+pub use disk::{DiskConfig, FileId, SimDisk};
+pub use heap::{HeapFile, Rid};
+pub use index::{ClusteredIndex, UnclusteredIndex};
+pub use lock::{LockManager, TableLockGuard};
+pub use page::{Page, PAGE_SIZE};

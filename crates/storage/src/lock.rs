@@ -1,0 +1,201 @@
+//! Table-level locks.
+//!
+//! §4.3.4: QPipe charges the storage manager with lock management; update
+//! packets take an exclusive table lock, scans take shared locks, and "if a
+//! table is locked for writing, the scan packet will simply wait (and with
+//! it, all satellite ones), until the lock is released."
+//!
+//! Implemented by hand (shared/exclusive with writer preference) so guards
+//! are `'static` and can be held across µEngine worker loops.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct LockState {
+    readers: usize,
+    writer: bool,
+    waiting_writers: usize,
+}
+
+#[derive(Debug, Default)]
+struct TableLock {
+    state: Mutex<LockState>,
+    cv: Condvar,
+}
+
+impl TableLock {
+    fn lock_shared(&self) {
+        let mut st = self.state.lock();
+        // Writer preference: readers queue behind waiting writers so updates
+        // are not starved by a stream of scans.
+        while st.writer || st.waiting_writers > 0 {
+            self.cv.wait(&mut st);
+        }
+        st.readers += 1;
+    }
+
+    fn unlock_shared(&self) {
+        let mut st = self.state.lock();
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        let mut st = self.state.lock();
+        st.waiting_writers += 1;
+        while st.writer || st.readers > 0 {
+            self.cv.wait(&mut st);
+        }
+        st.waiting_writers -= 1;
+        st.writer = true;
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut st = self.state.lock();
+        st.writer = false;
+        self.cv.notify_all();
+    }
+}
+
+/// Mode a guard was acquired in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// RAII guard releasing the table lock on drop.
+#[derive(Debug)]
+pub struct TableLockGuard {
+    lock: Arc<TableLock>,
+    mode: LockMode,
+}
+
+impl TableLockGuard {
+    pub fn mode(&self) -> LockMode {
+        self.mode
+    }
+}
+
+impl Drop for TableLockGuard {
+    fn drop(&mut self) {
+        match self.mode {
+            LockMode::Shared => self.lock.unlock_shared(),
+            LockMode::Exclusive => self.lock.unlock_exclusive(),
+        }
+    }
+}
+
+/// Lock manager handing out per-table shared/exclusive locks.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: Mutex<HashMap<String, Arc<TableLock>>>,
+}
+
+impl LockManager {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn table(&self, name: &str) -> Arc<TableLock> {
+        self.locks.lock().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Block until a shared lock on `table` is granted.
+    pub fn lock_shared(&self, table: &str) -> TableLockGuard {
+        let lock = self.table(table);
+        lock.lock_shared();
+        TableLockGuard { lock, mode: LockMode::Shared }
+    }
+
+    /// Block until an exclusive lock on `table` is granted.
+    pub fn lock_exclusive(&self, table: &str) -> TableLockGuard {
+        let lock = self.table(table);
+        lock.lock_exclusive();
+        TableLockGuard { lock, mode: LockMode::Exclusive }
+    }
+
+    /// Try to take a shared lock without blocking.
+    pub fn try_lock_shared(&self, table: &str) -> Option<TableLockGuard> {
+        let lock = self.table(table);
+        {
+            let mut st = lock.state.lock();
+            if st.writer || st.waiting_writers > 0 {
+                return None;
+            }
+            st.readers += 1;
+        }
+        Some(TableLockGuard { lock, mode: LockMode::Shared })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        let g1 = lm.lock_shared("t");
+        let g2 = lm.lock_shared("t");
+        assert_eq!(g1.mode(), LockMode::Shared);
+        drop(g1);
+        drop(g2);
+    }
+
+    #[test]
+    fn exclusive_excludes_shared() {
+        let lm = Arc::new(LockManager::new());
+        let g = lm.lock_exclusive("t");
+        assert!(lm.try_lock_shared("t").is_none());
+        drop(g);
+        assert!(lm.try_lock_shared("t").is_some());
+    }
+
+    #[test]
+    fn different_tables_independent() {
+        let lm = LockManager::new();
+        let _g = lm.lock_exclusive("a");
+        assert!(lm.try_lock_shared("b").is_some());
+    }
+
+    #[test]
+    fn writer_blocks_until_readers_leave() {
+        let lm = Arc::new(LockManager::new());
+        let reader = lm.lock_shared("t");
+        let acquired = Arc::new(AtomicUsize::new(0));
+        let (lm2, acq2) = (lm.clone(), acquired.clone());
+        let h = std::thread::spawn(move || {
+            let _w = lm2.lock_exclusive("t");
+            acq2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(acquired.load(Ordering::SeqCst), 0, "writer must wait");
+        drop(reader);
+        h.join().unwrap();
+        assert_eq!(acquired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn readers_queue_behind_waiting_writer() {
+        let lm = Arc::new(LockManager::new());
+        let reader = lm.lock_shared("t");
+        let lm2 = lm.clone();
+        let writer = std::thread::spawn(move || {
+            let _w = lm2.lock_exclusive("t");
+            std::thread::sleep(Duration::from_millis(20));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Writer is queued; a new reader must not jump it.
+        assert!(lm.try_lock_shared("t").is_none());
+        drop(reader);
+        writer.join().unwrap();
+        assert!(lm.try_lock_shared("t").is_some());
+    }
+}

@@ -1,0 +1,286 @@
+//! Slotted pages and the binary tuple codec.
+//!
+//! Pages are the unit of disk I/O and of buffer-pool caching. A page holds
+//! variable-length records in a classic slotted layout: records grow from the
+//! front, a slot directory of `(offset, len)` pairs grows from the back.
+//! Tuples are serialized with a compact tagged binary codec so that page
+//! occupancy — and therefore block counts, the paper's Figure 8 metric — is
+//! realistic for the workload schemas.
+
+use bytes::{Buf, BufMut};
+use qpipe_common::{QError, QResult, Tuple, Value};
+use std::sync::Arc;
+
+/// Page size in bytes (8 KiB, BerkeleyDB's default).
+pub const PAGE_SIZE: usize = 8192;
+
+const SLOT_BYTES: usize = 4; // u16 offset + u16 len
+
+/// A slotted page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    data: Arc<Vec<u8>>,
+    /// (offset, len) per record, kept decoded for fast access.
+    slots: Vec<(u16, u16)>,
+    /// Next free byte at the front.
+    free_start: usize,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    pub fn new() -> Self {
+        Self { data: Arc::new(vec![0; PAGE_SIZE]), slots: Vec::new(), free_start: 0 }
+    }
+
+    /// Number of records on the page.
+    pub fn num_records(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Free space remaining, accounting for one more slot entry.
+    pub fn free_space(&self) -> usize {
+        PAGE_SIZE
+            .saturating_sub(self.free_start)
+            .saturating_sub((self.slots.len() + 1) * SLOT_BYTES)
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        len <= self.free_space()
+    }
+
+    /// Append a record; errors if it does not fit.
+    pub fn append_record(&mut self, rec: &[u8]) -> QResult<u16> {
+        if !self.fits(rec.len()) {
+            return Err(QError::Storage(format!(
+                "record of {} bytes does not fit ({} free)",
+                rec.len(),
+                self.free_space()
+            )));
+        }
+        if rec.len() > u16::MAX as usize {
+            return Err(QError::Storage("record larger than 64 KiB".into()));
+        }
+        let data = Arc::make_mut(&mut self.data);
+        data[self.free_start..self.free_start + rec.len()].copy_from_slice(rec);
+        let slot = self.slots.len() as u16;
+        self.slots.push((self.free_start as u16, rec.len() as u16));
+        self.free_start += rec.len();
+        Ok(slot)
+    }
+
+    /// Read record `slot`.
+    pub fn record(&self, slot: u16) -> QResult<&[u8]> {
+        let (off, len) = *self
+            .slots
+            .get(slot as usize)
+            .ok_or_else(|| QError::Storage(format!("no slot {slot}")))?;
+        Ok(&self.data[off as usize..(off + len) as usize])
+    }
+
+    /// Iterate over all records.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.slots.iter().map(move |&(off, len)| &self.data[off as usize..(off + len) as usize])
+    }
+
+    /// Decode every record on the page as a tuple.
+    pub fn decode_tuples(&self) -> QResult<Vec<Tuple>> {
+        self.records().map(decode_tuple).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple codec
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DATE: u8 = 4;
+
+/// Serialize a tuple into `out` (cleared first is the caller's business).
+pub fn encode_tuple(tuple: &Tuple, out: &mut Vec<u8>) {
+    out.put_u16_le(tuple.len() as u16);
+    for v in tuple {
+        match v {
+            Value::Null => out.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                out.put_u8(TAG_INT);
+                out.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                out.put_u8(TAG_FLOAT);
+                out.put_f64_le(*f);
+            }
+            Value::Str(s) => {
+                out.put_u8(TAG_STR);
+                out.put_u16_le(s.len() as u16);
+                out.put_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                out.put_u8(TAG_DATE);
+                out.put_i32_le(*d);
+            }
+        }
+    }
+}
+
+/// Serialized length of a tuple without encoding it.
+pub fn encoded_len(tuple: &Tuple) -> usize {
+    2 + tuple
+        .iter()
+        .map(|v| match v {
+            Value::Null => 1,
+            Value::Int(_) => 9,
+            Value::Float(_) => 9,
+            Value::Str(s) => 3 + s.len(),
+            Value::Date(_) => 5,
+        })
+        .sum::<usize>()
+}
+
+/// Deserialize a tuple from bytes.
+pub fn decode_tuple(mut buf: &[u8]) -> QResult<Tuple> {
+    if buf.remaining() < 2 {
+        return Err(QError::Storage("truncated tuple header".into()));
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut tuple = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 1 {
+            return Err(QError::Storage("truncated tuple value tag".into()));
+        }
+        let tag = buf.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                if buf.remaining() < 8 {
+                    return Err(QError::Storage("truncated int".into()));
+                }
+                Value::Int(buf.get_i64_le())
+            }
+            TAG_FLOAT => {
+                if buf.remaining() < 8 {
+                    return Err(QError::Storage("truncated float".into()));
+                }
+                Value::Float(buf.get_f64_le())
+            }
+            TAG_STR => {
+                if buf.remaining() < 2 {
+                    return Err(QError::Storage("truncated string length".into()));
+                }
+                let len = buf.get_u16_le() as usize;
+                if buf.remaining() < len {
+                    return Err(QError::Storage("truncated string body".into()));
+                }
+                let s = std::str::from_utf8(&buf[..len])
+                    .map_err(|e| QError::Storage(format!("invalid utf8: {e}")))?;
+                let v = Value::str(s);
+                buf.advance(len);
+                v
+            }
+            TAG_DATE => {
+                if buf.remaining() < 4 {
+                    return Err(QError::Storage("truncated date".into()));
+                }
+                Value::Date(buf.get_i32_le())
+            }
+            other => return Err(QError::Storage(format!("unknown value tag {other}"))),
+        };
+        tuple.push(v);
+    }
+    Ok(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tuple() -> Tuple {
+        vec![
+            Value::Int(-42),
+            Value::Float(3.5),
+            Value::str("hello world"),
+            Value::Date(12345),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let t = sample_tuple();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&t));
+        let back = decode_tuple(&buf).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let t = sample_tuple();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        for cut in [0, 1, 3, buf.len() - 1] {
+            assert!(decode_tuple(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn page_append_and_read() {
+        let mut p = Page::new();
+        let s0 = p.append_record(b"abc").unwrap();
+        let s1 = p.append_record(b"defg").unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(p.record(0).unwrap(), b"abc");
+        assert_eq!(p.record(1).unwrap(), b"defg");
+        assert!(p.record(2).is_err());
+        assert_eq!(p.records().count(), 2);
+    }
+
+    #[test]
+    fn page_fills_up() {
+        let mut p = Page::new();
+        let rec = vec![7u8; 1000];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.append_record(&rec).unwrap();
+            n += 1;
+        }
+        assert!(n >= 7, "expected at least 7 x 1000B records in 8 KiB, got {n}");
+        assert!(p.append_record(&rec).is_err());
+        // Small record still fits in the tail.
+        assert!(p.fits(10));
+    }
+
+    #[test]
+    fn page_tuples_round_trip() {
+        let mut p = Page::new();
+        let mut buf = Vec::new();
+        for i in 0..10 {
+            buf.clear();
+            encode_tuple(&vec![Value::Int(i), Value::str(format!("row{i}"))], &mut buf);
+            p.append_record(&buf).unwrap();
+        }
+        let tuples = p.decode_tuples().unwrap();
+        assert_eq!(tuples.len(), 10);
+        assert_eq!(tuples[3][0], Value::Int(3));
+        assert_eq!(tuples[9][1], Value::str("row9"));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_cow() {
+        let mut p = Page::new();
+        p.append_record(b"x").unwrap();
+        let snapshot = p.clone();
+        p.append_record(b"y").unwrap();
+        assert_eq!(snapshot.num_records(), 1);
+        assert_eq!(p.num_records(), 2);
+    }
+}

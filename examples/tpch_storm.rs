@@ -1,0 +1,48 @@
+//! A decision-support "query storm": eight clients fire TPC-H queries with
+//! randomized predicates at the three systems the paper compares, printing
+//! throughput and I/O — a miniature Figure 12.
+//!
+//! ```sh
+//! cargo run --release --example tpch_storm
+//! ```
+
+use qpipe_common::QResult;
+use qpipe_workloads::harness::{closed_loop, Driver, System, SystemProfile};
+use qpipe_workloads::tpch::{build_tpch, query, TpchScale, MIX};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> QResult<()> {
+    let profile = SystemProfile::experiment();
+    let clients = 8;
+    let duration_paper = 1200.0;
+    println!("TPC-H storm: {clients} clients, {duration_paper:.0} paper-seconds, zero think time\n");
+    println!("{:<14} {:>12} {:>16} {:>14}", "system", "queries/hour", "blocks read", "osp attaches");
+    println!("{}", "-".repeat(60));
+    for system in [System::DbmsX, System::Baseline, System::QPipeOsp] {
+        let driver = Driver::build(system, profile, |c| {
+            build_tpch(c, TpchScale::experiment(), 20050614)
+        })?;
+        let result = closed_loop(
+            &driver,
+            &|client, iteration| {
+                let seed = client as u64 * 7919 + iteration;
+                let mut rng = StdRng::seed_from_u64(seed);
+                query(MIX[(seed % MIX.len() as u64) as usize], &mut rng)
+            },
+            clients,
+            duration_paper,
+            0.0,
+            profile.time_scale,
+        );
+        println!(
+            "{:<14} {:>12.1} {:>16} {:>14}",
+            system.label(),
+            result.qph,
+            result.delta.disk_blocks_read,
+            result.delta.osp_attaches
+        );
+    }
+    println!("\nExpected shape (paper Fig. 12): QPipe w/OSP ≈ 2x DBMS X, Baseline trails X.");
+    Ok(())
+}

@@ -1,0 +1,201 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use qpipe::prelude::*;
+use qpipe_storage::page::{decode_tuple, encode_tuple, encoded_len, Page};
+
+// ---------------------------------------------------------------------------
+// Value / codec properties
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks round-trip equality on purpose.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _-]{0,40}".prop_map(Value::str),
+        any::<i32>().prop_map(Value::Date),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(), 0..12)
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips(tuple in arb_tuple()) {
+        let mut buf = Vec::new();
+        encode_tuple(&tuple, &mut buf);
+        prop_assert_eq!(buf.len(), encoded_len(&tuple));
+        let back = decode_tuple(&buf).unwrap();
+        prop_assert_eq!(back, tuple);
+    }
+
+    #[test]
+    fn truncated_encodings_never_panic(tuple in arb_tuple(), cut in 0usize..64) {
+        let mut buf = Vec::new();
+        encode_tuple(&tuple, &mut buf);
+        let cut = cut.min(buf.len());
+        // Must return Ok(full tuple) only for the complete buffer; any prefix
+        // must produce an error, not a panic. (A prefix can only decode
+        // successfully if it is the whole buffer.)
+        let r = decode_tuple(&buf[..cut]);
+        if cut < buf.len() {
+            prop_assert!(r.is_err() || encoded_len(&tuple) <= cut);
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent_with_hash(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Eq ⇒ equal hashes.
+        if ab == Ordering::Equal {
+            prop_assert_eq!(a.stable_hash(), b.stable_hash());
+        }
+    }
+
+    #[test]
+    fn value_ordering_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn page_preserves_record_contents(records in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..256), 0..40))
+    {
+        let mut page = Page::new();
+        let mut stored = Vec::new();
+        for r in &records {
+            if page.fits(r.len()) {
+                page.append_record(r).unwrap();
+                stored.push(r.clone());
+            }
+        }
+        prop_assert_eq!(page.num_records(), stored.len());
+        for (i, r) in stored.iter().enumerate() {
+            prop_assert_eq!(page.record(i as u16).unwrap(), &r[..]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn not_not_is_identity(v in -100i64..100, bound in -100i64..100) {
+        let t: Tuple = vec![Value::Int(v)];
+        let p = Expr::col(0).lt(Expr::lit(bound));
+        let np = Expr::Not(Box::new(Expr::Not(Box::new(p.clone()))));
+        prop_assert_eq!(p.eval_bool(&t).unwrap(), np.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn de_morgan(v in -100i64..100, a in -100i64..100, b in -100i64..100) {
+        let t: Tuple = vec![Value::Int(v)];
+        let p = Expr::col(0).lt(Expr::lit(a));
+        let q = Expr::col(0).gt(Expr::lit(b));
+        let lhs = Expr::Not(Box::new(Expr::and([p.clone(), q.clone()])));
+        let rhs = Expr::or([Expr::Not(Box::new(p)), Expr::Not(Box::new(q))]);
+        prop_assert_eq!(lhs.eval_bool(&t).unwrap(), rhs.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn signature_equality_iff_structural(a in -50i64..50, b in -50i64..50) {
+        let pa = PlanNode::scan_filtered("t", Expr::col(0).eq(Expr::lit(a)));
+        let pb = PlanNode::scan_filtered("t", Expr::col(0).eq(Expr::lit(b)));
+        prop_assert_eq!(pa.signature() == pb.signature(), a == b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level properties (smaller case counts: each case builds a system)
+// ---------------------------------------------------------------------------
+
+fn tiny_catalog(rows: &[i64]) -> std::sync::Arc<Catalog> {
+    let catalog = qpipe::quick_system(DiskConfig::instant(), 64);
+    catalog
+        .create_table(
+            "t",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+            rows.iter().map(|&k| vec![Value::Int(k), Value::Int(k % 7)]).collect(),
+            None,
+        )
+        .unwrap();
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sort_operator_agrees_with_std_sort(mut rows in prop::collection::vec(-1000i64..1000, 0..400)) {
+        let catalog = tiny_catalog(&rows);
+        let ctx = ExecContext::new(catalog);
+        let sorted = qpipe::exec::iter::run(
+            &PlanNode::scan("t").sort(vec![SortKey::asc(0), SortKey::desc(1)]),
+            &ctx,
+        ).unwrap();
+        rows.sort_by(|a, b| (a, std::cmp::Reverse(a % 7)).cmp(&(b, std::cmp::Reverse(b % 7))));
+        let got: Vec<i64> = sorted.iter().map(|r| r[0].as_int().unwrap()).collect();
+        prop_assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn filter_count_matches_manual(rows in prop::collection::vec(-1000i64..1000, 0..400), bound in -1000i64..1000) {
+        let catalog = tiny_catalog(&rows);
+        let ctx = ExecContext::new(catalog);
+        let got = qpipe::exec::iter::run(
+            &PlanNode::scan_filtered("t", Expr::col(0).lt(Expr::lit(bound))),
+            &ctx,
+        ).unwrap().len();
+        let expected = rows.iter().filter(|&&k| k < bound).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn qpipe_agrees_with_iterator_engine(rows in prop::collection::vec(-1000i64..1000, 1..300), bound in -1000i64..1000) {
+        let catalog = tiny_catalog(&rows);
+        let plan = PlanNode::scan_filtered("t", Expr::col(0).ge(Expr::lit(bound)))
+            .aggregate(vec![], vec![AggSpec::count_star(), AggSpec::min(Expr::col(0)), AggSpec::max(Expr::col(0))]);
+        let expected = qpipe::exec::iter::run(&plan, &ExecContext::new(catalog.clone())).unwrap();
+        let engine = QPipe::new(catalog, QPipeConfig::default());
+        let got = engine.submit(plan).unwrap().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn hash_join_is_exact_cartesian_of_key_groups(
+        left in prop::collection::vec(0i64..20, 0..100),
+        right in prop::collection::vec(0i64..20, 0..100),
+    ) {
+        let catalog = qpipe::quick_system(DiskConfig::instant(), 64);
+        let mk = |rows: &[i64]| -> Vec<Tuple> { rows.iter().map(|&k| vec![Value::Int(k)]).collect() };
+        catalog.create_table("l", Schema::of(&[("k", DataType::Int)]), mk(&left), None).unwrap();
+        catalog.create_table("r", Schema::of(&[("k", DataType::Int)]), mk(&right), None).unwrap();
+        let ctx = ExecContext::new(catalog);
+        let got = qpipe::exec::iter::run(
+            &PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0),
+            &ctx,
+        ).unwrap().len();
+        let expected: usize = (0..20)
+            .map(|k| left.iter().filter(|&&x| x == k).count() * right.iter().filter(|&&x| x == k).count())
+            .sum();
+        prop_assert_eq!(got, expected);
+    }
+}

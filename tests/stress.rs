@@ -1,0 +1,158 @@
+//! Concurrency stress tests: many random queries against randomized engine
+//! configurations, always checked against the sequential iterator engine.
+//! This is where the paper's machinery (shared scans, host attach windows,
+//! cancellation, deadlock resolution) earns its keep.
+
+use qpipe::prelude::*;
+use qpipe::workloads::tpch::{build_tpch, query, TpchScale, MIX};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fresh_catalog(seed: u64) -> Arc<Catalog> {
+    let catalog = qpipe::quick_system(DiskConfig::instant(), 48);
+    build_tpch(&catalog, TpchScale::tiny(), seed).unwrap();
+    catalog
+}
+
+/// Run `plans` concurrently on `engine` and return per-plan row counts.
+fn run_concurrent(engine: &Arc<QPipe>, plans: &[PlanNode]) -> Vec<usize> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                let engine = engine.clone();
+                let plan = p.clone();
+                s.spawn(move || engine.submit(plan).unwrap().collect().len())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn random_mix_under_random_configs_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD15EA5E);
+    for round in 0..6 {
+        let catalog = fresh_catalog(round as u64 + 1);
+        // Reference row counts from the sequential iterator engine.
+        let plans: Vec<PlanNode> = (0..8)
+            .map(|_| {
+                let q = MIX[rng.gen_range(0..MIX.len())];
+                query(q, &mut rng)
+            })
+            .collect();
+        let ctx = ExecContext::new(catalog.clone());
+        let expected: Vec<usize> =
+            plans.iter().map(|p| qpipe::exec::iter::run(p, &ctx).unwrap().len()).collect();
+
+        let config = QPipeConfig {
+            osp: rng.gen_bool(0.7),
+            pipe: qpipe::core::pipe::PipeConfig {
+                capacity: *[1usize, 2, 8, 32].get(rng.gen_range(0..4)).unwrap(),
+                backfill: rng.gen_range(0..16),
+            },
+            host_backfill: rng.gen_range(0..16),
+            deadlock_interval: Duration::from_millis(rng.gen_range(3..25)),
+            ..QPipeConfig::default()
+        };
+        let engine = QPipe::new(catalog, config);
+        let got = run_concurrent(&engine, &plans);
+        assert_eq!(got, expected, "round {round} with config {config:?}");
+    }
+}
+
+#[test]
+fn identical_query_storm_all_consistent() {
+    let catalog = fresh_catalog(77);
+    let engine = QPipe::new(catalog, QPipeConfig::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let plan = query(6, &mut rng);
+    // Reference once.
+    let expected = engine.submit(plan.clone()).unwrap().collect().len();
+    for _ in 0..4 {
+        let plans: Vec<PlanNode> = (0..12).map(|_| plan.clone()).collect();
+        let got = run_concurrent(&engine, &plans);
+        assert!(got.iter().all(|&c| c == expected), "{got:?} != {expected}");
+    }
+    assert!(
+        engine.metrics().osp_attaches() > 10,
+        "storms of identical queries must share heavily"
+    );
+}
+
+#[test]
+fn tiny_pipes_with_sharing_never_wedge() {
+    // The harshest liveness configuration: single-batch pipes, aggressive
+    // sharing, queries whose subtrees overlap partially.
+    let catalog = fresh_catalog(5);
+    let config = QPipeConfig {
+        pipe: qpipe::core::pipe::PipeConfig { capacity: 1, backfill: 1 },
+        host_backfill: 1,
+        deadlock_interval: Duration::from_millis(5),
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog.clone(), config);
+    let ctx = ExecContext::new(catalog);
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..3 {
+        let q4a = query(4, &mut rng);
+        let q4b = q4a.clone();
+        let q12 = query(12, &mut rng);
+        let plans = vec![q4a, q4b, q12];
+        let expected: Vec<usize> =
+            plans.iter().map(|p| qpipe::exec::iter::run(p, &ctx).unwrap().len()).collect();
+        let got = run_concurrent(&engine, &plans);
+        assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn cache_and_osp_compose() {
+    let catalog = fresh_catalog(13);
+    let config = QPipeConfig {
+        result_cache: Some(qpipe::core::cache::CacheConfig {
+            capacity_tuples: 50_000,
+            min_cost: Duration::ZERO,
+        }),
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    let mut rng = StdRng::seed_from_u64(21);
+    let plan = query(1, &mut rng);
+    // First wave: concurrent identical queries (OSP shares them).
+    let first = run_concurrent(&engine, &vec![plan.clone(); 4]);
+    assert!(first.iter().all(|&c| c == first[0]));
+    // Second wave: served by the result cache.
+    let h = engine.submit(plan).unwrap();
+    assert!(h.is_cached(), "sequential repeat should hit the cache");
+    assert_eq!(h.collect().len(), first[0]);
+}
+
+#[test]
+fn interleaved_updates_and_queries_stay_consistent() {
+    let catalog = fresh_catalog(99);
+    let engine = QPipe::new(catalog, QPipeConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let plan = query(6, &mut rng);
+    let expected = engine.submit(plan.clone()).unwrap().collect().len();
+    std::thread::scope(|s| {
+        // Writer thread takes exclusive locks repeatedly.
+        let e = engine.clone();
+        s.spawn(move || {
+            for _ in 0..10 {
+                e.submit_update("lineitem", 3).unwrap();
+            }
+        });
+        for _ in 0..3 {
+            let e = engine.clone();
+            let p = plan.clone();
+            s.spawn(move || {
+                for _ in 0..4 {
+                    assert_eq!(e.submit(p.clone()).unwrap().collect().len(), expected);
+                }
+            });
+        }
+    });
+}
