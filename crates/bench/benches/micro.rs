@@ -9,7 +9,8 @@
 //! * sort and hash-join kernels over the storage substrate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qpipe_common::{DataType, Metrics, Schema, Tuple, Value};
+use qpipe_common::colbatch::ColBatch;
+use qpipe_common::{Batch, DataType, Metrics, Schema, Tuple, Value};
 use qpipe_core::deadlock::{NodeId, WaitRegistry};
 use qpipe_core::pipe::{Pipe, PipeConfig};
 use qpipe_exec::expr::Expr;
@@ -20,13 +21,9 @@ use std::sync::Arc;
 
 fn pool_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("bufferpool_policy");
-    for policy in [
-        PolicyKind::Lru,
-        PolicyKind::Clock,
-        PolicyKind::LruK(2),
-        PolicyKind::TwoQ,
-        PolicyKind::Arc,
-    ] {
+    for policy in
+        [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::LruK(2), PolicyKind::TwoQ, PolicyKind::Arc]
+    {
         // Mixed pattern: repeated scans of 256 pages + a hot set of 16.
         let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
         let f = disk.create_file("t").unwrap();
@@ -51,28 +48,25 @@ fn pool_policies(c: &mut Criterion) {
 fn pipe_fanout(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipe_broadcast");
     for consumers in [1usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(consumers),
-            &consumers,
-            |b, &consumers| {
-                b.iter(|| {
-                    let reg = Arc::new(WaitRegistry::new());
-                    let pipe = Pipe::new(PipeConfig { capacity: 64, backfill: 0 }, NodeId(1), reg);
-                    let sinks: Vec<_> =
-                        (0..consumers).map(|i| pipe.attach_consumer(NodeId(10 + i as u64), false)).collect();
-                    let mut producer = pipe.producer();
-                    let handles: Vec<_> = sinks
-                        .into_iter()
-                        .map(|s| std::thread::spawn(move || s.collect_tuples().len()))
-                        .collect();
-                    for i in 0..20_000i64 {
-                        producer.push(vec![Value::Int(i)]);
-                    }
-                    producer.finish();
-                    handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(consumers), &consumers, |b, &consumers| {
+            b.iter(|| {
+                let reg = Arc::new(WaitRegistry::new());
+                let pipe = Pipe::new(PipeConfig { capacity: 64, backfill: 0 }, NodeId(1), reg);
+                let sinks: Vec<_> = (0..consumers)
+                    .map(|i| pipe.attach_consumer(NodeId(10 + i as u64), false))
+                    .collect();
+                let mut producer = pipe.producer();
+                let handles: Vec<_> = sinks
+                    .into_iter()
+                    .map(|s| std::thread::spawn(move || s.collect_tuples().len()))
+                    .collect();
+                for i in 0..20_000i64 {
+                    producer.push(vec![Value::Int(i)]);
+                }
+                producer.finish();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+            })
+        });
     }
     g.finish();
 }
@@ -119,15 +113,79 @@ fn exec_kernels(c: &mut Criterion) {
         b.iter(|| run(&plan, &ctx).unwrap().len())
     });
     c.bench_function("agg_groupby_20k", |b| {
-        let plan =
-            PlanNode::scan("t").aggregate(vec![0], vec![AggSpec::count_star(), AggSpec::sum(Expr::col(2))]);
+        let plan = PlanNode::scan("t")
+            .aggregate(vec![0], vec![AggSpec::count_star(), AggSpec::sum(Expr::col(2))]);
         b.iter(|| run(&plan, &ctx).unwrap().len())
     });
+}
+
+/// The shared-scan hot path in microcosm: one 256-row page filtered by a
+/// per-consumer predicate — row-at-a-time `eval_bool` + `Tuple` clone (the
+/// pre-vectorization scanner loop) vs `eval_filter` selection vector +
+/// columnar gather. The acceptance bar for the vectorized path is ≥ 2×.
+fn scan_filter(c: &mut Criterion) {
+    let rows: Vec<Tuple> = (0..Batch::DEFAULT_CAPACITY as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i % 997),
+                Value::Date((i % 730) as i32),
+                Value::Float(i as f64 * 0.5),
+                Value::str(if i % 3 == 0 { "widget-a" } else { "gadget-b" }),
+            ]
+        })
+        .collect();
+    let cols = ColBatch::from_rows(&rows);
+
+    // ~50% selectivity integer comparison, ~50% date range, and the
+    // conjunctive mix the fig12 random-predicate workload generates.
+    let preds = [
+        ("int_cmp", Expr::col(0).ge(Expr::lit(499))),
+        (
+            "date_cmp",
+            Expr::Cmp(
+                qpipe_exec::expr::CmpOp::Lt,
+                Box::new(Expr::col(1)),
+                Box::new(Expr::Lit(Value::Date(365))),
+            ),
+        ),
+        (
+            "conj_mix",
+            Expr::and([
+                Expr::col(0).ge(Expr::lit(200)),
+                Expr::col(1).lt(Expr::lit(600)),
+                Expr::StartsWith(Box::new(Expr::col(3)), "widget".into()),
+            ]),
+        ),
+    ];
+
+    let mut g = c.benchmark_group("scan_filter");
+    for (name, pred) in &preds {
+        g.bench_function(&format!("rowwise_{name}"), |b| {
+            b.iter(|| {
+                // The old scanner inner loop: per-tuple interpret + clone.
+                let mut out: Vec<Tuple> = Vec::new();
+                for t in &rows {
+                    if pred.eval_bool(t).unwrap_or(false) {
+                        out.push(t.clone());
+                    }
+                }
+                out.len()
+            })
+        });
+        g.bench_function(&format!("vectorized_{name}"), |b| {
+            b.iter(|| {
+                // The new scanner inner loop: kernel filter + gather.
+                let sel = pred.eval_filter(&cols).unwrap();
+                cols.gather(&sel).len()
+            })
+        });
+    }
+    g.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = pool_policies, pipe_fanout, signature_and_lookup, exec_kernels
+    targets = pool_policies, pipe_fanout, signature_and_lookup, exec_kernels, scan_filter
 }
 criterion_main!(benches);

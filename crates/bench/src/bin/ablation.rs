@@ -22,13 +22,9 @@ fn pool_policy_ablation() -> QResult<()> {
     let prof = profile();
     let widths = [10, 14, 12];
     print_header(&["policy", "blocks read", "hit ratio"], &widths);
-    for policy in [
-        PolicyKind::Lru,
-        PolicyKind::Clock,
-        PolicyKind::LruK(2),
-        PolicyKind::TwoQ,
-        PolicyKind::Arc,
-    ] {
+    for policy in
+        [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::LruK(2), PolicyKind::TwoQ, PolicyKind::Arc]
+    {
         let custom = SystemProfile { policy, ..prof };
         let driver = Driver::build(System::Baseline, custom, |c| {
             build_tpch(c, TpchScale::experiment(), 20050614)
@@ -58,7 +54,8 @@ fn pipe_capacity_ablation() -> QResult<()> {
     for capacity in [1usize, 2, 4, 8, 16, 64] {
         let metrics = Metrics::new();
         let disk = SimDisk::new(prof.disk, metrics.clone());
-        let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(prof.pool_pages, prof.policy));
+        let pool =
+            BufferPool::new(disk.clone(), BufferPoolConfig::new(prof.pool_pages, prof.policy));
         let catalog = Catalog::new(disk, pool);
         build_tpch(&catalog, TpchScale::experiment(), 20050614)?;
         let config = QPipeConfig {
@@ -79,10 +76,7 @@ fn pipe_capacity_ablation() -> QResult<()> {
         t2.join().expect("client thread")?;
         let total = prof.time_scale.to_paper(start.elapsed());
         let delta = metrics.snapshot().delta_since(&before);
-        print_row(
-            &[capacity.to_string(), f1(total), delta.osp_attaches.to_string()],
-            &widths,
-        );
+        print_row(&[capacity.to_string(), f1(total), delta.osp_attaches.to_string()], &widths);
     }
     println!();
     Ok(())
@@ -94,22 +88,16 @@ fn scan_sharing_ablation() -> QResult<()> {
     let prof = profile();
     let widths = [26, 14, 16];
     print_header(&["configuration", "blocks read", "total time (s)"], &widths);
-    for (label, system) in [
-        ("Baseline (no sharing)", System::Baseline),
-        ("QPipe w/OSP", System::QPipeOsp),
-    ] {
-        let driver = Driver::build(system, prof, |c| {
-            build_tpch(c, TpchScale::experiment(), 20050614)
-        })?;
+    for (label, system) in
+        [("Baseline (no sharing)", System::Baseline), ("QPipe w/OSP", System::QPipeOsp)]
+    {
+        let driver =
+            Driver::build(system, prof, |c| build_tpch(c, TpchScale::experiment(), 20050614))?;
         let plans: Vec<_> =
             (0..4).map(|c| q6((c * 137) % 1800, 0.02 + 0.01 * c as f64, 30 + c as i64)).collect();
         let r = staggered_run(&driver, plans, 20.0, prof.time_scale)?;
         print_row(
-            &[
-                label.to_string(),
-                thousands(r.delta.disk_blocks_read),
-                f1(r.total_paper_secs),
-            ],
+            &[label.to_string(), thousands(r.delta.disk_blocks_read), f1(r.total_paper_secs)],
             &widths,
         );
     }

@@ -38,9 +38,6 @@ fn main() {
             );
             qph.push(r.qph);
         }
-        print_row(
-            &[clients.to_string(), f1(qph[0]), f1(qph[1]), f1(qph[2])],
-            &widths,
-        );
+        print_row(&[clients.to_string(), f1(qph[0]), f1(qph[1]), f1(qph[2])], &widths);
     }
 }

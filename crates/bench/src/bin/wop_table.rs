@@ -9,10 +9,7 @@ fn main() {
     let widths = [36, 26, 8];
     print_header(&["operation", "phase", "class"], &widths);
     for (op, phase, class) in figure4a_inventory() {
-        print_row(
-            &[op.to_string(), phase.to_string(), format!("{class:?}")],
-            &widths,
-        );
+        print_row(&[op.to_string(), phase.to_string(), format!("{class:?}")], &widths);
     }
 
     println!("\nSavings for Q2 as a function of Q1 progress (Figure 4a curves):\n");
@@ -36,7 +33,8 @@ fn main() {
     println!("\nFigure 4b: enhancement functions\n");
     let widths = [8, 18, 18];
     print_header(&["class", "+buffering", "+materialization"], &widths);
-    for class in [OverlapClass::Linear, OverlapClass::Step, OverlapClass::Full, OverlapClass::Spike] {
+    for class in [OverlapClass::Linear, OverlapClass::Step, OverlapClass::Full, OverlapClass::Spike]
+    {
         print_row(
             &[
                 format!("{class:?}"),

@@ -26,11 +26,8 @@ pub fn wisconsin_driver(system: System) -> QResult<Driver> {
 
 /// Print a padded table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> = cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = *w))
-        .collect();
+    let line: Vec<String> =
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = *w)).collect();
     println!("{}", line.join("  "));
 }
 

@@ -1,0 +1,521 @@
+//! Columnar batches and selection vectors.
+//!
+//! The row [`Batch`](crate::batch::Batch) is the historical unit of data flow
+//! between operators; this module adds the vectorized alternative used on the
+//! shared-scan hot path. A [`ColBatch`] stores one typed [`Column`] per
+//! attribute — a primitive slice (`i64` / `f64` / `Arc<str>` / `i32` days)
+//! plus an optional null bitmap — so predicate kernels can compare against
+//! contiguous memory with no per-row allocation and no `Value` cloning.
+//!
+//! ## Layout
+//!
+//! * Columns are `Arc`-shared: projecting a `ColBatch` bumps refcounts, it
+//!   never copies data.
+//! * NULLs live in a side bitmap ([`NullBitmap`]); the typed vector holds a
+//!   placeholder at null slots. A column whose non-null values are not all of
+//!   one primitive type degrades to [`ColumnData::Mixed`], which vectorized
+//!   kernels treat as a scalar-fallback region.
+//! * A [`SelVec`] is a sorted list of live row indices (selection vector).
+//!   Filters *refine* selection vectors instead of copying rows; payload data
+//!   is only moved by an explicit [`ColBatch::gather`] at the end of a kernel
+//!   chain.
+//!
+//! Row materialization ([`ColBatch::to_rows`], [`ColBatch::row`]) happens only
+//! at operator boundaries that still ingest `Tuple`s (join/sort/agg).
+
+use crate::batch::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Bitmap marking NULL slots of one column (bit set ⇒ NULL).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NullBitmap {
+    bits: Vec<u64>,
+}
+
+impl NullBitmap {
+    pub fn with_len(len: usize) -> Self {
+        Self { bits: vec![0; len.div_ceil(64)] }
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// True iff no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// The typed payload of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    /// Interned strings: gathering bumps `Arc` refcounts, never copies bytes.
+    Str(Vec<Arc<str>>),
+    /// Days since epoch.
+    Date(Vec<i32>),
+    /// Heterogeneously-typed column; kernels fall back to scalar evaluation.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+}
+
+/// One attribute of a [`ColBatch`]: typed data plus optional null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    /// `None` ⇒ no NULLs in this column.
+    nulls: Option<NullBitmap>,
+}
+
+impl Column {
+    pub fn new(data: ColumnData, nulls: Option<NullBitmap>) -> Self {
+        Self { data, nulls }
+    }
+
+    /// Column-ify `values`. Picks the typed representation when every
+    /// non-null value shares one primitive type, otherwise [`ColumnData::Mixed`].
+    pub fn from_values(values: &[Value]) -> Self {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Kind {
+            Int,
+            Float,
+            Str,
+            Date,
+        }
+        let mut kind: Option<Kind> = None;
+        let mut uniform = true;
+        for v in values {
+            let k = match v {
+                Value::Int(_) => Kind::Int,
+                Value::Float(_) => Kind::Float,
+                Value::Str(_) => Kind::Str,
+                Value::Date(_) => Kind::Date,
+                Value::Null => continue,
+            };
+            match kind {
+                None => kind = Some(k),
+                Some(existing) if existing == k => {}
+                Some(_) => {
+                    uniform = false;
+                    break;
+                }
+            }
+        }
+        if !uniform {
+            return Self { data: ColumnData::Mixed(values.to_vec()), nulls: None };
+        }
+        let mut nulls: Option<NullBitmap> = None;
+        let mark_null = |i: usize, n: usize, nulls: &mut Option<NullBitmap>| {
+            nulls.get_or_insert_with(|| NullBitmap::with_len(n)).set(i);
+        };
+        let n = values.len();
+        let data = match kind {
+            // All-NULL (or empty) column: keep as Mixed so `value()` is exact.
+            None => {
+                return Self { data: ColumnData::Mixed(values.to_vec()), nulls: None };
+            }
+            Some(Kind::Int) => ColumnData::Int64(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match v {
+                        Value::Int(x) => *x,
+                        _ => {
+                            mark_null(i, n, &mut nulls);
+                            0
+                        }
+                    })
+                    .collect(),
+            ),
+            Some(Kind::Float) => ColumnData::Float64(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match v {
+                        Value::Float(x) => *x,
+                        _ => {
+                            mark_null(i, n, &mut nulls);
+                            0.0
+                        }
+                    })
+                    .collect(),
+            ),
+            Some(Kind::Str) => ColumnData::Str(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match v {
+                        Value::Str(s) => s.clone(),
+                        _ => {
+                            mark_null(i, n, &mut nulls);
+                            Arc::from("")
+                        }
+                    })
+                    .collect(),
+            ),
+            Some(Kind::Date) => ColumnData::Date(
+                values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| match v {
+                        Value::Date(d) => *d,
+                        _ => {
+                            mark_null(i, n, &mut nulls);
+                            0
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        Self { data, nulls }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap, if any slot is NULL.
+    pub fn nulls(&self) -> Option<&NullBitmap> {
+        self.nulls.as_ref()
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match (&self.data, &self.nulls) {
+            (ColumnData::Mixed(v), _) => v[i].is_null(),
+            (_, Some(b)) => b.get(i),
+            (_, None) => false,
+        }
+    }
+
+    /// Materialize one slot as a [`Value`] (Arc bump for strings).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => Value::Int(v[i]),
+            ColumnData::Float64(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// New column containing the slots named by `sel`, in order.
+    pub fn gather(&self, sel: &SelVec) -> Column {
+        fn take<T: Clone>(v: &[T], sel: &SelVec) -> Vec<T> {
+            sel.iter().map(|i| v[i].clone()).collect()
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(take(v, sel)),
+            ColumnData::Float64(v) => ColumnData::Float64(take(v, sel)),
+            ColumnData::Str(v) => ColumnData::Str(take(v, sel)),
+            ColumnData::Date(v) => ColumnData::Date(take(v, sel)),
+            ColumnData::Mixed(v) => ColumnData::Mixed(take(v, sel)),
+        };
+        let nulls = self.nulls.as_ref().map(|b| {
+            let mut out = NullBitmap::with_len(sel.len());
+            for (new_i, old_i) in sel.iter().enumerate() {
+                if b.get(old_i) {
+                    out.set(new_i);
+                }
+            }
+            out
+        });
+        // Drop an all-clear bitmap so is_null can stay on the fast path.
+        let nulls = nulls.filter(|b| !b.is_empty());
+        Column { data, nulls }
+    }
+}
+
+/// A selection vector: sorted, deduplicated indices of live rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec {
+    idx: Vec<u32>,
+}
+
+impl SelVec {
+    /// Select every row of a batch of `n` rows.
+    pub fn all(n: usize) -> Self {
+        Self { idx: (0..n as u32).collect() }
+    }
+
+    pub fn empty() -> Self {
+        Self { idx: Vec::new() }
+    }
+
+    /// Build from indices; caller guarantees sorted ascending + unique.
+    pub fn from_sorted(idx: Vec<u32>) -> Self {
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]), "SelVec must be sorted unique");
+        Self { idx }
+    }
+
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// True iff all `n` rows of the batch are selected.
+    pub fn is_all(&self, n: usize) -> bool {
+        self.idx.len() == n
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.idx
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.idx.iter().map(|&i| i as usize)
+    }
+
+    /// Keep only indices for which `keep` returns true.
+    pub fn refine(&self, mut keep: impl FnMut(usize) -> bool) -> SelVec {
+        SelVec { idx: self.idx.iter().copied().filter(|&i| keep(i as usize)).collect() }
+    }
+
+    /// Set union (both inputs sorted ⇒ linear merge).
+    pub fn union(&self, other: &SelVec) -> SelVec {
+        let (a, b) = (&self.idx, &other.idx);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        SelVec { idx: out }
+    }
+
+    /// Set difference `self \ other` (both sorted ⇒ linear).
+    pub fn difference(&self, other: &SelVec) -> SelVec {
+        let mut out = Vec::with_capacity(self.idx.len());
+        let mut j = 0;
+        for &i in &self.idx {
+            while j < other.idx.len() && other.idx[j] < i {
+                j += 1;
+            }
+            if j >= other.idx.len() || other.idx[j] != i {
+                out.push(i);
+            }
+        }
+        SelVec { idx: out }
+    }
+}
+
+/// A batch in columnar layout: one `Arc`-shared [`Column`] per attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColBatch {
+    len: usize,
+    cols: Vec<Arc<Column>>,
+}
+
+impl ColBatch {
+    /// Column-ify `rows`. Short rows are padded with NULL so every column has
+    /// the batch's full length (heap pages always yield uniform rows).
+    pub fn from_rows(rows: &[Tuple]) -> Self {
+        let len = rows.len();
+        let width = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut scratch: Vec<Value> = Vec::with_capacity(len);
+        let cols = (0..width)
+            .map(|c| {
+                scratch.clear();
+                scratch.extend(rows.iter().map(|r| r.get(c).cloned().unwrap_or(Value::Null)));
+                Arc::new(Column::from_values(&scratch))
+            })
+            .collect();
+        Self { len, cols }
+    }
+
+    /// Build directly from columns (benches/tests).
+    pub fn from_columns(cols: Vec<Column>) -> Self {
+        let len = cols.first().map_or(0, |c| c.len());
+        assert!(cols.iter().all(|c| c.len() == len), "ragged columns");
+        Self { len, cols: cols.into_iter().map(Arc::new).collect() }
+    }
+
+    /// A zero-column batch that still has `len` rows (`to_rows` yields `len`
+    /// empty tuples) — the result of projecting an empty expression list.
+    pub fn empty_rows(len: usize) -> Self {
+        Self { len, cols: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn col(&self, i: usize) -> Option<&Column> {
+        self.cols.get(i).map(|c| c.as_ref())
+    }
+
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.cols
+    }
+
+    /// Materialize one row (Arc bumps only, no payload copies).
+    pub fn row(&self, i: usize) -> Tuple {
+        self.cols.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Materialize every row — the row-engine boundary adapter.
+    pub fn to_rows(&self) -> Vec<Tuple> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Keep only the named columns, in order. `Arc` bumps — never copies.
+    pub fn project(&self, cols: &[usize]) -> ColBatch {
+        ColBatch { len: self.len, cols: cols.iter().map(|&c| self.cols[c].clone()).collect() }
+    }
+
+    /// Copy out the selected rows into a dense batch.
+    ///
+    /// When `sel` covers every row this is a refcount bump, not a copy.
+    pub fn gather(&self, sel: &SelVec) -> ColBatch {
+        if sel.is_all(self.len) {
+            return self.clone();
+        }
+        ColBatch {
+            len: sel.len(),
+            cols: self.cols.iter().map(|c| Arc::new(c.gather(sel))).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Tuple> {
+        vec![
+            vec![Value::Int(1), Value::Float(1.5), Value::str("ab"), Value::Date(10)],
+            vec![Value::Int(2), Value::Null, Value::str("cd"), Value::Date(20)],
+            vec![Value::Null, Value::Float(3.5), Value::Null, Value::Date(30)],
+        ]
+    }
+
+    #[test]
+    fn round_trip_rows() {
+        let rs = rows();
+        let cb = ColBatch::from_rows(&rs);
+        assert_eq!(cb.len(), 3);
+        assert_eq!(cb.num_cols(), 4);
+        assert_eq!(cb.to_rows(), rs);
+    }
+
+    #[test]
+    fn typed_columns_detected() {
+        let cb = ColBatch::from_rows(&rows());
+        assert!(matches!(cb.col(0).unwrap().data(), ColumnData::Int64(_)));
+        assert!(matches!(cb.col(1).unwrap().data(), ColumnData::Float64(_)));
+        assert!(matches!(cb.col(2).unwrap().data(), ColumnData::Str(_)));
+        assert!(matches!(cb.col(3).unwrap().data(), ColumnData::Date(_)));
+        assert!(cb.col(0).unwrap().is_null(2));
+        assert!(!cb.col(0).unwrap().is_null(0));
+    }
+
+    #[test]
+    fn mixed_column_degrades() {
+        let rs = vec![vec![Value::Int(1)], vec![Value::str("x")]];
+        let cb = ColBatch::from_rows(&rs);
+        assert!(matches!(cb.col(0).unwrap().data(), ColumnData::Mixed(_)));
+        assert_eq!(cb.to_rows(), rs);
+    }
+
+    #[test]
+    fn all_null_column_round_trips() {
+        let rs = vec![vec![Value::Null], vec![Value::Null]];
+        let cb = ColBatch::from_rows(&rs);
+        assert_eq!(cb.to_rows(), rs);
+    }
+
+    #[test]
+    fn ragged_rows_pad_with_null() {
+        let rs = vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3)]];
+        let cb = ColBatch::from_rows(&rs);
+        assert_eq!(cb.row(1), vec![Value::Int(3), Value::Null]);
+    }
+
+    #[test]
+    fn gather_and_project() {
+        let cb = ColBatch::from_rows(&rows());
+        let sel = SelVec::from_sorted(vec![0, 2]);
+        let g = cb.gather(&sel);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.row(1)[3], Value::Date(30));
+        assert!(g.col(0).unwrap().is_null(1));
+        let p = cb.project(&[3, 0]);
+        assert_eq!(p.row(0), vec![Value::Date(10), Value::Int(1)]);
+    }
+
+    #[test]
+    fn gather_all_is_arc_bump() {
+        let cb = ColBatch::from_rows(&rows());
+        let g = cb.gather(&SelVec::all(3));
+        assert!(Arc::ptr_eq(&cb.columns()[0], &g.columns()[0]));
+    }
+
+    #[test]
+    fn selvec_set_ops() {
+        let a = SelVec::from_sorted(vec![0, 2, 4, 6]);
+        let b = SelVec::from_sorted(vec![1, 2, 3, 6]);
+        assert_eq!(a.union(&b).as_slice(), &[0, 1, 2, 3, 4, 6]);
+        assert_eq!(a.difference(&b).as_slice(), &[0, 4]);
+        assert!(SelVec::all(3).is_all(3));
+        assert_eq!(SelVec::all(0).len(), 0);
+        assert_eq!(a.refine(|i| i > 2).as_slice(), &[4, 6]);
+    }
+}

@@ -2,17 +2,21 @@
 //!
 //! This crate holds everything that the storage manager, the conventional
 //! iterator engine, and the QPipe staged engine all need to agree on:
-//! [`Value`]s, [`Schema`]s, [`Tuple`]s and [`Batch`]es, error types, global
-//! [`metrics`], and the simulated-time facilities in [`sim`].
+//! [`Value`]s, [`Schema`]s, [`Tuple`]s and [`Batch`]es, the columnar
+//! [`ColBatch`]/[`SelVec`] layout the vectorized scan path uses (see
+//! [`colbatch`] for the layout contract), error types, global [`metrics`],
+//! and the simulated-time facilities in [`sim`].
 
 pub mod batch;
+pub mod colbatch;
 pub mod error;
 pub mod metrics;
 pub mod schema;
 pub mod sim;
 pub mod value;
 
-pub use batch::{Batch, Tuple};
+pub use batch::{AnyBatch, Batch, Tuple};
+pub use colbatch::{ColBatch, Column, ColumnData, NullBitmap, SelVec};
 pub use error::{QError, QResult};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};

@@ -125,8 +125,7 @@ impl QueryCache {
             return true; // already cached (concurrent completion)
         }
         st.clock += 1;
-        let candidate =
-            Entry { rows, tables, cost, hits: 0, last_use: st.clock };
+        let candidate = Entry { rows, tables, cost, hits: 0, last_use: st.clock };
         let need = candidate.rows.len();
         // Evict lowest-scoring entries while they score below the candidate.
         while st.used_tuples + need > self.config.capacity_tuples {
@@ -134,9 +133,7 @@ impl QueryCache {
                 .entries
                 .iter()
                 .min_by(|a, b| {
-                    a.1.score()
-                        .total_cmp(&b.1.score())
-                        .then(a.1.last_use.cmp(&b.1.last_use))
+                    a.1.score().total_cmp(&b.1.score()).then(a.1.last_use.cmp(&b.1.last_use))
                 })
                 .map(|(k, e)| (*k, e.score()));
             match victim {

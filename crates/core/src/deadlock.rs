@@ -92,9 +92,12 @@ impl WaitRegistry {
             .lock()
             .iter()
             .flat_map(|(&waiter, holders)| {
-                holders
-                    .iter()
-                    .map(move |&(holder, pipe_id, kind)| WaitEdge { waiter, holder, pipe_id, kind })
+                holders.iter().map(move |&(holder, pipe_id, kind)| WaitEdge {
+                    waiter,
+                    holder,
+                    pipe_id,
+                    kind,
+                })
             })
             .collect()
     }

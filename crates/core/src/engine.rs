@@ -64,7 +64,15 @@ impl QPipeConfig {
 
 /// The µEngine names QPipe boots (cf. Figure 5b).
 pub const ENGINE_NAMES: [&str; 10] = [
-    "scan", "iscan", "uiscan", "filter", "project", "sort", "agg", "hashjoin", "mergejoin",
+    "scan",
+    "iscan",
+    "uiscan",
+    "filter",
+    "project",
+    "sort",
+    "agg",
+    "hashjoin",
+    "mergejoin",
     "nljoin",
 ];
 
@@ -244,20 +252,17 @@ impl QPipe {
         // Decide the split_ok flag for ordered scan children of a merge join
         // whose own parent does not depend on output order (§4.3.2).
         let split_side = match (&*plan, parent_order_insensitive(parent_op)) {
-            (PlanNode::MergeJoin { left, right, .. }, true) => {
-                self.pick_split_side(left, right)
-            }
+            (PlanNode::MergeJoin { left, right, .. }, true) => self.pick_split_side(left, right),
             _ => None,
         };
 
         let mut children_consumers = Vec::new();
-        for (idx, child) in plan.children().into_iter().enumerate() {
+        for (idx, child_plan) in plan.children_shared().into_iter().enumerate() {
             let child_node = fresh_node();
             let child_pipe = Pipe::new(self.config.pipe, child_node, self.registry.clone());
             self.registry.register_pipe(&child_pipe);
             children_consumers.push(child_pipe.attach_consumer(node, false));
             let child_producer = child_pipe.producer();
-            let child_plan = Arc::new(child.clone());
             let mut tokens = self.dispatch_child(
                 child_plan,
                 query,
@@ -270,9 +275,10 @@ impl QPipe {
         }
 
         let (ordered, split_ok) = scan_flags(&plan);
-        self.node_labels
-            .lock()
-            .insert(node.0, format!("{:?}/{}/{:x}", query, plan.op_name(), plan.signature() & 0xffff));
+        self.node_labels.lock().insert(
+            node.0,
+            format!("{:?}/{}/{:x}", query, plan.op_name(), plan.signature() & 0xffff),
+        );
         let packet = Packet {
             query,
             node,
@@ -333,7 +339,9 @@ impl QPipe {
     fn pick_split_side(&self, left: &PlanNode, right: &PlanNode) -> Option<usize> {
         let size = |p: &PlanNode| -> Option<u64> {
             match p {
-                PlanNode::ClusteredIndexScan { table, lo: None, hi: None, ordered: true, .. }
+                PlanNode::ClusteredIndexScan {
+                    table, lo: None, hi: None, ordered: true, ..
+                }
                 | PlanNode::TableScan { table, ordered: true, .. } => {
                     self.ctx.catalog.table(table).ok().map(|t| t.num_tuples())
                 }
@@ -354,10 +362,7 @@ impl QPipe {
             .engines
             .get(packet.plan.op_name())
             .ok_or_else(|| QError::Plan(format!("no µEngine for {}", packet.plan.op_name())))?;
-        engine
-            .queue
-            .send(packet)
-            .map_err(|_| QError::Exec("engine shut down".into()))
+        engine.queue.send(packet).map_err(|_| QError::Exec("engine shut down".into()))
     }
 
     /// Route an update through the dedicated no-OSP path (§4.3.4): takes an
@@ -384,7 +389,10 @@ impl QPipe {
 
 /// Is `parent_op` indifferent to its input order?
 fn parent_order_insensitive(parent_op: Option<&'static str>) -> bool {
-    matches!(parent_op, Some("agg") | Some("sort") | Some("hashjoin") | Some("filter") | Some("project"))
+    matches!(
+        parent_op,
+        Some("agg") | Some("sort") | Some("hashjoin") | Some("filter") | Some("project")
+    )
 }
 
 /// Scan-level flags from the plan node.
@@ -424,7 +432,6 @@ fn dispatch_packet(
             predicate,
             projection,
             output: packet.output.take().expect("scan packet has an output"),
-            cancel: packet.cancel,
             ordered: packet.ordered,
             split_ok: packet.split_ok,
         };
@@ -461,8 +468,7 @@ fn dispatch_packet(
 fn is_managed_scan(plan: &PlanNode) -> bool {
     matches!(
         plan,
-        PlanNode::TableScan { .. }
-            | PlanNode::ClusteredIndexScan { lo: None, hi: None, .. }
+        PlanNode::TableScan { .. } | PlanNode::ClusteredIndexScan { lo: None, hi: None, .. }
     )
 }
 
@@ -476,10 +482,7 @@ pub struct QueryHandle {
 
 enum HandleInner {
     /// Streaming from the engine; optionally feeds the result cache.
-    Live {
-        consumer: PipeConsumer,
-        fill: Option<(Arc<QueryCache>, u64, Vec<String>)>,
-    },
+    Live { consumer: PipeConsumer, fill: Option<(Arc<QueryCache>, u64, Vec<String>)> },
     /// Served from the result cache.
     Cached(Arc<Vec<Tuple>>),
 }

@@ -17,7 +17,7 @@
 use crate::packet::Packet;
 use crate::pipe::PipeProducer;
 use parking_lot::Mutex;
-use qpipe_common::{Batch, Metrics};
+use qpipe_common::{AnyBatch, Batch, Metrics};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -35,9 +35,13 @@ pub enum AttachWindow {
 struct HostState {
     outputs: Vec<PipeProducer>,
     /// Batches already emitted, for replay to late attachers.
-    history: Vec<Arc<Batch>>,
+    history: Vec<Arc<AnyBatch>>,
     emitted: u64,
     closed: bool,
+    /// True while `push` holds the outputs outside the lock (a `wanted`
+    /// probe during a broadcast must not mistake the empty vec for
+    /// abandonment).
+    broadcasting: bool,
 }
 
 /// Shared state of one in-progress shareable operation.
@@ -73,6 +77,7 @@ impl SharedHost {
                 history: Vec::new(),
                 emitted: 0,
                 closed: false,
+                broadcasting: false,
             }),
             engine,
             metrics,
@@ -129,9 +134,10 @@ impl SharedHost {
     /// (the history entry is recorded before the lock is released), so no
     /// output is ever missed or duplicated.
     pub fn push(&self, batch: Batch) {
-        let batch = Arc::new(batch);
+        let batch = Arc::new(AnyBatch::Rows(batch));
         let mut outputs = {
             let mut st = self.state.lock();
+            st.broadcasting = true;
             st.emitted += 1;
             let retain = match self.window {
                 AttachWindow::UntilFirstOutput => self.backfill,
@@ -150,6 +156,17 @@ impl SharedHost {
         let mut st = self.state.lock();
         let newly_attached = std::mem::replace(&mut st.outputs, outputs);
         st.outputs.extend(newly_attached);
+        st.broadcasting = false;
+    }
+
+    /// True while any attached output still has a live consumer: the work
+    /// this host is doing is *wanted* by someone. A packet whose cancel
+    /// token fired (e.g. it was severed as part of a satellite subtree at a
+    /// higher level) must keep executing while it is a host other queries
+    /// depend on — cancellation only stops work nobody reads anymore.
+    pub fn wanted(&self) -> bool {
+        let st = self.state.lock();
+        st.broadcasting || st.outputs.iter().any(|o| o.pipe().active_consumers() > 0)
     }
 
     /// Number of queries currently served (host + satellites).
@@ -226,11 +243,11 @@ impl Drop for RegistryGuard {
 mod tests {
     use super::*;
     use crate::deadlock::{NodeId, WaitRegistry};
-    use std::time::Duration;
     use crate::packet::{CancelToken, QueryId};
     use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
     use qpipe_common::Value;
     use qpipe_exec::plan::PlanNode;
+    use std::time::Duration;
 
     fn make_pipe_pair() -> (PipeProducer, PipeConsumer) {
         let reg = Arc::new(WaitRegistry::new());
@@ -286,8 +303,14 @@ mod tests {
     #[test]
     fn attach_within_backfill_replays_history() {
         let (host_prod, host_cons) = make_pipe_pair();
-        let host =
-            SharedHost::new(AttachWindow::UntilFirstOutput, 4, NodeId(500), host_prod, "test", Metrics::new());
+        let host = SharedHost::new(
+            AttachWindow::UntilFirstOutput,
+            4,
+            NodeId(500),
+            host_prod,
+            "test",
+            Metrics::new(),
+        );
         host.push(batch_of(&[1]));
         host.push(batch_of(&[2]));
         let (packet, sat_cons, _) = make_packet();
@@ -302,7 +325,14 @@ mod tests {
     fn attach_rejected_after_window() {
         let m = Metrics::new();
         let (host_prod, _host_cons) = make_pipe_pair();
-        let host = SharedHost::new(AttachWindow::UntilFirstOutput, 2, NodeId(500), host_prod, "test", m.clone());
+        let host = SharedHost::new(
+            AttachWindow::UntilFirstOutput,
+            2,
+            NodeId(500),
+            host_prod,
+            "test",
+            m.clone(),
+        );
         for i in 0..3 {
             host.push(batch_of(&[i]));
         }
@@ -316,8 +346,14 @@ mod tests {
     #[test]
     fn whole_lifetime_attach_late() {
         let (host_prod, _hc) = make_pipe_pair();
-        let host =
-            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "sort", Metrics::new());
+        let host = SharedHost::new(
+            AttachWindow::WholeLifetime,
+            0,
+            NodeId(500),
+            host_prod,
+            "sort",
+            Metrics::new(),
+        );
         for i in 0..50 {
             host.push(batch_of(&[i]));
         }
@@ -330,8 +366,14 @@ mod tests {
     #[test]
     fn attach_after_finish_rejected() {
         let (host_prod, _hc) = make_pipe_pair();
-        let host =
-            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "sort", Metrics::new());
+        let host = SharedHost::new(
+            AttachWindow::WholeLifetime,
+            0,
+            NodeId(500),
+            host_prod,
+            "sort",
+            Metrics::new(),
+        );
         host.finish();
         let (packet, _sc, _) = make_packet();
         assert!(host.try_attach(packet).is_err());
@@ -341,8 +383,14 @@ mod tests {
     fn registry_register_lookup_unregister() {
         let reg = Arc::new(ShareRegistry::new());
         let (host_prod, _hc) = make_pipe_pair();
-        let host =
-            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "agg", Metrics::new());
+        let host = SharedHost::new(
+            AttachWindow::WholeLifetime,
+            0,
+            NodeId(500),
+            host_prod,
+            "agg",
+            Metrics::new(),
+        );
         {
             let _guard = reg.register(42, host.clone());
             assert!(reg.lookup(42).is_some());
@@ -390,12 +438,51 @@ mod tests {
     #[test]
     fn fanout_counts_attachers() {
         let (host_prod, _hc) = make_pipe_pair();
-        let host =
-            SharedHost::new(AttachWindow::WholeLifetime, 0, NodeId(500), host_prod, "agg", Metrics::new());
+        let host = SharedHost::new(
+            AttachWindow::WholeLifetime,
+            0,
+            NodeId(500),
+            host_prod,
+            "agg",
+            Metrics::new(),
+        );
         assert_eq!(host.fanout(), 1);
         let (p1, _c1, _) = make_packet();
         host.try_attach(p1).unwrap();
         assert_eq!(host.fanout(), 2);
+        host.finish();
+    }
+
+    /// Regression: a host whose own packet was severed (its cancel token
+    /// fired because a *higher* operator attached as a satellite elsewhere)
+    /// must keep counting as `wanted` while any output still has a live
+    /// consumer — cross-level sharing inversion (join host severed by an agg
+    /// satellite) silently emptied both queries otherwise.
+    #[test]
+    fn wanted_tracks_live_consumers_not_cancellation() {
+        let (host_prod, host_cons) = make_pipe_pair();
+        let host = SharedHost::new(
+            AttachWindow::UntilFirstOutput,
+            4,
+            NodeId(500),
+            host_prod,
+            "hashjoin",
+            Metrics::new(),
+        );
+        // Satellite from another query attaches.
+        let (packet, sat_cons, _) = make_packet();
+        let cancel = packet.cancel.clone();
+        host.try_attach(packet).unwrap();
+        // The host packet's token fires (severed at a higher level) — but
+        // both consumers are still attached, so the work is still wanted.
+        cancel.cancel();
+        assert!(host.wanted(), "live consumers keep a cancelled host wanted");
+        // Host consumer leaves; the satellite alone keeps it wanted.
+        drop(host_cons);
+        assert!(host.wanted(), "satellite consumer keeps the host wanted");
+        // Once nobody reads any output, the host is abandoned.
+        drop(sat_cons);
+        assert!(!host.wanted(), "no consumers ⇒ not wanted");
         host.finish();
     }
 }

@@ -6,7 +6,7 @@
 //! [`SharedHost`] so satellites attached by the OSP coordinator receive the
 //! same stream (paper Figure 6b step 4).
 
-use crate::host::{AttachWindow, SharedHost, ShareRegistry};
+use crate::host::{AttachWindow, ShareRegistry, SharedHost};
 use crate::packet::Packet;
 use crate::pipe::PipeIter;
 use qpipe_common::{Batch, Metrics, QResult, Tuple, Value};
@@ -59,7 +59,7 @@ pub fn prepare(
 
 /// Execute a prepared packet on the calling thread.
 pub fn execute(mut packet: Packet, host: Arc<SharedHost>, env: &OpEnv) {
-    if packet.cancel.is_cancelled() {
+    if packet.cancel.is_cancelled() && !host.wanted() {
         host.abort();
         return;
     }
@@ -118,7 +118,9 @@ fn drain_into_host(
 ) -> QResult<()> {
     let mut batch = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
     loop {
-        if cancel.is_cancelled() {
+        // A severed packet may still be hosting satellites from other
+        // queries; only stop once nobody reads any of the outputs.
+        if cancel.is_cancelled() && !host.wanted() {
             return Ok(());
         }
         match it.next()? {
@@ -171,19 +173,14 @@ fn run_operator(
             let it = NestedLoopJoinIter::new(left, right, predicate.clone());
             drain_into_host(it, host, cancel)
         }
-        PlanNode::MergeJoin { left, right, left_key, right_key } => run_merge_join(
-            children,
-            (left, *left_key),
-            (right, *right_key),
-            host,
-            cancel,
-            env,
-        ),
+        PlanNode::MergeJoin { left, right, left_key, right_key } => {
+            run_merge_join(children, (left, *left_key), (right, *right_key), host, cancel, env)
+        }
         PlanNode::Filter { predicate, .. } => {
             let mut input = PipeIter::new(children.remove(0));
             let mut out = Batch::new();
             while let Some(t) = input.next()? {
-                if cancel.is_cancelled() {
+                if cancel.is_cancelled() && !host.wanted() {
                     return Ok(());
                 }
                 if predicate.eval_bool(&t)? {
@@ -202,7 +199,7 @@ fn run_operator(
             let mut input = PipeIter::new(children.remove(0));
             let mut out = Batch::new();
             while let Some(t) = input.next()? {
-                if cancel.is_cancelled() {
+                if cancel.is_cancelled() && !host.wanted() {
                     return Ok(());
                 }
                 let mut row = Vec::with_capacity(exprs.len());
@@ -319,12 +316,8 @@ fn run_merge_join(
 
     // Segment 1: both inputs until wrap/EOF.
     {
-        let it = MergeJoinIter::new(
-            TakeRef(&mut lsplit),
-            TakeRef(&mut rsplit),
-            left_key,
-            right_key,
-        );
+        let it =
+            MergeJoinIter::new(TakeRef(&mut lsplit), TakeRef(&mut rsplit), left_key, right_key);
         drain_into_host(it, host, cancel)?;
     }
     let lwrap = lsplit.has_wrapped();
@@ -346,22 +339,12 @@ fn run_merge_join(
     if lwrap {
         lsplit.resume();
         let fresh_right = build(right_plan, &env.ctx)?;
-        let it = MergeJoinIter::new(
-            lsplit,
-            fresh_right,
-            left_key,
-            right_key,
-        );
+        let it = MergeJoinIter::new(lsplit, fresh_right, left_key, right_key);
         drain_into_host(it, host, cancel)?;
     } else {
         rsplit.resume();
         let fresh_left = build(left_plan, &env.ctx)?;
-        let it = MergeJoinIter::new(
-            fresh_left,
-            rsplit,
-            left_key,
-            right_key,
-        );
+        let it = MergeJoinIter::new(fresh_left, rsplit, left_key, right_key);
         drain_into_host(it, host, cancel)?;
     }
     Ok(())

@@ -2,7 +2,8 @@
 //!
 //! QPipe µEngines exchange data through dedicated buffers (paper §4.2,
 //! Figure 5b). A [`Pipe`] is a bounded 1-producer-N-consumer broadcast
-//! channel of `Arc<Batch>`es:
+//! channel of `Arc<AnyBatch>`es — row batches from the iterator-model
+//! operators, columnar batches from the vectorized scan path:
 //!
 //! * The producer blocks while **any** attached consumer's queue is full —
 //!   "if any of the consumers is slower than the producer, all queries will
@@ -20,7 +21,7 @@
 
 use crate::deadlock::{NodeId, WaitKind, WaitRegistry};
 use parking_lot::{Condvar, Mutex};
-use qpipe_common::{Batch, QResult, Tuple};
+use qpipe_common::{AnyBatch, Batch, ColBatch, QResult, Tuple};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -46,7 +47,7 @@ impl Default for PipeConfig {
 
 #[derive(Debug)]
 struct ConsumerQueue {
-    queue: VecDeque<Arc<Batch>>,
+    queue: VecDeque<Arc<AnyBatch>>,
     detached: bool,
     /// Node id of the packet draining this queue (for waits-for edges).
     node: NodeId,
@@ -56,7 +57,7 @@ struct ConsumerQueue {
 struct PipeState {
     consumers: HashMap<usize, ConsumerQueue>,
     /// Retained recent batches for backfill, most recent last.
-    history: VecDeque<Arc<Batch>>,
+    history: VecDeque<Arc<AnyBatch>>,
     /// Total batches ever produced.
     produced: u64,
     eof: bool,
@@ -81,7 +82,11 @@ pub struct Pipe {
 impl Pipe {
     /// Create a pipe; returns the shared handle. Producer/consumer handles
     /// are created from it.
-    pub fn new(config: PipeConfig, producer_node: NodeId, registry: Arc<WaitRegistry>) -> Arc<Self> {
+    pub fn new(
+        config: PipeConfig,
+        producer_node: NodeId,
+        registry: Arc<WaitRegistry>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             id: NEXT_PIPE_ID.fetch_add(1, Ordering::Relaxed),
             config,
@@ -119,11 +124,7 @@ impl Pipe {
     /// replayed into the new queue first (caller must have verified coverage
     /// via [`backfill_covers_all`](Self::backfill_covers_all) if it needs *all*
     /// prior output).
-    pub fn attach_consumer(
-        self: &Arc<Self>,
-        node: NodeId,
-        backfill: bool,
-    ) -> PipeConsumer {
+    pub fn attach_consumer(self: &Arc<Self>, node: NodeId, backfill: bool) -> PipeConsumer {
         let id = NEXT_CONSUMER_ID.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
         let mut queue = VecDeque::new();
@@ -175,7 +176,7 @@ impl Pipe {
         self.state.lock().consumers.values().filter(|c| !c.detached).count()
     }
 
-    fn send(&self, batch: Arc<Batch>) {
+    fn send(&self, batch: Arc<AnyBatch>) {
         let mut st = self.state.lock();
         loop {
             if st.materialized {
@@ -221,7 +222,7 @@ impl Pipe {
         self.space.notify_all();
     }
 
-    fn recv(&self, id: usize, node: NodeId) -> Option<Arc<Batch>> {
+    fn recv(&self, id: usize, node: NodeId) -> Option<Arc<AnyBatch>> {
         let mut st = self.state.lock();
         loop {
             let c = st.consumers.get_mut(&id)?;
@@ -262,7 +263,7 @@ impl PipeProducer {
     /// Push one tuple, sending a batch when full.
     pub fn push(&mut self, tuple: Tuple) {
         if let Some(batch) = self.builder.push(tuple) {
-            self.pipe.send(Arc::new(batch));
+            self.pipe.send(Arc::new(AnyBatch::Rows(batch)));
         }
     }
 
@@ -271,27 +272,33 @@ impl PipeProducer {
         self.pipe.produced()
     }
 
-    /// Push a whole batch.
+    /// Push a whole row batch.
     pub fn push_batch(&mut self, batch: Batch) {
-        if let Some(pending) = self.builder.finish() {
-            self.pipe.send(Arc::new(pending));
-        }
-        self.pipe.send(Arc::new(batch));
+        self.flush_pending();
+        self.pipe.send(Arc::new(AnyBatch::Rows(batch)));
+    }
+
+    /// Push a columnar batch (vectorized scan path).
+    pub fn push_cols(&mut self, batch: ColBatch) {
+        self.flush_pending();
+        self.pipe.send(Arc::new(AnyBatch::Cols(batch)));
     }
 
     /// Push an already-shared batch without copying (broadcast path).
-    pub fn push_shared(&mut self, batch: Arc<Batch>) {
-        if let Some(pending) = self.builder.finish() {
-            self.pipe.send(Arc::new(pending));
-        }
+    pub fn push_shared(&mut self, batch: Arc<AnyBatch>) {
+        self.flush_pending();
         self.pipe.send(batch);
+    }
+
+    fn flush_pending(&mut self) {
+        if let Some(pending) = self.builder.finish() {
+            self.pipe.send(Arc::new(AnyBatch::Rows(pending)));
+        }
     }
 
     /// Flush any buffered tuples and mark end-of-stream.
     pub fn finish(mut self) {
-        if let Some(batch) = self.builder.finish() {
-            self.pipe.send(Arc::new(batch));
-        }
+        self.flush_pending();
         self.pipe.close();
     }
 
@@ -304,9 +311,7 @@ impl Drop for PipeProducer {
     fn drop(&mut self) {
         // Defensive close so consumers never hang if a producer panics or is
         // dropped without finish(); residual buffered tuples are flushed.
-        if let Some(batch) = self.builder.finish() {
-            self.pipe.send(Arc::new(batch));
-        }
+        self.flush_pending();
         self.pipe.close();
     }
 }
@@ -320,7 +325,7 @@ pub struct PipeConsumer {
 
 impl PipeConsumer {
     /// Blocking receive; `None` at end of stream.
-    pub fn recv(&self) -> Option<Arc<Batch>> {
+    pub fn recv(&self) -> Option<Arc<AnyBatch>> {
         self.pipe.recv(self.id, self.node)
     }
 
@@ -328,11 +333,16 @@ impl PipeConsumer {
         &self.pipe
     }
 
-    /// Drain everything into a vector of tuples.
+    /// Drain everything into a vector of tuples, materializing columnar
+    /// batches at this (row-engine) boundary. A batch this consumer is the
+    /// last holder of is moved, not copied.
     pub fn collect_tuples(self) -> Vec<Tuple> {
         let mut out = Vec::new();
         while let Some(b) = self.recv() {
-            out.extend(b.rows().iter().cloned());
+            match Arc::try_unwrap(b) {
+                Ok(owned) => out.extend(owned.into_rows()),
+                Err(shared) => out.extend(shared.to_rows()),
+            }
         }
         out
     }
@@ -369,7 +379,11 @@ impl qpipe_exec::iter::TupleIter for PipeIter {
             match self.consumer.recv() {
                 None => return Ok(None),
                 Some(batch) => {
-                    self.current = batch.rows().to_vec();
+                    // Sole-holder batches are moved out instead of cloned.
+                    self.current = match Arc::try_unwrap(batch) {
+                        Ok(owned) => owned.into_rows(),
+                        Err(shared) => shared.to_rows(),
+                    };
                     self.pos = 0;
                 }
             }
@@ -408,7 +422,8 @@ mod tests {
     #[test]
     fn broadcast_to_three_consumers() {
         let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
-        let consumers: Vec<_> = (0..3).map(|i| pipe.attach_consumer(NodeId(10 + i), false)).collect();
+        let consumers: Vec<_> =
+            (0..3).map(|i| pipe.attach_consumer(NodeId(10 + i), false)).collect();
         let mut producer = pipe.producer();
         let handle = std::thread::spawn(move || {
             for i in 0..600 {

@@ -17,10 +17,9 @@
 //! scanner. With OSP disabled every request gets a dedicated scanner and all
 //! sharing degenerates to buffer-pool timing — the paper's Baseline.
 
-use crate::packet::CancelToken;
 use crate::pipe::PipeProducer;
 use parking_lot::Mutex;
-use qpipe_common::{Metrics, QResult, Tuple};
+use qpipe_common::{AnyBatch, ColBatch, Metrics, QResult, SelVec, Tuple};
 use qpipe_exec::expr::Expr;
 use qpipe_exec::iter::ExecContext;
 use std::collections::HashMap;
@@ -32,7 +31,6 @@ pub struct ScanRequest {
     pub predicate: Option<Expr>,
     pub projection: Option<Vec<usize>>,
     pub output: PipeProducer,
-    pub cancel: CancelToken,
     /// Consumer requires stored order.
     pub ordered: bool,
     /// Wrapped delivery acceptable despite `ordered` (merge-join restart).
@@ -43,7 +41,6 @@ struct ScanConsumer {
     predicate: Option<Expr>,
     projection: Option<Vec<usize>>,
     output: PipeProducer,
-    cancel: CancelToken,
     pages_seen: u64,
 }
 
@@ -83,7 +80,6 @@ impl ScanGroup {
             predicate: req.predicate,
             projection: req.projection,
             output: req.output,
-            cancel: req.cancel,
             pages_seen: 0,
         });
         g.active += 1;
@@ -158,7 +154,6 @@ impl ScanManager {
                     predicate: req.predicate,
                     projection: req.projection,
                     output: req.output,
-                    cancel: req.cancel,
                     pages_seen: 0,
                 }],
                 finished: false,
@@ -234,27 +229,55 @@ impl ScanManager {
                     return;
                 }
             };
+            // Decode the page ONCE into columnar layout; every consumer's
+            // predicate/projection then runs as a vectorized kernel over the
+            // same `ColBatch` (selection vector → gather), so the per-page
+            // cost of N attached consumers is N kernel passes over primitive
+            // slices — no per-row allocation, no `Value` cloning.
             let tuples: Vec<Tuple> = page.decode_tuples().unwrap_or_default();
+            let shared = Arc::new(AnyBatch::Cols(ColBatch::from_rows(&tuples)));
+            drop(tuples);
+            let cols = match &*shared {
+                AnyBatch::Cols(c) => c,
+                AnyBatch::Rows(_) => unreachable!(),
+            };
             // Deliver the page to every live consumer.
             let mut done_indices = Vec::new();
             for (i, c) in consumers.iter_mut().enumerate() {
-                if c.cancel.is_cancelled() || c.output.pipe().active_consumers() == 0 {
+                // A severed scan packet may still feed a join/agg host that
+                // other queries share; deliver while anyone is attached.
+                // (Cancelled *and* abandoned consumers detach their pipes,
+                // so the pipe probe covers the plain-cancellation case too.)
+                // Trade-off: a severed packet still sitting in a µEngine
+                // queue holds its consumer until the dispatcher dequeues and
+                // drops it, so the scanner may fill that pipe and throttle
+                // briefly. Dispatchers never block, so the stall is bounded
+                // by queue drain; genuine cycles are the deadlock detector's
+                // job. The alternative — dropping on `cancel` alone — loses
+                // rows when the consumer is a live shared host (see
+                // `wanted_tracks_live_consumers_not_cancellation`).
+                if c.output.pipe().active_consumers() == 0 {
                     done_indices.push(i);
                     continue;
                 }
-                for t in &tuples {
-                    let keep = match &c.predicate {
-                        Some(p) => p.eval_bool(t).unwrap_or(false),
-                        None => true,
-                    };
-                    if !keep {
-                        continue;
+                // A failing predicate drops the page for this consumer (the
+                // scalar path treated row-level eval errors as "filter out").
+                let sel = match &c.predicate {
+                    Some(p) => p.eval_filter(cols).unwrap_or_else(|_| SelVec::empty()),
+                    None => SelVec::all(cols.len()),
+                };
+                if !sel.is_empty() {
+                    match &c.projection {
+                        // Unfiltered, unprojected page: broadcast the shared
+                        // Arc — a refcount bump per consumer, zero copies.
+                        None if sel.is_all(cols.len()) => {
+                            c.output.push_shared(shared.clone());
+                        }
+                        None => c.output.push_cols(cols.gather(&sel)),
+                        // Project first (Arc bumps), then gather only the
+                        // surviving columns.
+                        Some(proj) => c.output.push_cols(cols.project(proj).gather(&sel)),
                     }
-                    let out = match &c.projection {
-                        None => t.clone(),
-                        Some(cols) => cols.iter().map(|&ci| t[ci].clone()).collect(),
-                    };
-                    c.output.push(out);
                 }
                 c.pages_seen += 1;
                 if c.pages_seen >= num_pages {
@@ -316,7 +339,6 @@ mod tests {
             predicate: None,
             projection: None,
             output: pipe.producer(),
-            cancel: CancelToken::new(),
             ordered,
             split_ok,
         };
@@ -421,16 +443,16 @@ mod tests {
     }
 
     #[test]
-    fn cancelled_consumer_detaches_without_blocking_group() {
+    fn abandoned_consumer_detaches_without_blocking_group() {
         let (ctx, m) = ctx_with_table(20_000);
         let mgr = manager(&ctx, &m, true);
         let reg = Arc::new(WaitRegistry::new());
         let (r1, c1) = request(&reg, false, false);
-        let cancel = r1.cancel.clone();
         mgr.submit(r1).unwrap();
         let (r2, c2) = request(&reg, false, false);
         mgr.submit(r2).unwrap();
-        cancel.cancel();
+        // Dropping the pipe consumer is how a scan is abandoned (a severed
+        // packet drops its consumers when its µEngine dequeues it).
         drop(c1);
         // The second consumer still gets the full table.
         assert_eq!(c2.collect_tuples().len(), 20_000);
@@ -451,7 +473,6 @@ mod tests {
                     predicate: Some(Expr::col(0).ge(Expr::lit(lo))),
                     projection: Some(vec![0]),
                     output: pipe.producer(),
-                    cancel: CancelToken::new(),
                     ordered: false,
                     split_ok: false,
                 },

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn enhancements() {
         assert_eq!(enhance(OverlapClass::Spike, Enhancement::Buffering), OverlapClass::Step);
-        assert_eq!(enhance(OverlapClass::Spike, Enhancement::Materialization), OverlapClass::Linear);
+        assert_eq!(
+            enhance(OverlapClass::Spike, Enhancement::Materialization),
+            OverlapClass::Linear
+        );
         assert_eq!(enhance(OverlapClass::Linear, Enhancement::Buffering), OverlapClass::Linear);
         assert_eq!(enhance(OverlapClass::Full, Enhancement::Materialization), OverlapClass::Full);
     }
@@ -183,7 +186,9 @@ mod tests {
     #[test]
     fn inventory_covers_all_classes() {
         let inv = figure4a_inventory();
-        for class in [OverlapClass::Linear, OverlapClass::Step, OverlapClass::Full, OverlapClass::Spike] {
+        for class in
+            [OverlapClass::Linear, OverlapClass::Step, OverlapClass::Full, OverlapClass::Spike]
+        {
             assert!(inv.iter().any(|(_, _, c)| *c == class), "{class:?} missing");
         }
         assert!(inv.len() >= 12);

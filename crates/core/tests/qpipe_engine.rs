@@ -22,7 +22,11 @@ fn setup() -> Arc<Catalog> {
     catalog
         .create_table(
             "orders",
-            Schema::of(&[("okey", DataType::Int), ("custkey", DataType::Int), ("total", DataType::Float)]),
+            Schema::of(&[
+                ("okey", DataType::Int),
+                ("custkey", DataType::Int),
+                ("total", DataType::Float),
+            ]),
             orders,
             Some(0),
         )
@@ -33,7 +37,11 @@ fn setup() -> Arc<Catalog> {
     catalog
         .create_table(
             "lineitem",
-            Schema::of(&[("okey", DataType::Int), ("qty", DataType::Int), ("price", DataType::Float)]),
+            Schema::of(&[
+                ("okey", DataType::Int),
+                ("qty", DataType::Int),
+                ("price", DataType::Float),
+            ]),
             lineitem,
             Some(0),
         )
@@ -191,10 +199,8 @@ fn merge_join_on_wrapped_scan_is_correct() {
             projection: None,
             ordered: true,
         };
-        left.merge_join(right, 0, 0).aggregate(
-            vec![],
-            vec![AggSpec::count_star(), AggSpec::sum(Expr::col(1))],
-        )
+        left.merge_join(right, 0, 0)
+            .aggregate(vec![], vec![AggSpec::count_star(), AggSpec::sum(Expr::col(1))])
     };
     let expected = run(&mj_plan(), &ExecContext::new(catalog.clone())).unwrap();
 
@@ -329,14 +335,14 @@ fn shared_pipeline_deadlock_is_detected_and_resolved() {
     // A join predicate with a tiny match count keeps the output small.
     let pred = Expr::col(0).add(Expr::lit(1)).eq(Expr::col(1));
     let q1 = PlanNode::NestedLoopJoin {
-        left: Box::new(sorted("t1")),
-        right: Box::new(sorted("t2")),
+        left: Arc::new(sorted("t1")),
+        right: Arc::new(sorted("t2")),
         predicate: pred.clone(),
     }
     .aggregate(vec![], vec![AggSpec::count_star()]);
     let q2 = PlanNode::NestedLoopJoin {
-        left: Box::new(sorted("t2")),
-        right: Box::new(sorted("t1")),
+        left: Arc::new(sorted("t2")),
+        right: Arc::new(sorted("t1")),
         predicate: pred,
     }
     .aggregate(vec![], vec![AggSpec::count_star()]);

@@ -257,8 +257,11 @@ mod tests {
 
     #[test]
     fn empty_input_group_by_emits_nothing() {
-        let mut it =
-            AggregateIter::new(Box::new(VecIter::new(vec![])), vec![0], vec![AggSpec::count_star()]);
+        let mut it = AggregateIter::new(
+            Box::new(VecIter::new(vec![])),
+            vec![0],
+            vec![AggSpec::count_star()],
+        );
         assert!(it.next().unwrap().is_none());
     }
 

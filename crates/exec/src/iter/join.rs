@@ -62,7 +62,14 @@ impl HashJoinIter {
         right_key: usize,
         ctx: ExecContext,
     ) -> Self {
-        Self { left: Some(left), right: Some(right), left_key, right_key, ctx, state: HjState::Pending }
+        Self {
+            left: Some(left),
+            right: Some(right),
+            left_key,
+            right_key,
+            ctx,
+            state: HjState::Pending,
+        }
     }
 
     fn key_hash(v: &Value) -> u64 {
@@ -258,11 +265,7 @@ impl<L: TupleIter, R: TupleIter> MergeJoinIter<L, R> {
     /// positioned at or before that key's group.
     fn load_right_group(&mut self, key: &Value) -> QResult<bool> {
         // Reuse the current group if it already matches.
-        if self
-            .right_group
-            .first()
-            .is_some_and(|t| t[self.right_key] == *key)
-        {
+        if self.right_group.first().is_some_and(|t| t[self.right_key] == *key) {
             self.group_pos = 0;
             return Ok(true);
         }

@@ -84,9 +84,9 @@ pub fn collect(mut it: Box<dyn TupleIter>) -> QResult<Vec<Tuple>> {
 /// Build an operator tree for `plan`.
 pub fn build(plan: &PlanNode, ctx: &ExecContext) -> QResult<Box<dyn TupleIter>> {
     Ok(match plan {
-        PlanNode::TableScan { table, predicate, projection, ordered: _ } => Box::new(
-            SeqScanIter::open(ctx, table, predicate.clone(), projection.clone())?,
-        ),
+        PlanNode::TableScan { table, predicate, projection, ordered: _ } => {
+            Box::new(SeqScanIter::open(ctx, table, predicate.clone(), projection.clone())?)
+        }
         PlanNode::ClusteredIndexScan { table, lo, hi, predicate, projection, ordered: _ } => {
             Box::new(ClusteredIndexScanIter::open(
                 ctx,

@@ -94,9 +94,10 @@ impl ClusteredIndexScanIter {
         projection: Option<Vec<usize>>,
     ) -> QResult<Self> {
         let info = ctx.catalog.table(table)?;
-        let ci = info.clustered.as_ref().ok_or_else(|| {
-            QError::Plan(format!("table {table:?} has no clustered index"))
-        })?;
+        let ci = info
+            .clustered
+            .as_ref()
+            .ok_or_else(|| QError::Plan(format!("table {table:?} has no clustered index")))?;
         let (start, end) = ci.page_range(lo.as_ref(), hi.as_ref());
         let key_col = ci.key_col();
         let lock = ctx.catalog.locks().lock_shared(table);
@@ -186,9 +187,8 @@ impl UnclusteredIndexScanIter {
     ) -> QResult<Self> {
         // Validate eagerly so planning errors surface at open.
         let info = ctx.catalog.table(table)?;
-        info.unclustered_index(column).ok_or_else(|| {
-            QError::Plan(format!("no unclustered index on {table}.{column}"))
-        })?;
+        info.unclustered_index(column)
+            .ok_or_else(|| QError::Plan(format!("no unclustered index on {table}.{column}")))?;
         let lock = ctx.catalog.locks().lock_shared(table);
         Ok(Self {
             ctx: ctx.clone(),

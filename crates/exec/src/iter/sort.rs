@@ -131,8 +131,7 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for a min-heap; tie-break on run index for stability.
-        cmp_keys(&other.tuple, &self.tuple, &self.keys)
-            .then_with(|| other.run.cmp(&self.run))
+        cmp_keys(&other.tuple, &self.tuple, &self.keys).then_with(|| other.run.cmp(&self.run))
     }
 }
 

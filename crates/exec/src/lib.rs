@@ -2,3 +2,4 @@
 pub mod expr;
 pub mod iter;
 pub mod plan;
+pub mod vexpr;

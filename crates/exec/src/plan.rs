@@ -9,6 +9,7 @@
 
 use crate::expr::Expr;
 use qpipe_common::Value;
+use std::sync::Arc;
 
 /// Sort key: column index + direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,24 +103,32 @@ pub enum PlanNode {
         projection: Option<Vec<usize>>,
     },
     /// Filter.
-    Filter { input: Box<PlanNode>, predicate: Expr },
+    ///
+    /// Children are `Arc`-shared so that cloning a plan (or slicing it into
+    /// packets) bumps refcounts instead of deep-copying subtrees.
+    Filter { input: Arc<PlanNode>, predicate: Expr },
     /// Projection by expression list.
-    Project { input: Box<PlanNode>, exprs: Vec<Expr> },
+    Project { input: Arc<PlanNode>, exprs: Vec<Expr> },
     /// Sort (external when the input exceeds the memory budget).
-    Sort { input: Box<PlanNode>, keys: Vec<SortKey> },
+    Sort { input: Arc<PlanNode>, keys: Vec<SortKey> },
     /// Aggregation; empty `group_by` = single-result aggregate (full WoP).
-    Aggregate { input: Box<PlanNode>, group_by: Vec<usize>, aggs: Vec<AggSpec> },
+    Aggregate { input: Arc<PlanNode>, group_by: Vec<usize>, aggs: Vec<AggSpec> },
     /// Hybrid hash join; `left` is the build side.
-    HashJoin { left: Box<PlanNode>, right: Box<PlanNode>, left_key: usize, right_key: usize },
+    HashJoin { left: Arc<PlanNode>, right: Arc<PlanNode>, left_key: usize, right_key: usize },
     /// Merge join over key-ordered inputs.
-    MergeJoin { left: Box<PlanNode>, right: Box<PlanNode>, left_key: usize, right_key: usize },
+    MergeJoin { left: Arc<PlanNode>, right: Arc<PlanNode>, left_key: usize, right_key: usize },
     /// Nested-loop join with arbitrary predicate (right side buffered).
-    NestedLoopJoin { left: Box<PlanNode>, right: Box<PlanNode>, predicate: Expr },
+    NestedLoopJoin { left: Arc<PlanNode>, right: Arc<PlanNode>, predicate: Expr },
 }
 
 impl PlanNode {
     pub fn scan(table: &str) -> PlanNode {
-        PlanNode::TableScan { table: table.into(), predicate: None, projection: None, ordered: false }
+        PlanNode::TableScan {
+            table: table.into(),
+            predicate: None,
+            projection: None,
+            ordered: false,
+        }
     }
 
     pub fn scan_filtered(table: &str, predicate: Expr) -> PlanNode {
@@ -132,37 +141,27 @@ impl PlanNode {
     }
 
     pub fn filter(self, predicate: Expr) -> PlanNode {
-        PlanNode::Filter { input: Box::new(self), predicate }
+        PlanNode::Filter { input: Arc::new(self), predicate }
     }
 
     pub fn project(self, exprs: Vec<Expr>) -> PlanNode {
-        PlanNode::Project { input: Box::new(self), exprs }
+        PlanNode::Project { input: Arc::new(self), exprs }
     }
 
     pub fn sort(self, keys: Vec<SortKey>) -> PlanNode {
-        PlanNode::Sort { input: Box::new(self), keys }
+        PlanNode::Sort { input: Arc::new(self), keys }
     }
 
     pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> PlanNode {
-        PlanNode::Aggregate { input: Box::new(self), group_by, aggs }
+        PlanNode::Aggregate { input: Arc::new(self), group_by, aggs }
     }
 
     pub fn hash_join(self, right: PlanNode, left_key: usize, right_key: usize) -> PlanNode {
-        PlanNode::HashJoin {
-            left: Box::new(self),
-            right: Box::new(right),
-            left_key,
-            right_key,
-        }
+        PlanNode::HashJoin { left: Arc::new(self), right: Arc::new(right), left_key, right_key }
     }
 
     pub fn merge_join(self, right: PlanNode, left_key: usize, right_key: usize) -> PlanNode {
-        PlanNode::MergeJoin {
-            left: Box::new(self),
-            right: Box::new(right),
-            left_key,
-            right_key,
-        }
+        PlanNode::MergeJoin { left: Arc::new(self), right: Arc::new(right), left_key, right_key }
     }
 
     /// Child nodes, left to right.
@@ -178,6 +177,25 @@ impl PlanNode {
             PlanNode::HashJoin { left, right, .. }
             | PlanNode::MergeJoin { left, right, .. }
             | PlanNode::NestedLoopJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Child nodes as shared handles (refcount bumps, no subtree copies) —
+    /// what the packet dispatcher slices plans apart with.
+    pub fn children_shared(&self) -> Vec<Arc<PlanNode>> {
+        match self {
+            PlanNode::TableScan { .. }
+            | PlanNode::ClusteredIndexScan { .. }
+            | PlanNode::UnclusteredIndexScan { .. } => vec![],
+            PlanNode::Filter { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Aggregate { input, .. } => vec![input.clone()],
+            PlanNode::HashJoin { left, right, .. }
+            | PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NestedLoopJoin { left, right, .. } => {
+                vec![left.clone(), right.clone()]
+            }
         }
     }
 
@@ -385,7 +403,8 @@ mod tests {
 
     #[test]
     fn node_count_and_children() {
-        let j = PlanNode::scan("a").hash_join(PlanNode::scan("b"), 0, 0).sort(vec![SortKey::asc(0)]);
+        let j =
+            PlanNode::scan("a").hash_join(PlanNode::scan("b"), 0, 0).sort(vec![SortKey::asc(0)]);
         assert_eq!(j.node_count(), 4);
         assert_eq!(j.children().len(), 1);
         assert_eq!(j.op_name(), "sort");

@@ -1,0 +1,423 @@
+//! Vectorized expression kernels over columnar batches.
+//!
+//! The scalar interpreter in [`expr`](crate::expr) walks the `Expr` tree once
+//! per tuple, cloning `Value`s as it goes — fine for cold paths, ruinous on
+//! the shared-scan hot path where one scanner thread evaluates *per-consumer*
+//! predicates over every page (paper §4.3.1: the per-tuple cost is multiplied
+//! by the number of attached consumers). The kernels here evaluate a whole
+//! [`ColBatch`] at a time:
+//!
+//! * [`Expr::eval_filter`] refines a [`SelVec`] — comparisons run over
+//!   primitive slices (`&[i64]`, `&[i32]`, `&[f64]`, `&[Arc<str>]`) with no
+//!   per-row allocation and no `Value` construction. Conjunctions shrink the
+//!   selection progressively, so later terms only touch surviving rows.
+//! * [`Expr::eval_project`] materializes one output column per expression,
+//!   with an `Arc`-bump fast path for plain column references.
+//!
+//! Any shape the kernels do not specialize (arithmetic trees, column-column
+//! comparisons, [`ColumnData::Mixed`] columns) falls back to the scalar
+//! interpreter row-at-a-time over the *selected* rows only, so results are
+//! always identical to `eval_bool` — property-tested in `tests/properties.rs`.
+
+use crate::expr::{CmpOp, Expr};
+use qpipe_common::colbatch::{ColBatch, Column, ColumnData, SelVec};
+use qpipe_common::{QError, QResult, Value};
+use std::cmp::Ordering;
+
+#[inline]
+fn cmp_matches(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Typed comparison kernel: `col[i] op lit` for every selected row, with the
+/// column's nulls dropping out (SQL: NULL comparisons are not true).
+///
+/// Returns `None` when the column/literal type pair has no specialized
+/// kernel, signalling the caller to take the scalar fallback.
+fn cmp_col_lit(col: &Column, op: CmpOp, lit: &Value, sel: &SelVec) -> Option<SelVec> {
+    // NULL literal: comparison is never true, regardless of column contents.
+    if lit.is_null() {
+        return Some(SelVec::empty());
+    }
+    let no_nulls = col.nulls().is_none();
+    macro_rules! kernel {
+        ($data:expr, $to:expr) => {{
+            let data = $data;
+            let to = $to;
+            if no_nulls {
+                Some(sel.refine(|i| cmp_matches(op, to(data[i]))))
+            } else {
+                Some(sel.refine(|i| !col.is_null(i) && cmp_matches(op, to(data[i]))))
+            }
+        }};
+    }
+    match (col.data(), lit) {
+        (ColumnData::Int64(v), Value::Int(x)) => {
+            let x = *x;
+            kernel!(v, move |a: i64| a.cmp(&x))
+        }
+        (ColumnData::Int64(v), Value::Float(x)) => {
+            let x = *x;
+            kernel!(v, move |a: i64| (a as f64).total_cmp(&x))
+        }
+        // Int column vs Date literal compares numerically (Value::total_cmp).
+        (ColumnData::Int64(v), Value::Date(d)) => {
+            let d = *d as i64;
+            kernel!(v, move |a: i64| a.cmp(&d))
+        }
+        (ColumnData::Float64(v), Value::Float(x)) => {
+            let x = *x;
+            kernel!(v, move |a: f64| a.total_cmp(&x))
+        }
+        (ColumnData::Float64(v), Value::Int(x)) => {
+            let x = *x as f64;
+            kernel!(v, move |a: f64| a.total_cmp(&x))
+        }
+        (ColumnData::Date(v), Value::Date(d)) => {
+            let d = *d;
+            kernel!(v, move |a: i32| a.cmp(&d))
+        }
+        (ColumnData::Date(v), Value::Int(x)) => {
+            let x = *x;
+            kernel!(v, move |a: i32| (a as i64).cmp(&x))
+        }
+        (ColumnData::Str(v), Value::Str(s)) => {
+            let s: &str = s;
+            if no_nulls {
+                Some(sel.refine(|i| cmp_matches(op, v[i].as_ref().cmp(s))))
+            } else {
+                Some(sel.refine(|i| !col.is_null(i) && cmp_matches(op, v[i].as_ref().cmp(s))))
+            }
+        }
+        _ => None,
+    }
+}
+
+impl Expr {
+    /// Vectorized predicate evaluation: the selected subset of `batch` for
+    /// which this expression is truthy (same semantics as
+    /// [`eval_bool`](Expr::eval_bool) row-by-row).
+    pub fn eval_filter(&self, batch: &ColBatch) -> QResult<SelVec> {
+        self.filter_sel(batch, SelVec::all(batch.len()))
+    }
+
+    /// Refine `sel` to the rows where this predicate holds.
+    fn filter_sel(&self, batch: &ColBatch, sel: SelVec) -> QResult<SelVec> {
+        if sel.is_empty() {
+            return Ok(sel);
+        }
+        match self {
+            // Conjunction: thread the shrinking selection through each term.
+            Expr::And(parts) => {
+                let mut sel = sel;
+                for p in parts {
+                    sel = p.filter_sel(batch, sel)?;
+                    if sel.is_empty() {
+                        break;
+                    }
+                }
+                Ok(sel)
+            }
+            // Disjunction: each term filters the same input; union results.
+            Expr::Or(parts) => {
+                let mut acc = SelVec::empty();
+                for p in parts {
+                    // Only rows not yet accepted need testing.
+                    let remaining = sel.difference(&acc);
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    acc = acc.union(&p.filter_sel(batch, remaining)?);
+                }
+                Ok(acc)
+            }
+            Expr::Not(e) => {
+                let pass = e.filter_sel(batch, sel.clone())?;
+                Ok(sel.difference(&pass))
+            }
+            Expr::Cmp(op, a, b) => {
+                match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(i), Expr::Lit(v)) => {
+                        let col = col_at(batch, *i)?;
+                        match cmp_col_lit(col, *op, v, &sel) {
+                            Some(out) => Ok(out),
+                            None => self.filter_scalar(batch, sel),
+                        }
+                    }
+                    // Literal-column: flip the operator and reuse the kernel.
+                    (Expr::Lit(v), Expr::Col(i)) => {
+                        let col = col_at(batch, *i)?;
+                        let flipped = match op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            CmpOp::Eq => CmpOp::Eq,
+                            CmpOp::Ne => CmpOp::Ne,
+                        };
+                        match cmp_col_lit(col, flipped, v, &sel) {
+                            Some(out) => Ok(out),
+                            None => self.filter_scalar(batch, sel),
+                        }
+                    }
+                    _ => self.filter_scalar(batch, sel),
+                }
+            }
+            Expr::IsNull(e) => match e.as_ref() {
+                Expr::Col(i) => {
+                    let col = col_at(batch, *i)?;
+                    Ok(sel.refine(|r| col.is_null(r)))
+                }
+                _ => self.filter_scalar(batch, sel),
+            },
+            Expr::StartsWith(e, prefix) => match e.as_ref() {
+                Expr::Col(i) => {
+                    let col = col_at(batch, *i)?;
+                    match col.data() {
+                        ColumnData::Str(v) => {
+                            let p = prefix.as_str();
+                            if col.nulls().is_none() {
+                                Ok(sel.refine(|r| v[r].starts_with(p)))
+                            } else {
+                                Ok(sel.refine(|r| !col.is_null(r) && v[r].starts_with(p)))
+                            }
+                        }
+                        // Non-string typed columns can never match a prefix.
+                        ColumnData::Int64(_) | ColumnData::Float64(_) | ColumnData::Date(_) => {
+                            Ok(SelVec::empty())
+                        }
+                        ColumnData::Mixed(_) => self.filter_scalar(batch, sel),
+                    }
+                }
+                _ => self.filter_scalar(batch, sel),
+            },
+            Expr::In(e, list) => match e.as_ref() {
+                Expr::Col(i) => {
+                    let col = col_at(batch, *i)?;
+                    // Fast path: Int64 column, all-Int list.
+                    if let ColumnData::Int64(v) = col.data() {
+                        if list.iter().all(|x| matches!(x, Value::Int(_))) {
+                            let set: Vec<i64> = list.iter().filter_map(|x| x.as_int()).collect();
+                            let nullable = col.nulls().is_some();
+                            return Ok(sel.refine(|r| {
+                                if nullable && col.is_null(r) {
+                                    // eval semantics: list.contains(Null) is
+                                    // false here because the list has no Null.
+                                    false
+                                } else {
+                                    set.contains(&v[r])
+                                }
+                            }));
+                        }
+                    }
+                    // Generic: per-row Value (Arc bump at worst), no tuple.
+                    Ok(sel.refine(|r| list.contains(&col.value(r))))
+                }
+                _ => self.filter_scalar(batch, sel),
+            },
+            // Everything else (arithmetic, bare columns/literals as truthy,
+            // column-column comparisons): scalar fallback over selected rows.
+            _ => self.filter_scalar(batch, sel),
+        }
+    }
+
+    /// Scalar fallback: materialize each *selected* row once and reuse the
+    /// row interpreter, guaranteeing bit-identical semantics.
+    fn filter_scalar(&self, batch: &ColBatch, sel: SelVec) -> QResult<SelVec> {
+        let mut err = None;
+        let out = sel.refine(|i| {
+            if err.is_some() {
+                return false;
+            }
+            match self.eval_bool(&batch.row(i)) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Vectorized projection: evaluate this expression for the selected rows,
+    /// producing one dense output [`Column`].
+    ///
+    /// Plain column references gather straight from the input column; other
+    /// expressions evaluate row-at-a-time over the selection (still no full
+    /// row materialized unless the expression needs one).
+    pub fn eval_project(&self, batch: &ColBatch, sel: &SelVec) -> QResult<Column> {
+        // Nothing selected ⇒ nothing evaluated (matches the row interpreter,
+        // which never touches an expression when there are no input rows).
+        if sel.is_empty() {
+            return Ok(Column::from_values(&[]));
+        }
+        match self {
+            Expr::Col(i) => Ok(col_at(batch, *i)?.gather(sel)),
+            Expr::Lit(v) => Ok(Column::from_values(&vec![v.clone(); sel.len()])),
+            _ => {
+                let mut out = Vec::with_capacity(sel.len());
+                for i in sel.iter() {
+                    out.push(self.eval(&batch.row(i))?);
+                }
+                Ok(Column::from_values(&out))
+            }
+        }
+    }
+}
+
+#[inline]
+fn col_at(batch: &ColBatch, i: usize) -> QResult<&Column> {
+    batch.col(i).ok_or_else(|| QError::Exec(format!("column {i} out of range")))
+}
+
+/// Project a whole expression list into a new [`ColBatch`] (the vectorized
+/// analogue of `ProjectIter`).
+pub fn project_batch(exprs: &[Expr], batch: &ColBatch, sel: &SelVec) -> QResult<ColBatch> {
+    if exprs.is_empty() {
+        // Zero-column projection still has the selection's cardinality
+        // (ProjectIter over k rows yields k empty tuples).
+        return Ok(ColBatch::empty_rows(sel.len()));
+    }
+    let cols = exprs.iter().map(|e| e.eval_project(batch, sel)).collect::<QResult<Vec<_>>>()?;
+    Ok(ColBatch::from_columns(cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpipe_common::Tuple;
+
+    fn batch() -> ColBatch {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(10), Value::Float(1.0), Value::str("widget-a"), Value::Date(100)],
+            vec![Value::Int(20), Value::Null, Value::str("gadget-b"), Value::Date(200)],
+            vec![Value::Null, Value::Float(3.0), Value::str("widget-c"), Value::Date(300)],
+            vec![Value::Int(40), Value::Float(4.0), Value::Null, Value::Date(400)],
+        ];
+        ColBatch::from_rows(&rows)
+    }
+
+    fn filter_rows(e: &Expr, b: &ColBatch) -> Vec<usize> {
+        e.eval_filter(b).unwrap().iter().collect()
+    }
+
+    /// The ground truth: scalar eval_bool row-at-a-time.
+    fn scalar_rows(e: &Expr, b: &ColBatch) -> Vec<usize> {
+        (0..b.len()).filter(|&i| e.eval_bool(&b.row(i)).unwrap()).collect()
+    }
+
+    fn assert_parity(e: Expr) {
+        let b = batch();
+        assert_eq!(filter_rows(&e, &b), scalar_rows(&e, &b), "expr: {e:?}");
+    }
+
+    #[test]
+    fn int_comparisons_match_scalar() {
+        assert_parity(Expr::col(0).gt(Expr::lit(10)));
+        assert_parity(Expr::col(0).ge(Expr::lit(20)));
+        assert_parity(Expr::col(0).eq(Expr::lit(40)));
+        assert_parity(Expr::col(0).ne(Expr::lit(10)));
+        assert_parity(Expr::lit(20).le(Expr::col(0)));
+    }
+
+    #[test]
+    fn float_date_str_comparisons_match_scalar() {
+        assert_parity(Expr::col(1).lt(Expr::lit(3.5)));
+        assert_parity(Expr::col(1).ge(Expr::lit(3)));
+        assert_parity(Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::col(3)),
+            Box::new(Expr::Lit(Value::Date(200))),
+        ));
+        assert_parity(Expr::col(3).lt(Expr::lit(300)));
+        assert_parity(Expr::col(2).gt(Expr::Lit(Value::str("h"))));
+    }
+
+    #[test]
+    fn null_literal_never_matches() {
+        assert_parity(Expr::col(0).eq(Expr::Lit(Value::Null)));
+        assert_parity(Expr::col(0).ne(Expr::Lit(Value::Null)));
+    }
+
+    #[test]
+    fn connectives_match_scalar() {
+        let p = Expr::and([
+            Expr::col(0).ge(Expr::lit(10)),
+            Expr::or([Expr::col(1).gt(Expr::lit(2.0)), Expr::col(3).le(Expr::lit(100))]),
+        ]);
+        assert_parity(p.clone());
+        assert_parity(Expr::Not(Box::new(p)));
+        assert_parity(Expr::and([]));
+        assert_parity(Expr::or([]));
+    }
+
+    #[test]
+    fn is_null_and_starts_with_match_scalar() {
+        assert_parity(Expr::IsNull(Box::new(Expr::col(1))));
+        assert_parity(Expr::IsNull(Box::new(Expr::col(2))));
+        assert_parity(Expr::StartsWith(Box::new(Expr::col(2)), "widget".into()));
+        assert_parity(Expr::StartsWith(Box::new(Expr::col(0)), "widget".into()));
+    }
+
+    #[test]
+    fn in_list_matches_scalar() {
+        assert_parity(Expr::In(Box::new(Expr::col(0)), vec![Value::Int(10), Value::Int(40)]));
+        assert_parity(Expr::In(Box::new(Expr::col(0)), vec![Value::Null, Value::Int(20)]));
+        assert_parity(Expr::In(
+            Box::new(Expr::col(2)),
+            vec![Value::str("widget-a"), Value::str("nope")],
+        ));
+    }
+
+    #[test]
+    fn arithmetic_falls_back_to_scalar() {
+        assert_parity(Expr::col(0).add(Expr::lit(5)).gt(Expr::lit(20)));
+        assert_parity(Expr::col(0).mul(Expr::col(3)).ge(Expr::lit(4000)));
+    }
+
+    #[test]
+    fn out_of_range_column_errors_like_scalar() {
+        let b = batch();
+        assert!(Expr::col(9).eq(Expr::lit(1)).eval_filter(&b).is_err());
+    }
+
+    #[test]
+    fn projection_gathers_and_computes() {
+        let b = batch();
+        let sel = Expr::col(0).ge(Expr::lit(20)).eval_filter(&b).unwrap();
+        let out =
+            project_batch(&[Expr::col(0), Expr::col(0).add(Expr::lit(1)), Expr::lit(7)], &b, &sel)
+                .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.row(0), vec![Value::Int(20), Value::Int(21), Value::Int(7)]);
+        assert_eq!(out.row(1), vec![Value::Int(40), Value::Int(41), Value::Int(7)]);
+    }
+
+    #[test]
+    fn empty_projection_keeps_cardinality() {
+        // ProjectIter over k rows with no exprs yields k empty tuples; the
+        // vectorized analogue must not collapse to 0 rows.
+        let b = batch();
+        let sel = Expr::col(0).ge(Expr::lit(20)).eval_filter(&b).unwrap();
+        let out = project_batch(&[], &b, &sel).unwrap();
+        assert_eq!(out.len(), sel.len());
+        assert_eq!(out.to_rows(), vec![Vec::new(); sel.len()]);
+    }
+
+    #[test]
+    fn empty_batch_filters_to_empty() {
+        let b = ColBatch::from_rows(&[]);
+        assert!(Expr::col(0).eq(Expr::lit(1)).eval_filter(&b).unwrap().is_empty());
+    }
+}

@@ -19,7 +19,11 @@ fn setup() -> ExecContext {
     catalog
         .create_table(
             "orders",
-            Schema::of(&[("okey", DataType::Int), ("custkey", DataType::Int), ("total", DataType::Float)]),
+            Schema::of(&[
+                ("okey", DataType::Int),
+                ("custkey", DataType::Int),
+                ("total", DataType::Float),
+            ]),
             orders,
             Some(0),
         )
@@ -34,7 +38,11 @@ fn setup() -> ExecContext {
     catalog
         .create_table(
             "lineitem",
-            Schema::of(&[("okey", DataType::Int), ("qty", DataType::Int), ("price", DataType::Float)]),
+            Schema::of(&[
+                ("okey", DataType::Int),
+                ("qty", DataType::Int),
+                ("price", DataType::Float),
+            ]),
             lineitem,
             Some(0),
         )
@@ -157,21 +165,16 @@ fn unclustered_index_scan_fetches_matches() {
 #[test]
 fn sort_in_memory_and_external_agree() {
     let ctx = setup();
-    let sorted_mem = run(
-        &PlanNode::scan("orders").sort(vec![SortKey::asc(1), SortKey::desc(0)]),
-        &ctx,
-    )
-    .unwrap();
+    let sorted_mem =
+        run(&PlanNode::scan("orders").sort(vec![SortKey::asc(1), SortKey::desc(0)]), &ctx).unwrap();
     // Force external sort with a tiny budget.
     let small = ExecContext::with_config(
         ctx.catalog.clone(),
         ExecConfig { sort_budget: 128, ..ExecConfig::default() },
     );
-    let sorted_ext = run(
-        &PlanNode::scan("orders").sort(vec![SortKey::asc(1), SortKey::desc(0)]),
-        &small,
-    )
-    .unwrap();
+    let sorted_ext =
+        run(&PlanNode::scan("orders").sort(vec![SortKey::asc(1), SortKey::desc(0)]), &small)
+            .unwrap();
     assert_eq!(sorted_mem.len(), 5000);
     assert_eq!(sorted_mem, sorted_ext, "external sort must match in-memory sort");
     for w in sorted_mem.windows(2) {
@@ -188,9 +191,7 @@ fn hash_join_matches_merge_join() {
     let mj = PlanNode::scan("orders").merge_join(PlanNode::scan("lineitem"), 0, 0);
     let mut mj_rows = run(&mj, &ctx).unwrap();
     assert_eq!(hj_rows.len(), 15000, "3 lineitems per order");
-    let key = |t: &Tuple| {
-        (t[0].as_int().unwrap(), t[3].as_int().unwrap(), t[4].as_int().unwrap())
-    };
+    let key = |t: &Tuple| (t[0].as_int().unwrap(), t[3].as_int().unwrap(), t[4].as_int().unwrap());
     hj_rows.sort_by_key(key);
     mj_rows.sort_by_key(key);
     assert_eq!(hj_rows, mj_rows);
@@ -207,9 +208,7 @@ fn grace_hash_join_matches_in_memory() {
     );
     let mut grace = run(&plan, &small).unwrap();
     let mut mem = mem;
-    let key = |t: &Tuple| {
-        (t[0].as_int().unwrap(), t[3].as_int().unwrap(), t[4].as_int().unwrap())
-    };
+    let key = |t: &Tuple| (t[0].as_int().unwrap(), t[3].as_int().unwrap(), t[4].as_int().unwrap());
     mem.sort_by_key(key);
     grace.sort_by_key(key);
     assert_eq!(mem, grace, "grace join must match in-memory join");
@@ -222,8 +221,8 @@ fn nested_loop_join_with_inequality() {
     let left = PlanNode::scan_filtered("orders", Expr::col(0).lt(Expr::lit(5)));
     let right = PlanNode::scan_filtered("customers", Expr::col(0).lt(Expr::lit(3)));
     let plan = PlanNode::NestedLoopJoin {
-        left: Box::new(left),
-        right: Box::new(right),
+        left: std::sync::Arc::new(left),
+        right: std::sync::Arc::new(right),
         // orders has 3 columns; customers.ckey is at joined position 3.
         predicate: Expr::col(1).ge(Expr::col(3)),
     };

@@ -186,7 +186,11 @@ mod tests {
     use crate::page::Page;
     use qpipe_common::Metrics;
 
-    fn setup(capacity: usize, policy: PolicyKind, blocks: u64) -> (Arc<SimDisk>, Arc<BufferPool>, FileId) {
+    fn setup(
+        capacity: usize,
+        policy: PolicyKind,
+        blocks: u64,
+    ) -> (Arc<SimDisk>, Arc<BufferPool>, FileId) {
         let metrics = Metrics::new();
         let disk = SimDisk::new(DiskConfig::instant(), metrics);
         let f = disk.create_file("t").unwrap();

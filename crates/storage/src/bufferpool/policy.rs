@@ -461,7 +461,11 @@ mod tests {
     }
 
     /// Drive a policy like the pool does, returning the final resident set.
-    fn simulate(policy: &mut dyn ReplacementPolicy, capacity: usize, accesses: &[u64]) -> HashSet<u64> {
+    fn simulate(
+        policy: &mut dyn ReplacementPolicy,
+        capacity: usize,
+        accesses: &[u64],
+    ) -> HashSet<u64> {
         let mut resident: HashSet<u64> = HashSet::new();
         for &b in accesses {
             let hit = resident.contains(&b);
@@ -518,10 +522,7 @@ mod tests {
         accesses.extend(50..80); // second flood
         accesses.extend(1..=4);
         let r = simulate(&mut p, 8, &accesses);
-        assert!(
-            (1..=4).all(|b| r.contains(&b)),
-            "2Q should keep ghost-promoted hot pages: {r:?}"
-        );
+        assert!((1..=4).all(|b| r.contains(&b)), "2Q should keep ghost-promoted hot pages: {r:?}");
     }
 
     #[test]
@@ -540,7 +541,13 @@ mod tests {
 
     #[test]
     fn victim_on_empty_is_none() {
-        for kind in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::LruK(2), PolicyKind::TwoQ, PolicyKind::Arc] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Clock,
+            PolicyKind::LruK(2),
+            PolicyKind::TwoQ,
+            PolicyKind::Arc,
+        ] {
             let mut p = new_policy(kind, 4);
             assert!(p.victim().is_none(), "{kind:?}");
         }
@@ -550,7 +557,13 @@ mod tests {
     fn policies_never_return_nonresident_victims() {
         // Randomized consistency check across all policies.
         let accesses: Vec<u64> = (0..500u64).map(|i| (i * 7919 + i * i * 31) % 37).collect();
-        for kind in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::LruK(2), PolicyKind::TwoQ, PolicyKind::Arc] {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Clock,
+            PolicyKind::LruK(2),
+            PolicyKind::TwoQ,
+            PolicyKind::Arc,
+        ] {
             let mut p = new_policy(kind, 8);
             // simulate() asserts internally that victims are resident.
             let r = simulate(&mut *p, 8, &accesses);

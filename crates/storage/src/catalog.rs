@@ -148,12 +148,8 @@ impl Catalog {
                 entries.push((tuple[col].clone(), Rid { page: page_no, slot: slot as u16 }));
             }
         }
-        let idx = UnclusteredIndex::build(
-            &self.disk,
-            &format!("{table}.{column}.idx"),
-            col,
-            entries,
-        )?;
+        let idx =
+            UnclusteredIndex::build(&self.disk, &format!("{table}.{column}.idx"), col, entries)?;
         info.unclustered.write().insert(column.to_string(), Arc::new(idx));
         Ok(())
     }

@@ -145,17 +145,13 @@ impl SimDisk {
         let file = self.file(id)?;
         let (page, name) = {
             let f = file.read();
-            let page = f
-                .blocks
-                .get(block_no as usize)
-                .cloned()
-                .ok_or_else(|| {
-                    QError::Storage(format!(
-                        "read past EOF: block {block_no} of {:?} ({} blocks)",
-                        f.name,
-                        f.blocks.len()
-                    ))
-                })?;
+            let page = f.blocks.get(block_no as usize).cloned().ok_or_else(|| {
+                QError::Storage(format!(
+                    "read past EOF: block {block_no} of {:?} ({} blocks)",
+                    f.name,
+                    f.blocks.len()
+                ))
+            })?;
             (page, f.name.clone())
         };
         let sequential = {
@@ -211,11 +207,7 @@ impl SimDisk {
 
     /// Total bytes currently stored (all files).
     pub fn total_bytes(&self) -> u64 {
-        self.files
-            .read()
-            .values()
-            .map(|f| f.read().blocks.len() as u64 * PAGE_SIZE as u64)
-            .sum()
+        self.files.read().values().map(|f| f.read().blocks.len() as u64 * PAGE_SIZE as u64).sum()
     }
 }
 

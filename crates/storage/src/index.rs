@@ -146,9 +146,10 @@ impl UnclusteredIndex {
                 if hi.is_some_and(|v| key > v) {
                     break;
                 }
-                let page_no = entry[1].as_int().ok_or_else(|| {
-                    QError::Storage("corrupt index entry: page".into())
-                })? as u64;
+                let page_no = entry[1]
+                    .as_int()
+                    .ok_or_else(|| QError::Storage("corrupt index entry: page".into()))?
+                    as u64;
                 let slot = entry[2]
                     .as_int()
                     .ok_or_else(|| QError::Storage("corrupt index entry: slot".into()))?

@@ -18,9 +18,7 @@ use qpipe_common::{Metrics, MetricsSnapshot, QResult};
 use qpipe_core::engine::{QPipe, QPipeConfig};
 use qpipe_exec::iter::{run as exec_run, ExecContext};
 use qpipe_exec::plan::PlanNode;
-use qpipe_storage::{
-    BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk,
-};
+use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -112,7 +110,9 @@ impl Driver {
         let catalog = Catalog::new(disk, pool);
         load(&catalog)?;
         let inner = match system {
-            System::QPipeOsp => DriverImpl::Staged(QPipe::new(catalog.clone(), QPipeConfig::default())),
+            System::QPipeOsp => {
+                DriverImpl::Staged(QPipe::new(catalog.clone(), QPipeConfig::default()))
+            }
             System::Baseline => {
                 DriverImpl::Staged(QPipe::new(catalog.clone(), QPipeConfig::baseline()))
             }
@@ -250,8 +250,7 @@ pub fn closed_loop(
     });
     let elapsed_paper = scale.to_paper(start.elapsed());
     let completed = completed.load(Ordering::Relaxed);
-    let avg_response_paper_secs = match response_us.load(Ordering::Relaxed).checked_div(completed)
-    {
+    let avg_response_paper_secs = match response_us.load(Ordering::Relaxed).checked_div(completed) {
         None | Some(0) => 0.0,
         Some(mean_us) => scale.to_paper(std::time::Duration::from_micros(mean_us)),
     };
@@ -269,10 +268,8 @@ mod tests {
     use crate::tpch::{build_tpch, q6, TpchScale};
 
     fn tiny_driver(system: System) -> Driver {
-        Driver::build(system, SystemProfile::instant(), |c| {
-            build_tpch(c, TpchScale::tiny(), 42)
-        })
-        .unwrap()
+        Driver::build(system, SystemProfile::instant(), |c| build_tpch(c, TpchScale::tiny(), 42))
+            .unwrap()
     }
 
     #[test]

@@ -205,8 +205,10 @@ mod tests {
         else {
             panic!("top is sort")
         };
-        let (PlanNode::MergeJoin { left: l1, right: r1, .. }, PlanNode::MergeJoin { left: l2, right: r2, .. }) =
-            (&**top1, &**top2)
+        let (
+            PlanNode::MergeJoin { left: l1, right: r1, .. },
+            PlanNode::MergeJoin { left: l2, right: r2, .. },
+        ) = (&**top1, &**top2)
         else {
             panic!("below top is merge join")
         };

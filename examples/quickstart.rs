@@ -19,11 +19,7 @@ fn main() -> QResult<()> {
         .collect();
     catalog.create_table(
         "events",
-        Schema::of(&[
-            ("id", DataType::Int),
-            ("kind", DataType::Int),
-            ("amount", DataType::Float),
-        ]),
+        Schema::of(&[("id", DataType::Int), ("kind", DataType::Int), ("amount", DataType::Float)]),
         rows,
         Some(0),
     )?;
@@ -34,10 +30,8 @@ fn main() -> QResult<()> {
     // 4. Two analytics queries with different predicates — submitted
     //    together. QPipe's scan µEngine serves both from ONE circular scan.
     let q = |kind: i64| {
-        PlanNode::scan_filtered("events", Expr::col(1).eq(Expr::lit(kind))).aggregate(
-            vec![],
-            vec![AggSpec::count_star(), AggSpec::sum(Expr::col(2))],
-        )
+        PlanNode::scan_filtered("events", Expr::col(1).eq(Expr::lit(kind)))
+            .aggregate(vec![], vec![AggSpec::count_star(), AggSpec::sum(Expr::col(2))])
     };
     let before = engine.metrics().snapshot();
     let h1 = engine.submit(q(7))?;
@@ -51,8 +45,11 @@ fn main() -> QResult<()> {
     println!();
     let table_pages = catalog.table("events")?.num_pages()?;
     println!("table size:            {table_pages} pages");
-    println!("disk blocks read:      {} (two independent scans would read {})",
-        delta.disk_blocks_read, 2 * table_pages);
+    println!(
+        "disk blocks read:      {} (two independent scans would read {})",
+        delta.disk_blocks_read,
+        2 * table_pages
+    );
     println!("OSP satellite attaches: {}", delta.osp_attaches);
     Ok(())
 }

@@ -19,9 +19,8 @@ fn main() -> QResult<()> {
     );
     println!("{}", "-".repeat(64));
     for system in [System::Baseline, System::QPipeOsp] {
-        let driver = Driver::build(system, profile, |c| {
-            build_wisconsin(c, WisconsinScale::experiment())
-        })?;
+        let driver =
+            Driver::build(system, profile, |c| build_wisconsin(c, WisconsinScale::experiment()))?;
         // Same BIG1/BIG2 predicates; different SMALL predicate.
         let plans = vec![three_way_join(0, 3), three_way_join(0, 7)];
         let r = staggered_run(&driver, plans, 20.0, profile.time_scale)?;

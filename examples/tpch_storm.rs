@@ -16,13 +16,17 @@ fn main() -> QResult<()> {
     let profile = SystemProfile::experiment();
     let clients = 8;
     let duration_paper = 1200.0;
-    println!("TPC-H storm: {clients} clients, {duration_paper:.0} paper-seconds, zero think time\n");
-    println!("{:<14} {:>12} {:>16} {:>14}", "system", "queries/hour", "blocks read", "osp attaches");
+    println!(
+        "TPC-H storm: {clients} clients, {duration_paper:.0} paper-seconds, zero think time\n"
+    );
+    println!(
+        "{:<14} {:>12} {:>16} {:>14}",
+        "system", "queries/hour", "blocks read", "osp attaches"
+    );
     println!("{}", "-".repeat(60));
     for system in [System::DbmsX, System::Baseline, System::QPipeOsp] {
-        let driver = Driver::build(system, profile, |c| {
-            build_tpch(c, TpchScale::experiment(), 20050614)
-        })?;
+        let driver =
+            Driver::build(system, profile, |c| build_tpch(c, TpchScale::experiment(), 20050614))?;
         let result = closed_loop(
             &driver,
             &|client, iteration| {

@@ -1,0 +1,219 @@
+//! Minimal `criterion` stand-in for an offline build environment.
+//!
+//! Implements the subset of the criterion 0.5 API the `micro` bench uses:
+//! `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark is auto-calibrated (batches sized to ≥ ~2 ms), run for
+//! `sample_size` samples, and reported as the median ns/iter on stdout. All
+//! results are additionally written as JSON to `$QPIPE_BENCH_JSON`
+//! (default `BENCH_micro.json` in the working directory) so benchmark
+//! trajectories can be tracked across commits.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub name: String,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        Self { param: param.to_string() }
+    }
+
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, param: P) -> Self {
+        Self { param: format!("{}/{}", function.into(), param) }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count ≥ ~2ms per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_micros() >= 2_000 || iters >= 1 << 24 {
+                break;
+            }
+            let target = 2_500u128; // µs
+            let per_iter = (elapsed.as_micros().max(1)) / iters as u128;
+            iters = ((target / per_iter.max(1)) as u64).clamp(iters * 2, iters * 64);
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        self.result = Some((median, times[0], times[times.len() - 1], iters));
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { sample_size, result: None };
+    f(&mut b);
+    if let Some((median, min, max, iters)) = b.result {
+        println!("bench {name:<48} median {:>12.1} ns/iter (min {min:.1}, max {max:.1})", median);
+        RESULTS.lock().unwrap().push(Sample {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: sample_size,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Top-level benchmark driver (configuration + result registry).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.param);
+        run_one(&name, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Serialize all recorded results as JSON (hand-rolled: no serde offline).
+pub fn emit_json() {
+    let results = RESULTS.lock().unwrap();
+    let path = std::env::var("QPIPE_BENCH_JSON").unwrap_or_else(|_| "BENCH_micro.json".into());
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let name = s.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            s.median_ns,
+            s.min_ns,
+            s.max_ns,
+            s.samples,
+            s.iters_per_sample,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path} ({} benchmarks)", results.len());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::emit_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1u64 + 1)));
+        let results = RESULTS.lock().unwrap();
+        let s = results.iter().find(|s| s.name == "shim_smoke").unwrap();
+        assert!(s.median_ns > 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Minimal `crossbeam` stand-in backed by `std::sync::mpsc`.
+//!
+//! Only the `channel::unbounded` MPSC surface the engine uses is provided.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn unbounded_round_trip() {
+            let (tx, rx) = super::unbounded::<i32>();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(41).unwrap());
+            tx.send(1).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            assert_eq!(a + b, 42);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal `rand` 0.8 stand-in: `StdRng`, `SeedableRng::seed_from_u64`, and
+//! the `Rng` methods the workloads use (`gen_range`, `gen_bool`, `gen`).
+//!
+//! The generator is xoshiro256**-style splitmix-seeded — deterministic and
+//! fast, NOT cryptographic. Integer ranges use Lemire-style multiply-shift
+//! rejection-free mapping (tiny bias at 64-bit range widths is irrelevant for
+//! workload generation).
+
+pub mod rngs {
+    /// Deterministic 64-bit PRNG (splitmix64-seeded xorshift*).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_seed_u64(seed: u64) -> Self {
+            // splitmix64 scramble so small seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            Self { state: (z ^ (z >> 31)) | 1 }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            // xorshift64* — passes the statistical bar for test workloads.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_seed_u64(seed)
+    }
+}
+
+/// A type a `Rng` can produce uniformly over a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + v) as $t
+            }
+            fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty gen_range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + (hi - lo) * unit
+            }
+            fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                Self::sample_half_open(rng, lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Values `Rng::gen` can produce directly.
+pub trait Standard {
+    fn generate(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn generate(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn generate(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for f64 {
+    fn generate(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn generate(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+    fn gen<T: Standard>(&mut self) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = r.gen_range(1usize..=7);
+            assert!((1..=7).contains(&w));
+            let f = r.gen_range(0.25f64..4.0);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut r = rngs::StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn small_int_ranges_cover_all_values() {
+        let mut r = rngs::StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -22,8 +22,7 @@ fn full_mix_identical_across_systems() {
     let reference: Vec<usize> = plans.iter().map(|p| x.run(p.clone()).unwrap()).collect();
     for system in [System::Baseline, System::QPipeOsp] {
         let d = driver(system);
-        let r = staggered_run(&d, plans.clone(), 0.0, SystemProfile::instant().time_scale)
-            .unwrap();
+        let r = staggered_run(&d, plans.clone(), 0.0, SystemProfile::instant().time_scale).unwrap();
         assert_eq!(r.row_counts, reference, "{:?} row counts differ", system.label());
     }
 }
@@ -92,10 +91,12 @@ fn repeated_bursts_keep_engine_healthy() {
     let scale = SystemProfile::instant().time_scale;
     let mut rng = StdRng::seed_from_u64(1234);
     for round in 0..5 {
-        let plans: Vec<PlanNode> = (0..6).map(|_| {
-            let q = MIX[rng.gen_range_usize(MIX.len())];
-            query(q, &mut rng)
-        }).collect();
+        let plans: Vec<PlanNode> = (0..6)
+            .map(|_| {
+                let q = MIX[rng.gen_range_usize(MIX.len())];
+                query(q, &mut rng)
+            })
+            .collect();
         let r = staggered_run(&d, plans, 0.0, scale).unwrap();
         assert_eq!(r.row_counts.len(), 6, "round {round}");
     }

@@ -1,70 +1,198 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties run over deterministic seeded-random cases (the `rand`
+//! shim): same spirit — randomized inputs, universally-quantified assertions —
+//! with reproducible failures (every case derives from the fixed seeds below).
 
-use proptest::prelude::*;
+use qpipe::common::colbatch::{ColBatch, SelVec};
+use qpipe::common::AnyBatch;
+use qpipe::exec::vexpr::project_batch;
 use qpipe::prelude::*;
 use qpipe_storage::page::{decode_tuple, encode_tuple, encoded_len, Page};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Random generators
+// ---------------------------------------------------------------------------
+
+fn arb_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5) {
+        0 => Value::Int(rng.gen_range(i64::MIN / 2..i64::MAX / 2)),
+        // Finite floats only: NaN breaks round-trip equality on purpose.
+        1 => Value::Float(rng.gen_range(-1e12..1e12)),
+        2 => {
+            let len = rng.gen_range(0..=12);
+            let s: String = (0..len)
+                .map(|_| {
+                    let alphabet = b"abcdefgh XYZ01_-";
+                    alphabet[rng.gen_range(0..alphabet.len())] as char
+                })
+                .collect();
+            Value::str(s)
+        }
+        3 => Value::Date(rng.gen_range(i32::MIN..i32::MAX)),
+        _ => Value::Null,
+    }
+}
+
+fn arb_tuple(rng: &mut StdRng) -> Tuple {
+    let n = rng.gen_range(0..12);
+    (0..n).map(|_| arb_value(rng)).collect()
+}
+
+/// Uniform-width batch with per-column type discipline *most* of the time
+/// (mirrors heap pages), NULL-dense, occasionally mixed-type on purpose.
+fn arb_batch(rng: &mut StdRng) -> Vec<Tuple> {
+    let rows = rng.gen_range(0..=80);
+    let cols = rng.gen_range(1..=5);
+    let kinds: Vec<u8> = (0..cols).map(|_| rng.gen_range(0..5)).collect();
+    (0..rows)
+        .map(|_| {
+            kinds
+                .iter()
+                .map(|&k| {
+                    if rng.gen_bool(0.15) {
+                        return Value::Null;
+                    }
+                    // 5% chance: break the column's type (Mixed fallback).
+                    let k = if rng.gen_bool(0.05) { rng.gen_range(0..4) } else { k };
+                    match k {
+                        0 => Value::Int(rng.gen_range(-100..100)),
+                        1 => Value::Float(rng.gen_range(-100.0..100.0)),
+                        2 => {
+                            let prefixes = ["widget", "gadget", "wid", ""];
+                            let p = prefixes[rng.gen_range(0..prefixes.len())];
+                            Value::str(format!("{p}{}", rng.gen_range(0..10)))
+                        }
+                        3 => Value::Date(rng.gen_range(-500..500)),
+                        _ => Value::Null,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Random predicate over `cols` columns, exercising every kernel shape:
+/// comparisons (both literal sides), connectives, IS NULL, prefix, IN,
+/// arithmetic (scalar-fallback territory).
+fn arb_pred(rng: &mut StdRng, cols: usize, depth: usize) -> Expr {
+    let col = |rng: &mut StdRng| Expr::col(rng.gen_range(0..cols.max(1)));
+    let lit = |rng: &mut StdRng| match rng.gen_range(0..5) {
+        0 => Expr::lit(rng.gen_range(-100i64..100)),
+        1 => Expr::lit(rng.gen_range(-100.0f64..100.0)),
+        2 => Expr::Lit(Value::str(format!("widget{}", rng.gen_range(0..10)))),
+        3 => Expr::Lit(Value::Date(rng.gen_range(-500..500))),
+        _ => Expr::Lit(Value::Null),
+    };
+    let cmp = |rng: &mut StdRng, a: Expr, b: Expr| match rng.gen_range(0..6) {
+        0 => a.eq(b),
+        1 => a.ne(b),
+        2 => a.lt(b),
+        3 => a.le(b),
+        4 => a.gt(b),
+        _ => a.ge(b),
+    };
+    if depth == 0 {
+        return match rng.gen_range(0..6) {
+            0 => {
+                let (a, b) = (col(rng), lit(rng));
+                if rng.gen_bool(0.5) {
+                    cmp(rng, a, b)
+                } else {
+                    cmp(rng, b, a)
+                }
+            }
+            5 => {
+                let (a, b) = (col(rng), lit(rng));
+                let arith = a.add(b);
+                let c = lit(rng);
+                cmp(rng, arith, c)
+            }
+            1 => Expr::IsNull(Box::new(col(rng))),
+            2 => Expr::StartsWith(Box::new(col(rng)), "wid".into()),
+            3 => {
+                let list = (0..rng.gen_range(0..4))
+                    .map(|_| match rng.gen_range(0..3) {
+                        0 => Value::Int(rng.gen_range(-100..100)),
+                        1 => Value::str(format!("widget{}", rng.gen_range(0..10))),
+                        _ => Value::Null,
+                    })
+                    .collect();
+                Expr::In(Box::new(col(rng)), list)
+            }
+            _ => {
+                let (a, b) = (col(rng), col(rng));
+                cmp(rng, a, b)
+            }
+        };
+    }
+    match rng.gen_range(0..3) {
+        0 => Expr::and((0..rng.gen_range(0..=3)).map(|_| arb_pred(rng, cols, depth - 1))),
+        1 => Expr::or((0..rng.gen_range(0..=3)).map(|_| arb_pred(rng, cols, depth - 1))),
+        _ => Expr::Not(Box::new(arb_pred(rng, cols, depth - 1))),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Value / codec properties
 // ---------------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        // Finite floats only: NaN breaks round-trip equality on purpose.
-        (-1e12f64..1e12).prop_map(Value::Float),
-        "[a-zA-Z0-9 _-]{0,40}".prop_map(Value::str),
-        any::<i32>().prop_map(Value::Date),
-        Just(Value::Null),
-    ]
-}
-
-fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    prop::collection::vec(arb_value(), 0..12)
-}
-
-proptest! {
-    #[test]
-    fn codec_round_trips(tuple in arb_tuple()) {
+#[test]
+fn codec_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for _ in 0..500 {
+        let tuple = arb_tuple(&mut rng);
         let mut buf = Vec::new();
         encode_tuple(&tuple, &mut buf);
-        prop_assert_eq!(buf.len(), encoded_len(&tuple));
+        assert_eq!(buf.len(), encoded_len(&tuple));
         let back = decode_tuple(&buf).unwrap();
-        prop_assert_eq!(back, tuple);
+        assert_eq!(back, tuple);
     }
+}
 
-    #[test]
-    fn truncated_encodings_never_panic(tuple in arb_tuple(), cut in 0usize..64) {
+#[test]
+fn truncated_encodings_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x7A0C);
+    for _ in 0..500 {
+        let tuple = arb_tuple(&mut rng);
         let mut buf = Vec::new();
         encode_tuple(&tuple, &mut buf);
-        let cut = cut.min(buf.len());
-        // Must return Ok(full tuple) only for the complete buffer; any prefix
-        // must produce an error, not a panic. (A prefix can only decode
-        // successfully if it is the whole buffer.)
+        let cut = rng.gen_range(0..64usize).min(buf.len());
+        // A strict prefix must produce an error, not a panic.
         let r = decode_tuple(&buf[..cut]);
         if cut < buf.len() {
-            prop_assert!(r.is_err() || encoded_len(&tuple) <= cut);
+            assert!(r.is_err() || encoded_len(&tuple) <= cut);
         }
     }
+}
 
-    #[test]
-    fn value_ordering_is_total_and_consistent_with_hash(a in arb_value(), b in arb_value()) {
-        use std::cmp::Ordering;
+#[test]
+fn value_ordering_is_total_and_consistent_with_hash() {
+    use std::cmp::Ordering;
+    let mut rng = StdRng::seed_from_u64(0x0DD);
+    for _ in 0..2000 {
+        let (a, b) = (arb_value(&mut rng), arb_value(&mut rng));
         // Antisymmetry.
         let ab = a.total_cmp(&b);
         let ba = b.total_cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse());
         // Eq ⇒ equal hashes.
         if ab == Ordering::Equal {
-            prop_assert_eq!(a.stable_hash(), b.stable_hash());
+            assert_eq!(a.stable_hash(), b.stable_hash());
         }
     }
+}
 
-    #[test]
-    fn value_ordering_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
-        let mut v = [a, b, c];
+#[test]
+fn value_ordering_transitive() {
+    let mut rng = StdRng::seed_from_u64(0x7A2);
+    for _ in 0..2000 {
+        let mut v = [arb_value(&mut rng), arb_value(&mut rng), arb_value(&mut rng)];
         v.sort();
-        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        assert!(v[0] <= v[1] && v[1] <= v[2]);
     }
 }
 
@@ -72,11 +200,13 @@ proptest! {
 // Page properties
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn page_preserves_record_contents(records in prop::collection::vec(
-        prop::collection::vec(any::<u8>(), 0..256), 0..40))
-    {
+#[test]
+fn page_preserves_record_contents() {
+    let mut rng = StdRng::seed_from_u64(0x9A6E);
+    for _ in 0..60 {
+        let records: Vec<Vec<u8>> = (0..rng.gen_range(0..40))
+            .map(|_| (0..rng.gen_range(0..256)).map(|_| rng.gen_range(0..=255u64) as u8).collect())
+            .collect();
         let mut page = Page::new();
         let mut stored = Vec::new();
         for r in &records {
@@ -85,41 +215,112 @@ proptest! {
                 stored.push(r.clone());
             }
         }
-        prop_assert_eq!(page.num_records(), stored.len());
+        assert_eq!(page.num_records(), stored.len());
         for (i, r) in stored.iter().enumerate() {
-            prop_assert_eq!(page.record(i as u16).unwrap(), &r[..]);
+            assert_eq!(page.record(i as u16).unwrap(), &r[..]);
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Expression properties
+// Expression properties (scalar)
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn not_not_is_identity(v in -100i64..100, bound in -100i64..100) {
-        let t: Tuple = vec![Value::Int(v)];
-        let p = Expr::col(0).lt(Expr::lit(bound));
+#[test]
+fn not_not_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0x1407);
+    for _ in 0..500 {
+        let t: Tuple = vec![Value::Int(rng.gen_range(-100..100))];
+        let p = Expr::col(0).lt(Expr::lit(rng.gen_range(-100i64..100)));
         let np = Expr::Not(Box::new(Expr::Not(Box::new(p.clone()))));
-        prop_assert_eq!(p.eval_bool(&t).unwrap(), np.eval_bool(&t).unwrap());
+        assert_eq!(p.eval_bool(&t).unwrap(), np.eval_bool(&t).unwrap());
     }
+}
 
-    #[test]
-    fn de_morgan(v in -100i64..100, a in -100i64..100, b in -100i64..100) {
-        let t: Tuple = vec![Value::Int(v)];
-        let p = Expr::col(0).lt(Expr::lit(a));
-        let q = Expr::col(0).gt(Expr::lit(b));
+#[test]
+fn de_morgan() {
+    let mut rng = StdRng::seed_from_u64(0xDE40);
+    for _ in 0..500 {
+        let t: Tuple = vec![Value::Int(rng.gen_range(-100..100))];
+        let p = Expr::col(0).lt(Expr::lit(rng.gen_range(-100i64..100)));
+        let q = Expr::col(0).gt(Expr::lit(rng.gen_range(-100i64..100)));
         let lhs = Expr::Not(Box::new(Expr::and([p.clone(), q.clone()])));
         let rhs = Expr::or([Expr::Not(Box::new(p)), Expr::Not(Box::new(q))]);
-        prop_assert_eq!(lhs.eval_bool(&t).unwrap(), rhs.eval_bool(&t).unwrap());
+        assert_eq!(lhs.eval_bool(&t).unwrap(), rhs.eval_bool(&t).unwrap());
     }
+}
 
-    #[test]
-    fn signature_equality_iff_structural(a in -50i64..50, b in -50i64..50) {
+#[test]
+fn signature_equality_iff_structural() {
+    let mut rng = StdRng::seed_from_u64(0x516);
+    for _ in 0..500 {
+        let (a, b) = (rng.gen_range(-50i64..50), rng.gen_range(-50i64..50));
         let pa = PlanNode::scan_filtered("t", Expr::col(0).eq(Expr::lit(a)));
         let pb = PlanNode::scan_filtered("t", Expr::col(0).eq(Expr::lit(b)));
-        prop_assert_eq!(pa.signature() == pb.signature(), a == b);
+        assert_eq!(pa.signature() == pb.signature(), a == b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / vectorized parity (the load-bearing property for the columnar
+// scan path: Expr::eval_filter must agree with row-at-a-time eval_bool on
+// every batch — NULLs, string prefixes, mixed-type columns and all).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eval_filter_agrees_with_eval_bool() {
+    let mut rng = StdRng::seed_from_u64(0xF117E2);
+    for case in 0..400 {
+        let rows = arb_batch(&mut rng);
+        let cols = rows.first().map_or(1, |r| r.len());
+        let depth = rng.gen_range(0..=2);
+        let pred = arb_pred(&mut rng, cols, depth);
+        let batch = ColBatch::from_rows(&rows);
+        let scalar: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| pred.eval_bool(t).unwrap())
+            .map(|(i, _)| i)
+            .collect();
+        let vectorized: Vec<usize> = pred.eval_filter(&batch).unwrap().iter().collect();
+        assert_eq!(vectorized, scalar, "case {case}: predicate {pred:?} over {rows:?}");
+    }
+}
+
+#[test]
+fn eval_project_agrees_with_scalar_eval() {
+    let mut rng = StdRng::seed_from_u64(0x9205EC7);
+    for _ in 0..200 {
+        let rows = arb_batch(&mut rng);
+        let ncols = rows.first().map_or(1, |r| r.len());
+        let batch = ColBatch::from_rows(&rows);
+        let pred = arb_pred(&mut rng, ncols, 1);
+        let sel = pred.eval_filter(&batch).unwrap();
+        let exprs = vec![
+            Expr::col(rng.gen_range(0..ncols.max(1))),
+            Expr::col(rng.gen_range(0..ncols.max(1))).add(Expr::lit(1)),
+        ];
+        let projected = project_batch(&exprs, &batch, &sel).unwrap();
+        let expected: Vec<Tuple> =
+            sel.iter().map(|i| exprs.iter().map(|e| e.eval(&rows[i]).unwrap()).collect()).collect();
+        assert_eq!(projected.to_rows(), expected);
+    }
+}
+
+#[test]
+fn colbatch_round_trip_and_gather_preserve_rows() {
+    let mut rng = StdRng::seed_from_u64(0x6A7E3);
+    for _ in 0..300 {
+        let rows = arb_batch(&mut rng);
+        let batch = ColBatch::from_rows(&rows);
+        assert_eq!(batch.to_rows(), rows, "to_rows must invert from_rows");
+        assert_eq!(AnyBatch::Cols(batch.clone()).to_rows(), rows);
+        // Gathering a random subset equals indexing the row vector.
+        let idx: Vec<u32> = (0..rows.len() as u32).filter(|_| rng.gen_bool(0.4)).collect();
+        let sel = SelVec::from_sorted(idx.clone());
+        let gathered = batch.gather(&sel);
+        let expected: Vec<Tuple> = idx.iter().map(|&i| rows[i as usize].clone()).collect();
+        assert_eq!(gathered.to_rows(), expected);
     }
 }
 
@@ -140,62 +341,125 @@ fn tiny_catalog(rows: &[i64]) -> std::sync::Arc<Catalog> {
     catalog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_keys(rng: &mut StdRng, max_len: usize) -> Vec<i64> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
+}
 
-    #[test]
-    fn sort_operator_agrees_with_std_sort(mut rows in prop::collection::vec(-1000i64..1000, 0..400)) {
+#[test]
+fn sort_operator_agrees_with_std_sort() {
+    let mut rng = StdRng::seed_from_u64(0x5027);
+    for _ in 0..24 {
+        let mut rows = arb_keys(&mut rng, 400);
         let catalog = tiny_catalog(&rows);
         let ctx = ExecContext::new(catalog);
         let sorted = qpipe::exec::iter::run(
             &PlanNode::scan("t").sort(vec![SortKey::asc(0), SortKey::desc(1)]),
             &ctx,
-        ).unwrap();
+        )
+        .unwrap();
         rows.sort_by(|a, b| (a, std::cmp::Reverse(a % 7)).cmp(&(b, std::cmp::Reverse(b % 7))));
         let got: Vec<i64> = sorted.iter().map(|r| r[0].as_int().unwrap()).collect();
-        prop_assert_eq!(got, rows);
+        assert_eq!(got, rows);
     }
+}
 
-    #[test]
-    fn filter_count_matches_manual(rows in prop::collection::vec(-1000i64..1000, 0..400), bound in -1000i64..1000) {
+#[test]
+fn filter_count_matches_manual() {
+    let mut rng = StdRng::seed_from_u64(0xF117);
+    for _ in 0..24 {
+        let rows = arb_keys(&mut rng, 400);
+        let bound = rng.gen_range(-1000..1000);
         let catalog = tiny_catalog(&rows);
         let ctx = ExecContext::new(catalog);
         let got = qpipe::exec::iter::run(
             &PlanNode::scan_filtered("t", Expr::col(0).lt(Expr::lit(bound))),
             &ctx,
-        ).unwrap().len();
+        )
+        .unwrap()
+        .len();
         let expected = rows.iter().filter(|&&k| k < bound).count();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn qpipe_agrees_with_iterator_engine(rows in prop::collection::vec(-1000i64..1000, 1..300), bound in -1000i64..1000) {
+#[test]
+fn qpipe_agrees_with_iterator_engine() {
+    let mut rng = StdRng::seed_from_u64(0x06E);
+    for _ in 0..24 {
+        let mut rows = arb_keys(&mut rng, 300);
+        if rows.is_empty() {
+            rows.push(rng.gen_range(-1000..1000));
+        }
+        let bound = rng.gen_range(-1000..1000);
         let catalog = tiny_catalog(&rows);
-        let plan = PlanNode::scan_filtered("t", Expr::col(0).ge(Expr::lit(bound)))
-            .aggregate(vec![], vec![AggSpec::count_star(), AggSpec::min(Expr::col(0)), AggSpec::max(Expr::col(0))]);
+        let plan = PlanNode::scan_filtered("t", Expr::col(0).ge(Expr::lit(bound))).aggregate(
+            vec![],
+            vec![AggSpec::count_star(), AggSpec::min(Expr::col(0)), AggSpec::max(Expr::col(0))],
+        );
         let expected = qpipe::exec::iter::run(&plan, &ExecContext::new(catalog.clone())).unwrap();
         let engine = QPipe::new(catalog, QPipeConfig::default());
         let got = engine.submit(plan).unwrap().collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn hash_join_is_exact_cartesian_of_key_groups(
-        left in prop::collection::vec(0i64..20, 0..100),
-        right in prop::collection::vec(0i64..20, 0..100),
-    ) {
+#[test]
+fn hash_join_is_exact_cartesian_of_key_groups() {
+    let mut rng = StdRng::seed_from_u64(0x704A);
+    for _ in 0..24 {
+        let left: Vec<i64> = (0..rng.gen_range(0..100)).map(|_| rng.gen_range(0..20)).collect();
+        let right: Vec<i64> = (0..rng.gen_range(0..100)).map(|_| rng.gen_range(0..20)).collect();
         let catalog = qpipe::quick_system(DiskConfig::instant(), 64);
-        let mk = |rows: &[i64]| -> Vec<Tuple> { rows.iter().map(|&k| vec![Value::Int(k)]).collect() };
+        let mk =
+            |rows: &[i64]| -> Vec<Tuple> { rows.iter().map(|&k| vec![Value::Int(k)]).collect() };
         catalog.create_table("l", Schema::of(&[("k", DataType::Int)]), mk(&left), None).unwrap();
         catalog.create_table("r", Schema::of(&[("k", DataType::Int)]), mk(&right), None).unwrap();
         let ctx = ExecContext::new(catalog);
-        let got = qpipe::exec::iter::run(
-            &PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0),
-            &ctx,
-        ).unwrap().len();
+        let got =
+            qpipe::exec::iter::run(&PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0), &ctx)
+                .unwrap()
+                .len();
         let expected: usize = (0..20)
-            .map(|k| left.iter().filter(|&&x| x == k).count() * right.iter().filter(|&&x| x == k).count())
+            .map(|k| {
+                left.iter().filter(|&&x| x == k).count() * right.iter().filter(|&&x| x == k).count()
+            })
             .sum();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-scan parity: random per-consumer predicates (the Figure 12 mix
+// shape) must produce identical cardinalities with OSP on and off.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_scan_cardinalities_match_osp_on_and_off() {
+    let mut rng = StdRng::seed_from_u64(0xF1612);
+    let rows: Vec<i64> = (0..4000).map(|_| rng.gen_range(-1000..1000)).collect();
+    let bounds: Vec<i64> = (0..6).map(|_| rng.gen_range(-1000..1000)).collect();
+    let run = |osp: bool| -> Vec<usize> {
+        let catalog = tiny_catalog(&rows);
+        let config = if osp { QPipeConfig::default() } else { QPipeConfig::baseline() };
+        let engine = QPipe::new(catalog, config);
+        // Drain concurrently: satellites of one shared scanner must all be
+        // consumed or the scanner (correctly) throttles on the slowest queue.
+        let threads: Vec<_> = bounds
+            .iter()
+            .map(|&b| {
+                let h = engine
+                    .submit(PlanNode::scan_filtered("t", Expr::col(0).ge(Expr::lit(b))))
+                    .unwrap();
+                std::thread::spawn(move || h.collect().len())
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    };
+    let on = run(true);
+    let off = run(false);
+    let expected: Vec<usize> =
+        bounds.iter().map(|&b| rows.iter().filter(|&&k| k >= b).count()).collect();
+    assert_eq!(on, expected, "OSP-on cardinalities");
+    assert_eq!(off, expected, "OSP-off cardinalities");
 }

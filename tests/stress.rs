@@ -76,10 +76,7 @@ fn identical_query_storm_all_consistent() {
         let got = run_concurrent(&engine, &plans);
         assert!(got.iter().all(|&c| c == expected), "{got:?} != {expected}");
     }
-    assert!(
-        engine.metrics().osp_attaches() > 10,
-        "storms of identical queries must share heavily"
-    );
+    assert!(engine.metrics().osp_attaches() > 10, "storms of identical queries must share heavily");
 }
 
 #[test]
