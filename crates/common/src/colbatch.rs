@@ -52,6 +52,18 @@ impl NullBitmap {
     pub fn is_empty(&self) -> bool {
         self.bits.iter().all(|&w| w == 0)
     }
+
+    /// Rebuild from a little-endian packed byte region (bit `i` of byte
+    /// `i / 8` ⇒ slot `i` is NULL) — the on-page format columnar pages use.
+    pub fn from_packed_bytes(bytes: &[u8], len: usize) -> Self {
+        let mut out = Self::with_len(len);
+        for i in 0..len {
+            if bytes[i / 8] & (1 << (i % 8)) != 0 {
+                out.set(i);
+            }
+        }
+        out
+    }
 }
 
 /// The typed payload of one column.
@@ -506,6 +518,18 @@ mod tests {
         let cb = ColBatch::from_rows(&rows());
         let g = cb.gather(&SelVec::all(3));
         assert!(Arc::ptr_eq(&cb.columns()[0], &g.columns()[0]));
+    }
+
+    #[test]
+    fn null_bitmap_from_packed_bytes() {
+        // Bit i of byte i/8 ⇒ slot i NULL (the on-page columnar format).
+        let b = NullBitmap::from_packed_bytes(&[0b0000_0101, 0b1000_0000], 16);
+        let nulls: Vec<usize> = (0..16).filter(|&i| b.get(i)).collect();
+        assert_eq!(nulls, vec![0, 2, 15]);
+        assert!(NullBitmap::from_packed_bytes(&[0], 8).is_empty());
+        // Trailing bits past `len` are ignored.
+        let b = NullBitmap::from_packed_bytes(&[0b1111_1111], 3);
+        assert_eq!((0..3).filter(|&i| b.get(i)).count(), 3);
     }
 
     #[test]

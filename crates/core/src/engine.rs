@@ -380,8 +380,8 @@ impl QPipe {
         for _ in 0..blocks {
             // Overwrite block 0 in place as a stand-in for logged updates;
             // content is unchanged so concurrent readers stay consistent.
-            let page = disk.read_block(info.heap.file_id(), 0)?;
-            disk.write_block(info.heap.file_id(), 0, page)?;
+            let page = disk.read_block(info.file_id(), 0)?;
+            disk.write_block(info.file_id(), 0, page)?;
         }
         Ok(())
     }
@@ -498,12 +498,21 @@ impl QueryHandle {
     }
 
     /// Block until the query finishes; returns all result tuples and records
-    /// the response time.
+    /// the response time. Panics when the query's packet failed (storage
+    /// fault mid-scan); use [`try_collect`](Self::try_collect) to handle
+    /// failures programmatically.
     pub fn collect(self) -> Vec<Tuple> {
+        self.try_collect().unwrap_or_else(|e| panic!("query failed: {e}"))
+    }
+
+    /// Block until the query finishes; `Err` when a packet feeding this
+    /// query failed (e.g. a codec error on a scanned page) — partial output
+    /// is never passed off as a complete result.
+    pub fn try_collect(self) -> QResult<Vec<Tuple>> {
         let rows = match self.inner {
             HandleInner::Cached(rows) => rows.as_ref().clone(),
             HandleInner::Live { consumer, fill } => {
-                let rows = consumer.collect_tuples();
+                let rows = consumer.collect_tuples()?;
                 if let Some((cache, signature, tables)) = fill {
                     cache.admit(
                         signature,
@@ -516,7 +525,7 @@ impl QueryHandle {
             }
         };
         self.metrics.add_query_completion(self.submitted.elapsed().as_micros() as u64);
-        rows
+        Ok(rows)
     }
 
     /// Elapsed wall time since submission.

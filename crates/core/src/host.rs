@@ -193,6 +193,17 @@ impl SharedHost {
     pub fn abort(&self) {
         self.finish();
     }
+
+    /// Fail: poison every output with `error` so the host's queries (and any
+    /// attached satellites) observe the failure instead of a truncated EOF.
+    pub fn fail(&self, error: &qpipe_common::QError) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        st.history.clear();
+        for out in st.outputs.drain(..) {
+            out.fail(error.clone());
+        }
+    }
 }
 
 /// Per-µEngine registry of in-progress shareable operations, keyed by
@@ -296,8 +307,8 @@ mod tests {
         host.push(batch_of(&[1, 2]));
         host.push(batch_of(&[3]));
         host.finish();
-        assert_eq!(host_cons.collect_tuples().len(), 3);
-        assert_eq!(sat_cons.collect_tuples().len(), 3);
+        assert_eq!(host_cons.collect_tuples().unwrap().len(), 3);
+        assert_eq!(sat_cons.collect_tuples().unwrap().len(), 3);
     }
 
     #[test]
@@ -317,8 +328,8 @@ mod tests {
         host.try_attach(packet).expect("2 batches <= backfill 4");
         host.push(batch_of(&[3]));
         host.finish();
-        assert_eq!(host_cons.collect_tuples().len(), 3);
-        assert_eq!(sat_cons.collect_tuples().len(), 3, "history replayed");
+        assert_eq!(host_cons.collect_tuples().unwrap().len(), 3);
+        assert_eq!(sat_cons.collect_tuples().unwrap().len(), 3, "history replayed");
     }
 
     #[test]
@@ -360,7 +371,7 @@ mod tests {
         let (packet, sat_cons, _) = make_packet();
         host.try_attach(packet).expect("whole-lifetime window");
         host.finish();
-        assert_eq!(sat_cons.collect_tuples().len(), 50);
+        assert_eq!(sat_cons.collect_tuples().unwrap().len(), 50);
     }
 
     #[test]
@@ -429,8 +440,8 @@ mod tests {
         host.try_attach(packet).expect("attach while host stalled");
         assert!(t.elapsed() < Duration::from_millis(250), "attach must not block");
         // Drain both consumers; everything completes.
-        let drain = std::thread::spawn(move || slow_consumer.collect_tuples().len());
-        assert_eq!(sat_cons.collect_tuples().len(), 40);
+        let drain = std::thread::spawn(move || slow_consumer.collect_tuples().unwrap().len());
+        assert_eq!(sat_cons.collect_tuples().unwrap().len(), 40);
         assert_eq!(drain.join().unwrap(), 40);
         pusher.join().unwrap();
     }

@@ -67,11 +67,12 @@ pub fn execute(mut packet: Packet, host: Arc<SharedHost>, env: &OpEnv) {
     let cancel = packet.cancel.clone();
     let plan = packet.plan.clone();
     let result = run_operator(&plan, children, &host, &cancel, env);
-    if result.is_err() {
-        // Close outputs so consumers see EOF rather than hanging; the error
-        // itself surfaces as a short result (acceptable: plans are validated
-        // at submit time, so runtime errors indicate storage failures).
-        host.abort();
+    if let Err(e) = result {
+        // Poison the outputs: consumers (including attached satellites)
+        // observe the error rather than mistaking truncated output for a
+        // complete result. Plans are validated at submit time, so runtime
+        // errors here indicate storage failures mid-execution.
+        host.fail(&e);
         return;
     }
     host.finish();

@@ -21,7 +21,7 @@
 
 use crate::deadlock::{NodeId, WaitKind, WaitRegistry};
 use parking_lot::{Condvar, Mutex};
-use qpipe_common::{AnyBatch, Batch, ColBatch, QResult, Tuple};
+use qpipe_common::{AnyBatch, Batch, ColBatch, QError, QResult, Tuple};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -61,6 +61,9 @@ struct PipeState {
     /// Total batches ever produced.
     produced: u64,
     eof: bool,
+    /// Set when the producer failed; consumers observe the error instead of
+    /// a truncated-but-clean EOF (no silent data loss).
+    error: Option<QError>,
     materialized: bool,
     /// Node id of the producing packet.
     producer_node: NodeId,
@@ -95,6 +98,7 @@ impl Pipe {
                 history: VecDeque::new(),
                 produced: 0,
                 eof: false,
+                error: None,
                 materialized: false,
                 producer_node,
             }),
@@ -222,17 +226,41 @@ impl Pipe {
         self.space.notify_all();
     }
 
-    fn recv(&self, id: usize, node: NodeId) -> Option<Arc<AnyBatch>> {
+    /// Poison the pipe: every consumer's next receive observes `error`
+    /// instead of EOF (the producer's packet failed — §4.3.4 analogue of a
+    /// storage fault surfacing mid-scan).
+    pub fn fail(&self, error: QError) {
+        let mut st = self.state.lock();
+        if st.error.is_none() {
+            st.error = Some(error);
+        }
+        st.eof = true;
+        drop(st);
+        self.data.notify_all();
+        self.space.notify_all();
+    }
+
+    /// The error the producer failed with, if any.
+    pub fn error(&self) -> Option<QError> {
+        self.state.lock().error.clone()
+    }
+
+    fn recv(&self, id: usize, node: NodeId) -> QResult<Option<Arc<AnyBatch>>> {
         let mut st = self.state.lock();
         loop {
-            let c = st.consumers.get_mut(&id)?;
+            // A failed producer fails the consumer promptly — queued batches
+            // belong to a packet that can no longer deliver complete results.
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
+            let Some(c) = st.consumers.get_mut(&id) else { return Ok(None) };
             if let Some(batch) = c.queue.pop_front() {
                 drop(st);
                 self.space.notify_all();
-                return Some(batch);
+                return Ok(Some(batch));
             }
             if st.eof {
-                return None;
+                return Ok(None);
             }
             let producer_node = st.producer_node;
             self.registry.add_edge(node, producer_node, self.id, WaitKind::ConsumerEmpty);
@@ -302,6 +330,13 @@ impl PipeProducer {
         self.pipe.close();
     }
 
+    /// Fail the stream: consumers observe `error` instead of EOF. Buffered
+    /// tuples are discarded — a failed packet delivers nothing further.
+    pub fn fail(mut self, error: QError) {
+        let _ = self.builder.finish();
+        self.pipe.fail(error);
+    }
+
     pub fn pipe(&self) -> &Arc<Pipe> {
         &self.pipe
     }
@@ -324,8 +359,9 @@ pub struct PipeConsumer {
 }
 
 impl PipeConsumer {
-    /// Blocking receive; `None` at end of stream.
-    pub fn recv(&self) -> Option<Arc<AnyBatch>> {
+    /// Blocking receive; `Ok(None)` at end of stream, `Err` when the
+    /// producer failed the pipe (the packet's results are incomplete).
+    pub fn recv(&self) -> QResult<Option<Arc<AnyBatch>>> {
         self.pipe.recv(self.id, self.node)
     }
 
@@ -335,16 +371,18 @@ impl PipeConsumer {
 
     /// Drain everything into a vector of tuples, materializing columnar
     /// batches at this (row-engine) boundary. A batch this consumer is the
-    /// last holder of is moved, not copied.
-    pub fn collect_tuples(self) -> Vec<Tuple> {
+    /// last holder of is moved, not copied. Errs when the producer failed
+    /// mid-stream — a failed packet never passes off partial output as
+    /// complete results.
+    pub fn collect_tuples(self) -> QResult<Vec<Tuple>> {
         let mut out = Vec::new();
-        while let Some(b) = self.recv() {
+        while let Some(b) = self.recv()? {
             match Arc::try_unwrap(b) {
                 Ok(owned) => out.extend(owned.into_rows()),
                 Err(shared) => out.extend(shared.to_rows()),
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -376,7 +414,7 @@ impl qpipe_exec::iter::TupleIter for PipeIter {
                 self.pos += 1;
                 return Ok(Some(t));
             }
-            match self.consumer.recv() {
+            match self.consumer.recv()? {
                 None => return Ok(None),
                 Some(batch) => {
                     // Sole-holder batches are moved out instead of cloned.
@@ -414,7 +452,7 @@ mod tests {
             producer.push(tuple(i));
         }
         producer.finish();
-        let rows = consumer.collect_tuples();
+        let rows = consumer.collect_tuples().unwrap();
         assert_eq!(rows.len(), 1000);
         assert_eq!(rows[999], tuple(999));
     }
@@ -433,7 +471,7 @@ mod tests {
         });
         let mut joins = Vec::new();
         for c in consumers {
-            joins.push(std::thread::spawn(move || c.collect_tuples().len()));
+            joins.push(std::thread::spawn(move || c.collect_tuples().unwrap().len()));
         }
         handle.join().unwrap();
         for j in joins {
@@ -457,7 +495,7 @@ mod tests {
             flag.store(true, Ordering::SeqCst);
         });
         // Fast consumer drains in its own thread.
-        let fh = std::thread::spawn(move || fast.collect_tuples().len());
+        let fh = std::thread::spawn(move || fast.collect_tuples().unwrap().len());
         std::thread::sleep(Duration::from_millis(50));
         assert!(!producer_done.load(Ordering::SeqCst), "slow consumer must throttle producer");
         drop(slow); // detaching unblocks the producer
@@ -477,8 +515,8 @@ mod tests {
         // Late consumer with backfill sees everything.
         let late = pipe.attach_consumer(NodeId(3), true);
         producer.finish();
-        assert_eq!(early.collect_tuples().len(), Batch::DEFAULT_CAPACITY * 3);
-        assert_eq!(late.collect_tuples().len(), Batch::DEFAULT_CAPACITY * 3);
+        assert_eq!(early.collect_tuples().unwrap().len(), Batch::DEFAULT_CAPACITY * 3);
+        assert_eq!(late.collect_tuples().unwrap().len(), Batch::DEFAULT_CAPACITY * 3);
     }
 
     #[test]
@@ -507,7 +545,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         pipe2.materialize();
         h.join().unwrap();
-        assert_eq!(stuck.collect_tuples().len(), 2000);
+        assert_eq!(stuck.collect_tuples().unwrap().len(), 2000);
     }
 
     #[test]
@@ -516,7 +554,7 @@ mod tests {
         let c = pipe.attach_consumer(NodeId(2), false);
         let producer = pipe.producer();
         producer.finish();
-        assert!(c.recv().is_none());
+        assert!(c.recv().unwrap().is_none());
     }
 
     #[test]
@@ -528,7 +566,7 @@ mod tests {
             p.push(tuple(1));
             // Dropped without finish() — must still flush + close.
         }
-        let rows = c.collect_tuples();
+        let rows = c.collect_tuples().unwrap();
         assert_eq!(rows.len(), 1);
     }
 
@@ -549,6 +587,31 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn failed_pipe_surfaces_error_not_eof() {
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        let mut producer = pipe.producer();
+        producer.push(tuple(1));
+        producer.fail(QError::Storage("bad page".into()));
+        let err = c.collect_tuples().expect_err("failure must not look like EOF");
+        assert_eq!(err, QError::Storage("bad page".into()));
+        // Late attachers observe the same failure.
+        let late = pipe.attach_consumer(NodeId(3), false);
+        assert!(late.recv().is_err());
+    }
+
+    #[test]
+    fn failed_pipe_unblocks_waiting_consumer() {
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        let producer = pipe.producer();
+        let h = std::thread::spawn(move || c.collect_tuples());
+        std::thread::sleep(Duration::from_millis(20));
+        producer.fail(QError::Storage("mid-stream fault".into()));
+        assert!(h.join().unwrap().is_err());
     }
 
     #[test]
@@ -574,7 +637,7 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert!(saw_edge, "blocked producer must register a waits-for edge");
-        let rows = slow.collect_tuples();
+        let rows = slow.collect_tuples().unwrap();
         h.join().unwrap();
         assert_eq!(rows.len(), n as usize);
         assert!(reg.edges().is_empty(), "edges must clear after unblock");

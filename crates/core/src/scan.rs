@@ -19,9 +19,10 @@
 
 use crate::pipe::PipeProducer;
 use parking_lot::Mutex;
-use qpipe_common::{AnyBatch, ColBatch, Metrics, QResult, SelVec, Tuple};
+use qpipe_common::{AnyBatch, ColBatch, Metrics, QError, QResult, SelVec};
 use qpipe_exec::expr::Expr;
 use qpipe_exec::iter::ExecContext;
+use qpipe_storage::Block;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -180,6 +181,22 @@ impl ScanManager {
         Ok(())
     }
 
+    /// Storage failed mid-scan: fail every attached packet (adopted and
+    /// still-inboxed alike) with the error, and refuse further attaches.
+    /// Delivering a clean EOF here would pass truncated output off as
+    /// complete results — the silent-data-loss bug this replaces.
+    fn fail_group(&self, group: &Arc<ScanGroup>, consumers: &mut Vec<ScanConsumer>, e: QError) {
+        let stragglers = {
+            let mut g = group.inner.lock();
+            g.finished = true;
+            g.active = 0;
+            std::mem::take(&mut g.inbox)
+        };
+        for c in consumers.drain(..).chain(stragglers) {
+            c.output.fail(e.clone());
+        }
+    }
+
     /// The scanner thread body: circular page delivery to all consumers.
     fn run_scanner(&self, group: &Arc<ScanGroup>, num_pages: u64) {
         let info = match self.ctx.catalog.table(&group.table) {
@@ -193,7 +210,7 @@ impl ScanManager {
             std::thread::sleep(self.config.startup_delay);
         }
         let pool = self.ctx.catalog.pool().clone();
-        let file = info.heap.file_id();
+        let file = info.file_id();
         let scanner_node = crate::packet::fresh_node();
         let mut consumers: Vec<ScanConsumer> = Vec::new();
         loop {
@@ -216,27 +233,33 @@ impl ScanManager {
                 }
             }
             let position = group.inner.lock().position;
-            let page = match pool.get(file, position) {
-                Ok(p) => p,
-                Err(_) => {
-                    // Table shrank or storage failure: close everyone.
-                    let mut g = group.inner.lock();
-                    g.finished = true;
-                    drop(g);
-                    for c in consumers.drain(..) {
-                        c.output.finish();
-                    }
+            // Fetch + decode the page ONCE; every consumer's predicate /
+            // projection then runs as a vectorized kernel over the same
+            // `ColBatch` (selection vector → gather), so the per-page cost of
+            // N attached consumers is N kernel passes over primitive slices —
+            // no per-row allocation, no `Value` cloning.
+            //
+            // * Columnar tables materialize the page's shared batch straight
+            //   from the PAX byte regions (zero row decode, and cached in the
+            //   pool-resident page handle — later visits are refcount bumps).
+            // * Row tables still pay the slotted codec: decode to tuples,
+            //   then column-ify.
+            //
+            // Either fetch or decode failing fails every attached packet —
+            // consumers observe the error, never a silently-empty page.
+            let decoded: QResult<Arc<AnyBatch>> = pool.get(file, position).and_then(|block| {
+                Ok(Arc::new(AnyBatch::Cols(match block {
+                    Block::Columnar(cp) => cp.materialize()?.as_ref().clone(),
+                    Block::Slotted(p) => ColBatch::from_rows(&p.decode_tuples()?),
+                })))
+            });
+            let shared = match decoded {
+                Ok(s) => s,
+                Err(e) => {
+                    self.fail_group(group, &mut consumers, e);
                     return;
                 }
             };
-            // Decode the page ONCE into columnar layout; every consumer's
-            // predicate/projection then runs as a vectorized kernel over the
-            // same `ColBatch` (selection vector → gather), so the per-page
-            // cost of N attached consumers is N kernel passes over primitive
-            // slices — no per-row allocation, no `Value` cloning.
-            let tuples: Vec<Tuple> = page.decode_tuples().unwrap_or_default();
-            let shared = Arc::new(AnyBatch::Cols(ColBatch::from_rows(&tuples)));
-            drop(tuples);
             let cols = match &*shared {
                 AnyBatch::Cols(c) => c,
                 AnyBatch::Rows(_) => unreachable!(),
@@ -311,20 +334,28 @@ mod tests {
     use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
     use std::time::Duration;
 
-    fn ctx_with_table(rows: i64) -> (ExecContext, Metrics) {
+    fn ctx_with_table_layout(
+        rows: i64,
+        layout: qpipe_storage::StorageLayout,
+    ) -> (ExecContext, Metrics) {
         let metrics = Metrics::new();
         let disk = SimDisk::new(DiskConfig::instant(), metrics.clone());
         let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(16, PolicyKind::Lru));
         let catalog = Catalog::new(disk, pool);
         catalog
-            .create_table(
+            .create_table_with_layout(
                 "t",
                 Schema::of(&[("k", DataType::Int)]),
                 (0..rows).map(|i| vec![Value::Int(i)]).collect(),
                 Some(0),
+                layout,
             )
             .unwrap();
         (ExecContext::new(catalog), metrics)
+    }
+
+    fn ctx_with_table(rows: i64) -> (ExecContext, Metrics) {
+        ctx_with_table_layout(rows, qpipe_storage::StorageLayout::Row)
     }
 
     fn request(
@@ -360,7 +391,7 @@ mod tests {
         let reg = Arc::new(WaitRegistry::new());
         let (req, consumer) = request(&reg, true, false);
         mgr.submit(req).unwrap();
-        let rows = consumer.collect_tuples();
+        let rows = consumer.collect_tuples().unwrap();
         assert_eq!(rows.len(), 5000);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r[0], Value::Int(i as i64), "stored order preserved");
@@ -380,7 +411,7 @@ mod tests {
         }
         let handles: Vec<_> = consumers
             .into_iter()
-            .map(|c| std::thread::spawn(move || c.collect_tuples().len()))
+            .map(|c| std::thread::spawn(move || c.collect_tuples().unwrap().len()))
             .collect();
         for h in handles {
             assert_eq!(h.join().unwrap(), 5000);
@@ -399,8 +430,8 @@ mod tests {
         let (r2, c2) = request(&reg, false, false);
         mgr.submit(r1).unwrap();
         mgr.submit(r2).unwrap();
-        assert_eq!(c1.collect_tuples().len(), 2000);
-        assert_eq!(c2.collect_tuples().len(), 2000);
+        assert_eq!(c1.collect_tuples().unwrap().len(), 2000);
+        assert_eq!(c2.collect_tuples().unwrap().len(), 2000);
         assert_eq!(m.snapshot().osp_attaches, 0);
     }
 
@@ -411,12 +442,12 @@ mod tests {
         let reg = Arc::new(WaitRegistry::new());
         let (r1, c1) = request(&reg, false, false);
         mgr.submit(r1).unwrap();
-        let drain1 = std::thread::spawn(move || c1.collect_tuples().len());
+        let drain1 = std::thread::spawn(move || c1.collect_tuples().unwrap().len());
         // Wait until the first scanner has made progress past page 0.
         std::thread::sleep(Duration::from_millis(20));
         let (r2, c2) = request(&reg, true, false);
         mgr.submit(r2).unwrap();
-        let rows = c2.collect_tuples();
+        let rows = c2.collect_tuples().unwrap();
         assert_eq!(rows.len(), 50_000);
         // Strictly in order despite the in-progress unordered scan.
         for w in rows.windows(2) {
@@ -432,11 +463,11 @@ mod tests {
         let reg = Arc::new(WaitRegistry::new());
         let (r1, c1) = request(&reg, false, false);
         mgr.submit(r1).unwrap();
-        let drain1 = std::thread::spawn(move || c1.collect_tuples().len());
+        let drain1 = std::thread::spawn(move || c1.collect_tuples().unwrap().len());
         std::thread::sleep(Duration::from_millis(20));
         let (r2, c2) = request(&reg, true, true);
         mgr.submit(r2).unwrap();
-        let rows = c2.collect_tuples();
+        let rows = c2.collect_tuples().unwrap();
         assert_eq!(rows.len(), 50_000, "wrapped delivery still covers every tuple");
         assert!(m.snapshot().osp_attaches >= 1, "split_ok scan must attach");
         drain1.join().unwrap();
@@ -455,7 +486,7 @@ mod tests {
         // packet drops its consumers when its µEngine dequeues it).
         drop(c1);
         // The second consumer still gets the full table.
-        assert_eq!(c2.collect_tuples().len(), 20_000);
+        assert_eq!(c2.collect_tuples().unwrap().len(), 20_000);
     }
 
     #[test]
@@ -483,8 +514,79 @@ mod tests {
         let (r2, c2) = mk(900);
         mgr.submit(r1).unwrap();
         mgr.submit(r2).unwrap();
-        assert_eq!(c1.collect_tuples().len(), 500);
-        assert_eq!(c2.collect_tuples().len(), 100);
+        assert_eq!(c1.collect_tuples().unwrap().len(), 500);
+        assert_eq!(c2.collect_tuples().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn columnar_table_shares_one_scan_with_zero_row_decode() {
+        let (ctx, m) = ctx_with_table_layout(5000, qpipe_storage::StorageLayout::Columnar);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let (req, c) = request(&reg, false, false);
+            mgr.submit(req).unwrap();
+            consumers.push(c);
+        }
+        let handles: Vec<_> = consumers
+            .into_iter()
+            .map(|c| std::thread::spawn(move || c.collect_tuples().unwrap()))
+            .collect();
+        for h in handles {
+            let rows = h.join().unwrap();
+            assert_eq!(rows.len(), 5000);
+            let mut keys: Vec<i64> =
+                rows.iter().map(|r| r[0].as_int().expect("typed int column")).collect();
+            keys.sort();
+            assert_eq!(keys, (0..5000).collect::<Vec<_>>(), "every row exactly once");
+        }
+        assert_eq!(m.snapshot().osp_attaches, 3, "three satellites on one host scan");
+        let pages = ctx.catalog.table("t").unwrap().num_pages().unwrap();
+        assert_eq!(m.snapshot().disk_blocks_read, pages, "one physical read");
+    }
+
+    #[test]
+    fn columnar_scan_applies_per_consumer_predicates() {
+        let (ctx, m) = ctx_with_table_layout(1000, qpipe_storage::StorageLayout::Columnar);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let pipe = Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg.clone());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        mgr.submit(ScanRequest {
+            table: "t".into(),
+            predicate: Some(Expr::col(0).ge(Expr::lit(900))),
+            projection: Some(vec![0]),
+            output: pipe.producer(),
+            ordered: false,
+            split_ok: false,
+        })
+        .unwrap();
+        assert_eq!(c.collect_tuples().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn corrupt_page_fails_every_attached_packet() {
+        let (ctx, m) = ctx_with_table(20_000);
+        // Overwrite a mid-table block with a page whose record is garbage:
+        // the tuple codec must error, and the scanner must surface it.
+        let info = ctx.catalog.table("t").unwrap();
+        let mut bad = qpipe_storage::Page::new();
+        bad.append_record(&[0xFF, 0xFF, 0x01]).unwrap(); // claims 65535 values, truncated
+        ctx.catalog.disk().write_block(info.file_id(), 3, bad).unwrap();
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = request(&reg, false, false);
+        let (r2, c2) = request(&reg, false, false);
+        mgr.submit(r1).unwrap();
+        mgr.submit(r2).unwrap();
+        for c in [c1, c2] {
+            let err = std::thread::spawn(move || c.collect_tuples())
+                .join()
+                .unwrap()
+                .expect_err("codec error must fail the packet, not truncate it");
+            assert!(matches!(err, qpipe_common::QError::Storage(_)), "got {err:?}");
+        }
     }
 
     #[test]

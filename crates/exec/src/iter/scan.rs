@@ -59,9 +59,9 @@ impl TupleIter for SeqScanIter {
             if self.next_page >= self.num_pages {
                 return Ok(None);
             }
-            let page = self.pool.get(self.table.heap.file_id(), self.next_page)?;
+            let block = self.pool.get(self.table.file_id(), self.next_page)?;
             self.next_page += 1;
-            self.current = page.decode_tuples()?;
+            self.current = block.rows()?;
             self.pos = 0;
         }
     }
@@ -142,9 +142,9 @@ impl TupleIter for ClusteredIndexScanIter {
             if self.next_page >= self.end_page {
                 return Ok(None);
             }
-            let page = self.pool.get(self.table.heap.file_id(), self.next_page)?;
+            let block = self.pool.get(self.table.file_id(), self.next_page)?;
             self.next_page += 1;
-            self.current = page.decode_tuples()?;
+            self.current = block.rows()?;
             self.pos = 0;
         }
     }
@@ -170,8 +170,10 @@ struct FetchState {
     table: Arc<TableInfo>,
     rids: Vec<Rid>,
     next: usize,
-    /// Cached page to serve consecutive RIDs on the same page.
-    cached_page: Option<(u64, qpipe_storage::Page)>,
+    /// Cached page to serve consecutive RIDs on the same page. Slotted pages
+    /// decode only the fetched record; columnar pages materialize whole-page
+    /// (cached inside the page handle, so repeat RIDs are refcount bumps).
+    cached_page: Option<(u64, qpipe_storage::Block)>,
 }
 
 impl UnclusteredIndexScanIter {
@@ -228,11 +230,25 @@ impl TupleIter for UnclusteredIndexScanIter {
             st.next += 1;
             let page_ok = st.cached_page.as_ref().is_some_and(|(no, _)| *no == rid.page);
             if !page_ok {
-                let page = st.pool.get(st.table.heap.file_id(), rid.page)?;
-                st.cached_page = Some((rid.page, page));
+                let block = st.pool.get(st.table.file_id(), rid.page)?;
+                st.cached_page = Some((rid.page, block));
             }
-            let (_, page) = st.cached_page.as_ref().expect("cached");
-            let tuple = qpipe_storage::page::decode_tuple(page.record(rid.slot)?)?;
+            let (_, block) = st.cached_page.as_ref().expect("cached");
+            let tuple = match block {
+                qpipe_storage::Block::Slotted(page) => {
+                    qpipe_storage::page::decode_tuple(page.record(rid.slot)?)?
+                }
+                qpipe_storage::Block::Columnar(cp) => {
+                    let batch = cp.materialize()?;
+                    if (rid.slot as usize) >= batch.len() {
+                        return Err(QError::Storage(format!(
+                            "no slot {} on page {}",
+                            rid.slot, rid.page
+                        )));
+                    }
+                    batch.row(rid.slot as usize)
+                }
+            };
             if let Some(out) = finish_tuple(tuple, &predicate, &projection)? {
                 return Ok(Some(out));
             }

@@ -107,7 +107,7 @@ impl RunReader {
             if self.next_block >= self.disk.num_blocks(self.file)? {
                 return Ok(None);
             }
-            let page = self.disk.read_block(self.file, self.next_block)?;
+            let page = self.disk.read_block(self.file, self.next_block)?.into_slotted()?;
             self.next_block += 1;
             self.current = page.records().map(decode_tuple).collect::<QResult<Vec<_>>>()?;
             self.pos = 0;

@@ -14,10 +14,13 @@
 //! * [`Expr::eval_project`] materializes one output column per expression,
 //!   with an `Arc`-bump fast path for plain column references.
 //!
-//! Any shape the kernels do not specialize (arithmetic trees, column-column
-//! comparisons, [`ColumnData::Mixed`] columns) falls back to the scalar
-//! interpreter row-at-a-time over the *selected* rows only, so results are
-//! always identical to `eval_bool` — property-tested in `tests/properties.rs`.
+//! Comparisons are specialized for col⋄lit (both literal sides) *and*
+//! col⋄col (the Q4/Q12 `l_commitdate < l_receiptdate` shape) over every
+//! typed column pair. Any shape the kernels do not specialize (arithmetic
+//! trees, [`ColumnData::Mixed`] columns, cross-rank pairs like Str⋄Int)
+//! falls back to the scalar interpreter row-at-a-time over the *selected*
+//! rows only, so results are always identical to `eval_bool` —
+//! property-tested in `tests/properties.rs`.
 
 use crate::expr::{CmpOp, Expr};
 use qpipe_common::colbatch::{ColBatch, Column, ColumnData, SelVec};
@@ -100,6 +103,57 @@ fn cmp_col_lit(col: &Column, op: CmpOp, lit: &Value, sel: &SelVec) -> Option<Sel
     }
 }
 
+/// Typed comparison kernel: `a[i] op b[i]` for every selected row. A row
+/// where either side is NULL never matches (`eval_bool`: NULL comparisons
+/// are not true).
+///
+/// Returns `None` when the column type pair has no specialized kernel
+/// (`Mixed` columns, or cross-rank pairs like Str⋄Int), signalling the
+/// scalar fallback — whose `Value::total_cmp` semantics these kernels
+/// replicate exactly for the typed pairs.
+fn cmp_col_col(a: &Column, b: &Column, op: CmpOp, sel: &SelVec) -> Option<SelVec> {
+    macro_rules! kernel {
+        ($x:expr, $y:expr, $ord:expr) => {{
+            let (x, y) = ($x, $y);
+            let ord = $ord;
+            if a.nulls().is_none() && b.nulls().is_none() {
+                Some(sel.refine(|i| cmp_matches(op, ord(&x[i], &y[i]))))
+            } else {
+                Some(sel.refine(|i| {
+                    !a.is_null(i) && !b.is_null(i) && cmp_matches(op, ord(&x[i], &y[i]))
+                }))
+            }
+        }};
+    }
+    match (a.data(), b.data()) {
+        (ColumnData::Int64(x), ColumnData::Int64(y)) => {
+            kernel!(x, y, |p: &i64, q: &i64| p.cmp(q))
+        }
+        (ColumnData::Int64(x), ColumnData::Float64(y)) => {
+            kernel!(x, y, |p: &i64, q: &f64| (*p as f64).total_cmp(q))
+        }
+        (ColumnData::Float64(x), ColumnData::Int64(y)) => {
+            kernel!(x, y, |p: &f64, q: &i64| p.total_cmp(&(*q as f64)))
+        }
+        (ColumnData::Float64(x), ColumnData::Float64(y)) => {
+            kernel!(x, y, |p: &f64, q: &f64| p.total_cmp(q))
+        }
+        (ColumnData::Date(x), ColumnData::Date(y)) => {
+            kernel!(x, y, |p: &i32, q: &i32| p.cmp(q))
+        }
+        (ColumnData::Date(x), ColumnData::Int64(y)) => {
+            kernel!(x, y, |p: &i32, q: &i64| (*p as i64).cmp(q))
+        }
+        (ColumnData::Int64(x), ColumnData::Date(y)) => {
+            kernel!(x, y, |p: &i64, q: &i32| p.cmp(&(*q as i64)))
+        }
+        (ColumnData::Str(x), ColumnData::Str(y)) => {
+            kernel!(x, y, |p: &std::sync::Arc<str>, q: &std::sync::Arc<str>| p.cmp(q))
+        }
+        _ => None,
+    }
+}
+
 impl Expr {
     /// Vectorized predicate evaluation: the selected subset of `batch` for
     /// which this expression is truthy (same semantics as
@@ -163,6 +217,15 @@ impl Expr {
                             CmpOp::Ne => CmpOp::Ne,
                         };
                         match cmp_col_lit(col, flipped, v, &sel) {
+                            Some(out) => Ok(out),
+                            None => self.filter_scalar(batch, sel),
+                        }
+                    }
+                    // Column-column (Q4/Q12's commitdate < receiptdate shape):
+                    // typed pairwise kernel over both primitive slices.
+                    (Expr::Col(i), Expr::Col(j)) => {
+                        let (a, b) = (col_at(batch, *i)?, col_at(batch, *j)?);
+                        match cmp_col_col(a, b, *op, &sel) {
                             Some(out) => Ok(out),
                             None => self.filter_scalar(batch, sel),
                         }
@@ -378,6 +441,25 @@ mod tests {
             Box::new(Expr::col(2)),
             vec![Value::str("widget-a"), Value::str("nope")],
         ));
+    }
+
+    #[test]
+    fn col_col_comparisons_match_scalar() {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(1), Value::Int(2), Value::Float(1.5), Value::Date(3), Value::str("a")],
+            vec![Value::Int(5), Value::Int(5), Value::Float(4.0), Value::Date(5), Value::str("b")],
+            vec![Value::Null, Value::Int(9), Value::Null, Value::Date(-1), Value::str("a")],
+            vec![Value::Int(7), Value::Null, Value::Float(7.0), Value::Null, Value::Null],
+        ];
+        let b = ColBatch::from_rows(&rows);
+        let pairs =
+            [(0, 1), (0, 2), (2, 0), (2, 2), (3, 3), (3, 0), (0, 3), (4, 4), (4, 0), (1, 4)];
+        for (i, j) in pairs {
+            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                let e = Expr::Cmp(op, Box::new(Expr::col(i)), Box::new(Expr::col(j)));
+                assert_eq!(filter_rows(&e, &b), scalar_rows(&e, &b), "cols ({i},{j}) op {op:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,21 +1,84 @@
 //! Catalog: table metadata, creation and bulk loading.
 
 use crate::bufferpool::BufferPool;
-use crate::disk::SimDisk;
+use crate::colheap::ColHeapFile;
+use crate::disk::{FileId, SimDisk};
 use crate::heap::{HeapFile, Rid};
 use crate::index::{ClusteredIndex, UnclusteredIndex};
 use crate::lock::LockManager;
-use crate::page::decode_tuple;
 use parking_lot::RwLock;
 use qpipe_common::{QError, QResult, Schema, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Physical page layout of a table, chosen at create/load time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StorageLayout {
+    /// Classic slotted pages; tuples decoded row-at-a-time on read.
+    #[default]
+    Row,
+    /// PAX-style columnar pages; scans materialize `ColBatch`es straight
+    /// from the page's typed value regions — no row codec on the read path.
+    Columnar,
+}
+
+/// The physical storage backing one table: a row heap or a columnar heap.
+#[derive(Debug)]
+pub enum TableStorage {
+    Row(HeapFile),
+    Columnar(ColHeapFile),
+}
+
+impl TableStorage {
+    pub fn layout(&self) -> StorageLayout {
+        match self {
+            TableStorage::Row(_) => StorageLayout::Row,
+            TableStorage::Columnar(_) => StorageLayout::Columnar,
+        }
+    }
+
+    pub fn file_id(&self) -> FileId {
+        match self {
+            TableStorage::Row(h) => h.file_id(),
+            TableStorage::Columnar(h) => h.file_id(),
+        }
+    }
+
+    pub fn num_pages(&self) -> QResult<u64> {
+        match self {
+            TableStorage::Row(h) => h.num_pages(),
+            TableStorage::Columnar(h) => h.num_pages(),
+        }
+    }
+
+    pub fn num_tuples(&self) -> u64 {
+        match self {
+            TableStorage::Row(h) => h.num_tuples(),
+            TableStorage::Columnar(h) => h.num_tuples(),
+        }
+    }
+
+    fn append(&self, tuple: &Tuple) -> QResult<Rid> {
+        match self {
+            TableStorage::Row(h) => h.append(tuple),
+            TableStorage::Columnar(h) => h.append(tuple),
+        }
+    }
+
+    fn flush(&self) -> QResult<()> {
+        match self {
+            TableStorage::Row(h) => h.flush(),
+            TableStorage::Columnar(h) => h.flush(),
+        }
+    }
+}
+
 /// Everything the engine knows about one table.
 pub struct TableInfo {
     pub name: String,
     pub schema: Schema,
-    pub heap: HeapFile,
+    /// Physical backing: row heap or columnar heap.
+    pub storage: TableStorage,
     /// Column the heap is physically sorted on, if bulk-loaded sorted.
     pub sort_key: Option<usize>,
     /// Fence-key directory when `sort_key` is set.
@@ -36,11 +99,21 @@ impl std::fmt::Debug for TableInfo {
 
 impl TableInfo {
     pub fn num_pages(&self) -> QResult<u64> {
-        self.heap.num_pages()
+        self.storage.num_pages()
     }
 
     pub fn num_tuples(&self) -> u64 {
-        self.heap.num_tuples()
+        self.storage.num_tuples()
+    }
+
+    /// The page layout this table was loaded with.
+    pub fn layout(&self) -> StorageLayout {
+        self.storage.layout()
+    }
+
+    /// Backing file of the table's heap, whichever layout it uses.
+    pub fn file_id(&self) -> FileId {
+        self.storage.file_id()
     }
 
     /// Secondary index on `column`, if one was built.
@@ -86,14 +159,30 @@ impl Catalog {
         &self.locks
     }
 
-    /// Bulk-load a table. When `sort_key` is given the rows are sorted on
-    /// that column first and a clustered fence-key index is built.
+    /// Bulk-load a table in the default row layout. When `sort_key` is given
+    /// the rows are sorted on that column first and a clustered fence-key
+    /// index is built.
     pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        rows: Vec<Tuple>,
+        sort_key: Option<usize>,
+    ) -> QResult<Arc<TableInfo>> {
+        self.create_table_with_layout(name, schema, rows, sort_key, StorageLayout::Row)
+    }
+
+    /// Bulk-load a table with an explicit page [`StorageLayout`]. Columnar
+    /// tables require schema-conformant rows (NULLs are always admitted);
+    /// everything downstream — clustered/unclustered indexes, both engines,
+    /// the shared circular scanner — works over either layout.
+    pub fn create_table_with_layout(
         &self,
         name: &str,
         schema: Schema,
         mut rows: Vec<Tuple>,
         sort_key: Option<usize>,
+        layout: StorageLayout,
     ) -> QResult<Arc<TableInfo>> {
         if self.tables.read().contains_key(name) {
             return Err(QError::Storage(format!("table {name:?} already exists")));
@@ -104,11 +193,18 @@ impl Catalog {
             }
             rows.sort_by(|a, b| a[col].cmp(&b[col]));
         }
-        let heap = HeapFile::create(self.disk.clone(), name)?;
+        let storage = match layout {
+            StorageLayout::Row => TableStorage::Row(HeapFile::create(self.disk.clone(), name)?),
+            StorageLayout::Columnar => TableStorage::Columnar(ColHeapFile::create(
+                self.disk.clone(),
+                name,
+                schema.clone(),
+            )?),
+        };
         let mut fences: Vec<Value> = Vec::new();
         let mut last_page = u64::MAX;
         for row in &rows {
-            let rid = heap.append(row)?;
+            let rid = storage.append(row)?;
             if let Some(col) = sort_key {
                 if rid.page != last_page {
                     fences.push(row[col].clone());
@@ -116,12 +212,12 @@ impl Catalog {
                 }
             }
         }
-        heap.flush()?;
+        storage.flush()?;
         let clustered = sort_key.map(|col| ClusteredIndex::new(col, fences));
         let info = Arc::new(TableInfo {
             name: name.to_string(),
             schema,
-            heap,
+            storage,
             sort_key,
             clustered,
             unclustered: RwLock::new(HashMap::new()),
@@ -141,10 +237,9 @@ impl Catalog {
             .index_of(column)
             .ok_or_else(|| QError::Plan(format!("no column {column:?} in {table:?}")))?;
         let mut entries = Vec::new();
-        for page_no in 0..info.heap.num_pages()? {
-            let page = self.disk.read_block(info.heap.file_id(), page_no)?;
-            for (slot, rec) in page.records().enumerate() {
-                let tuple = decode_tuple(rec)?;
+        for page_no in 0..info.num_pages()? {
+            let block = self.disk.read_block(info.file_id(), page_no)?;
+            for (slot, tuple) in block.rows()?.into_iter().enumerate() {
                 entries.push((tuple[col].clone(), Rid { page: page_no, slot: slot as u16 }));
             }
         }
@@ -221,8 +316,8 @@ mod tests {
         // Verify the heap really is sorted by reading it back.
         let mut last = Value::Null;
         for p in 0..t.num_pages().unwrap() {
-            let page = c.disk().read_block(t.heap.file_id(), p).unwrap();
-            for tup in page.decode_tuples().unwrap() {
+            let block = c.disk().read_block(t.file_id(), p).unwrap();
+            for tup in block.rows().unwrap() {
                 assert!(tup[0] >= last, "heap not sorted");
                 last = tup[0].clone();
             }
@@ -240,8 +335,8 @@ mod tests {
         assert!(!rids.is_empty());
         // Every fetched RID must hold key 3.
         for rid in rids {
-            let page = c.disk().read_block(t.heap.file_id(), rid.page).unwrap();
-            let tup = decode_tuple(page.record(rid.slot).unwrap()).unwrap();
+            let block = c.disk().read_block(t.file_id(), rid.page).unwrap();
+            let tup = block.rows().unwrap()[rid.slot as usize].clone();
             assert_eq!(tup[0], Value::Int(3));
         }
         assert!(t.unclustered_index("v").is_none());
@@ -252,5 +347,54 @@ mod tests {
     fn bad_sort_key_rejected() {
         let c = catalog();
         assert!(c.create_table("t", schema(), rows(1), Some(9)).is_err());
+    }
+
+    #[test]
+    fn columnar_table_round_trips_and_sorts() {
+        let c = catalog();
+        let t = c
+            .create_table_with_layout("ct", schema(), rows(5000), Some(0), StorageLayout::Columnar)
+            .unwrap();
+        assert_eq!(t.layout(), StorageLayout::Columnar);
+        assert_eq!(t.num_tuples(), 5000);
+        assert!(t.clustered.is_some());
+        let mut last = Value::Null;
+        let mut seen = 0;
+        for p in 0..t.num_pages().unwrap() {
+            let block = c.disk().read_block(t.file_id(), p).unwrap();
+            assert!(block.as_columnar().is_ok(), "columnar table stores columnar pages");
+            for tup in block.rows().unwrap() {
+                assert!(tup[0] >= last, "columnar heap not sorted");
+                last = tup[0].clone();
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 5000);
+    }
+
+    #[test]
+    fn secondary_index_over_columnar_table() {
+        let c = catalog();
+        c.create_table_with_layout("ct", schema(), rows(2000), None, StorageLayout::Columnar)
+            .unwrap();
+        c.create_index("ct", "k").unwrap();
+        let t = c.table("ct").unwrap();
+        let idx = t.unclustered_index("k").expect("index exists");
+        let rids = idx.rid_list(c.pool(), Some(&Value::Int(3)), Some(&Value::Int(3))).unwrap();
+        assert!(!rids.is_empty());
+        for rid in rids {
+            let block = c.disk().read_block(t.file_id(), rid.page).unwrap();
+            assert_eq!(block.rows().unwrap()[rid.slot as usize][0], Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn columnar_layout_rejects_nonconformant_rows() {
+        let c = catalog();
+        // Schema says (Int, Str) but the row is (Str, Str).
+        let bad = vec![vec![Value::str("x"), Value::str("y")]];
+        assert!(c
+            .create_table_with_layout("ct", schema(), bad, None, StorageLayout::Columnar)
+            .is_err());
     }
 }

@@ -1,0 +1,640 @@
+//! PAX-style columnar pages (the zero-row-decode layout).
+//!
+//! A [`ColPage`] is an 8 KiB page that stores its rows column-major instead
+//! of slot-by-slot: fixed-width columns are raw little-endian `i64` / `f64` /
+//! `i32` value regions, strings are a page-local dictionary plus a per-row
+//! code region, and NULLs live in per-column bitmaps. A page header records
+//! the row count and a per-column directory of `(type, offsets)` entries, so
+//! materializing the page into a [`ColBatch`] is a handful of bulk region
+//! reads — no per-tuple tag parsing, no per-value allocation beyond one
+//! `Arc<str>` per *distinct* string.
+//!
+//! This is the layout the shared circular scanner exploits: one decode-free
+//! materialization feeds every attached consumer at once (paper §4.3.1 — the
+//! per-page cost is multiplied by the number of consumers, so it has to be
+//! small). The decoded batch is cached inside the page handle, so a page
+//! resident in the buffer pool materializes once per residency and every
+//! later access is a refcount bump.
+//!
+//! ## On-page layout (all integers little-endian)
+//!
+//! ```text
+//! 0..2   magic (0xC01A)
+//! 2..4   num_rows  (u16)
+//! 4..6   num_cols  (u16)
+//! 6..    directory, 8 bytes per column:
+//!          +0 u8  type tag (0 Int, 1 Float, 2 Str, 3 Date)
+//!          +1 u8  flags (bit 0: column has NULLs)
+//!          +2 u16 null bitmap offset (always reserved, ceil(rows/8) bytes)
+//!          +4 u16 data offset (values region, or string codes)
+//!          +6 u16 aux offset (strings: dictionary region; others: 0)
+//! ```
+//!
+//! A string column's data region holds `num_rows` u16 dictionary codes; its
+//! aux region holds `dict_len: u16`, then `dict_len` cumulative u16 end
+//! offsets, then the dictionary bytes back to back.
+
+use crate::page::PAGE_SIZE;
+use qpipe_common::colbatch::{ColBatch, Column, ColumnData, NullBitmap};
+use qpipe_common::{DataType, QError, QResult, Schema, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Page magic marking the columnar layout.
+pub const COLPAGE_MAGIC: u16 = 0xC01A;
+
+const HEADER_BYTES: usize = 6;
+const DIR_ENTRY_BYTES: usize = 8;
+
+const TY_INT: u8 = 0;
+const TY_FLOAT: u8 = 1;
+const TY_STR: u8 = 2;
+const TY_DATE: u8 = 3;
+
+const FLAG_HAS_NULLS: u8 = 1;
+
+fn ty_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => TY_INT,
+        DataType::Float => TY_FLOAT,
+        DataType::Str => TY_STR,
+        DataType::Date => TY_DATE,
+    }
+}
+
+fn corrupt(what: &str) -> QError {
+    QError::Storage(format!("corrupt columnar page: {what}"))
+}
+
+/// An immutable columnar page: raw bytes plus a lazily-materialized,
+/// `Arc`-shared [`ColBatch`]. Clones share both the bytes and the cache, so
+/// a buffer-pool-resident page is decoded at most once per residency.
+#[derive(Debug, Clone)]
+pub struct ColPage {
+    data: Arc<Vec<u8>>,
+    rows: u16,
+    cols: u16,
+    decoded: Arc<OnceLock<Arc<ColBatch>>>,
+}
+
+impl ColPage {
+    /// Wrap raw page bytes, validating the header.
+    pub fn from_bytes(data: Arc<Vec<u8>>) -> QResult<Self> {
+        if data.len() != PAGE_SIZE {
+            return Err(corrupt("wrong page size"));
+        }
+        if read_u16(&data, 0) != COLPAGE_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let rows = read_u16(&data, 2);
+        let cols = read_u16(&data, 4);
+        if HEADER_BYTES + cols as usize * DIR_ENTRY_BYTES > PAGE_SIZE {
+            return Err(corrupt("directory exceeds page"));
+        }
+        Ok(Self { data, rows, cols, decoded: Arc::new(OnceLock::new()) })
+    }
+
+    /// Number of rows stored on the page.
+    pub fn num_rows(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Number of columns stored on the page.
+    pub fn num_cols(&self) -> usize {
+        self.cols as usize
+    }
+
+    /// Materialize the page as a shared [`ColBatch`], decoding at most once
+    /// per page handle lineage (pool-resident clones share the cache).
+    pub fn materialize(&self) -> QResult<Arc<ColBatch>> {
+        if let Some(b) = self.decoded.get() {
+            return Ok(b.clone());
+        }
+        let fresh = Arc::new(self.decode()?);
+        // A concurrent reader may have won the race; either Arc is the same
+        // decoded content, keep whichever landed first.
+        Ok(self.decoded.get_or_init(|| fresh).clone())
+    }
+
+    /// Decode the page into a fresh [`ColBatch`] straight from the byte
+    /// regions (bulk reads per column — the zero-row-decode path).
+    pub fn decode(&self) -> QResult<ColBatch> {
+        let rows = self.rows as usize;
+        let data: &[u8] = &self.data;
+        let mut cols = Vec::with_capacity(self.cols as usize);
+        for c in 0..self.cols as usize {
+            let dir = HEADER_BYTES + c * DIR_ENTRY_BYTES;
+            let ty = data[dir];
+            let flags = data[dir + 1];
+            let null_off = read_u16(data, dir + 2) as usize;
+            let data_off = read_u16(data, dir + 4) as usize;
+            let aux_off = read_u16(data, dir + 6) as usize;
+            let nulls = if flags & FLAG_HAS_NULLS != 0 {
+                let n = rows.div_ceil(8);
+                let region = region(data, null_off, n, "null bitmap")?;
+                Some(NullBitmap::from_packed_bytes(region, rows))
+            } else {
+                None
+            };
+            let payload = match ty {
+                TY_INT => {
+                    let region = region(data, data_off, rows * 8, "int region")?;
+                    ColumnData::Int64(
+                        region
+                            .chunks_exact(8)
+                            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+                            .collect(),
+                    )
+                }
+                TY_FLOAT => {
+                    let region = region(data, data_off, rows * 8, "float region")?;
+                    ColumnData::Float64(
+                        region
+                            .chunks_exact(8)
+                            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+                            .collect(),
+                    )
+                }
+                TY_DATE => {
+                    let region = region(data, data_off, rows * 4, "date region")?;
+                    ColumnData::Date(
+                        region
+                            .chunks_exact(4)
+                            .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+                            .collect(),
+                    )
+                }
+                TY_STR => ColumnData::Str(decode_strings(data, data_off, aux_off, rows, &nulls)?),
+                other => return Err(corrupt(&format!("unknown column type tag {other}"))),
+            };
+            cols.push(Column::new(payload, nulls));
+        }
+        if cols.is_empty() {
+            return Ok(ColBatch::empty_rows(rows));
+        }
+        Ok(ColBatch::from_columns(cols))
+    }
+
+    /// Materialize every row as a tuple (the row-engine boundary adapter,
+    /// analogous to [`Page::decode_tuples`](crate::page::Page::decode_tuples)).
+    pub fn rows(&self) -> QResult<Vec<Tuple>> {
+        Ok(self.materialize()?.to_rows())
+    }
+
+    /// The raw page bytes (tests / forensics).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+fn read_u16(data: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([data[off], data[off + 1]])
+}
+
+fn region<'a>(data: &'a [u8], off: usize, len: usize, what: &str) -> QResult<&'a [u8]> {
+    data.get(off..off + len).ok_or_else(|| corrupt(&format!("{what} out of bounds")))
+}
+
+/// Decode a string column: per-row dictionary codes + page-local dictionary.
+/// One `Arc<str>` is allocated per distinct value; rows bump refcounts.
+fn decode_strings(
+    data: &[u8],
+    codes_off: usize,
+    aux_off: usize,
+    rows: usize,
+    nulls: &Option<NullBitmap>,
+) -> QResult<Vec<Arc<str>>> {
+    let codes = region(data, codes_off, rows * 2, "string codes")?;
+    let dict_len = read_u16(region(data, aux_off, 2, "dict header")?, 0) as usize;
+    let ends = region(data, aux_off + 2, dict_len * 2, "dict offsets")?;
+    let bytes_off = aux_off + 2 + dict_len * 2;
+    let mut dict: Vec<Arc<str>> = Vec::with_capacity(dict_len);
+    let mut start = 0usize;
+    for d in 0..dict_len {
+        let end = read_u16(ends, d * 2) as usize;
+        if end < start {
+            return Err(corrupt("dict offsets not monotone"));
+        }
+        let bytes = region(data, bytes_off + start, end - start, "dict entry")?;
+        let s = std::str::from_utf8(bytes).map_err(|_| corrupt("dict entry not utf8"))?;
+        dict.push(Arc::from(s));
+        start = end;
+    }
+    let empty: Arc<str> = Arc::from("");
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        if nulls.as_ref().is_some_and(|b| b.get(r)) {
+            out.push(empty.clone());
+            continue;
+        }
+        let code = read_u16(codes, r * 2) as usize;
+        let s = dict.get(code).ok_or_else(|| corrupt("string code out of dictionary"))?;
+        out.push(s.clone());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+enum BuilderCol {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Date(Vec<i32>),
+    Str { codes: Vec<u16>, dict: Vec<Arc<str>>, index: HashMap<Arc<str>, u16>, dict_bytes: usize },
+}
+
+impl BuilderCol {
+    fn new(ty: DataType) -> Self {
+        match ty {
+            DataType::Int => BuilderCol::Int(Vec::new()),
+            DataType::Float => BuilderCol::Float(Vec::new()),
+            DataType::Date => BuilderCol::Date(Vec::new()),
+            DataType::Str => BuilderCol::Str {
+                codes: Vec::new(),
+                dict: Vec::new(),
+                index: HashMap::new(),
+                dict_bytes: 0,
+            },
+        }
+    }
+
+    /// Bytes this column's regions occupy with `rows` rows (excluding the
+    /// always-reserved null bitmap, accounted for by the builder).
+    fn payload_bytes(&self, rows: usize) -> usize {
+        match self {
+            BuilderCol::Int(_) | BuilderCol::Float(_) => rows * 8,
+            BuilderCol::Date(_) => rows * 4,
+            BuilderCol::Str { dict, dict_bytes, .. } => rows * 2 + 2 + dict.len() * 2 + dict_bytes,
+        }
+    }
+
+    /// Extra dictionary bytes appending `v` would add (strings only).
+    fn dict_growth(&self, v: &Value) -> usize {
+        match (self, v) {
+            (BuilderCol::Str { index, .. }, Value::Str(s)) => {
+                if index.contains_key(s.as_ref() as &str) {
+                    0
+                } else {
+                    2 + s.len()
+                }
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Accumulates schema-conformant tuples and serializes them into one
+/// [`ColPage`]. The write-path analogue of building up a slotted [`Page`]
+/// record by record.
+pub struct ColPageBuilder {
+    types: Vec<DataType>,
+    cols: Vec<BuilderCol>,
+    nulls: Vec<Vec<bool>>,
+    any_null: Vec<bool>,
+    rows: usize,
+}
+
+impl ColPageBuilder {
+    pub fn new(schema: &Schema) -> Self {
+        let types: Vec<DataType> = schema.columns().iter().map(|c| c.ty).collect();
+        Self {
+            cols: types.iter().map(|&t| BuilderCol::new(t)).collect(),
+            nulls: vec![Vec::new(); types.len()],
+            any_null: vec![false; types.len()],
+            types,
+            rows: 0,
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Serialized size of the page if `tuple` were appended (`None` skips the
+    /// hypothetical row — the current size).
+    fn size_with(&self, tuple: Option<&Tuple>) -> usize {
+        let rows = self.rows + usize::from(tuple.is_some());
+        let mut size =
+            HEADER_BYTES + self.cols.len() * DIR_ENTRY_BYTES + self.cols.len() * rows.div_ceil(8); // null bitmaps, always reserved
+        for (i, col) in self.cols.iter().enumerate() {
+            size += col.payload_bytes(rows);
+            if let Some(t) = tuple {
+                size += col.dict_growth(&t[i]);
+            }
+        }
+        size
+    }
+
+    /// Whether `tuple` fits on this page.
+    pub fn fits(&self, tuple: &Tuple) -> bool {
+        tuple.len() == self.types.len()
+            && self.rows < u16::MAX as usize
+            && self.size_with(Some(tuple)) <= PAGE_SIZE
+    }
+
+    /// Rejections that no amount of page rotation can cure: schema
+    /// non-conformance (wrong width, wrong type) and single-row overflow (the
+    /// tuple would not fit even on an empty page). Callers that rotate full
+    /// pages (the columnar heap's tail) check this *before* flushing, so a
+    /// doomed tuple never has the side effect of an undersized on-disk page.
+    pub fn validate(&self, tuple: &Tuple) -> QResult<()> {
+        if tuple.len() != self.types.len() {
+            return Err(QError::Storage(format!(
+                "tuple width {} does not match columnar schema width {}",
+                tuple.len(),
+                self.types.len()
+            )));
+        }
+        let mut one_row = HEADER_BYTES + self.types.len() * (DIR_ENTRY_BYTES + 1);
+        for (i, (v, ty)) in tuple.iter().zip(&self.types).enumerate() {
+            if !ty.admits(v) {
+                return Err(QError::Storage(format!(
+                    "value {v:?} does not conform to {ty:?} in columnar column {i}"
+                )));
+            }
+            one_row += match (ty, v) {
+                (DataType::Int | DataType::Float, _) => 8,
+                (DataType::Date, _) => 4,
+                // codes + dict header + one dict entry offset + bytes.
+                (DataType::Str, Value::Str(s)) => 2 + 2 + 2 + s.len(),
+                (DataType::Str, _) => 2 + 2,
+            };
+        }
+        if one_row > PAGE_SIZE {
+            return Err(QError::Storage(format!(
+                "tuple of {one_row} bytes exceeds columnar page size"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Append a tuple; errors when it does not fit or does not conform to the
+    /// page schema (columnar pages are strictly typed; NULL is always valid).
+    pub fn append(&mut self, tuple: &Tuple) -> QResult<u16> {
+        self.validate(tuple)?;
+        if !self.fits(tuple) {
+            return Err(QError::Storage(format!(
+                "tuple does not fit columnar page ({} of {PAGE_SIZE} bytes used)",
+                self.size_with(None)
+            )));
+        }
+        for (i, v) in tuple.iter().enumerate() {
+            let null = v.is_null();
+            self.nulls[i].push(null);
+            self.any_null[i] |= null;
+            match &mut self.cols[i] {
+                BuilderCol::Int(vals) => vals.push(v.as_int().unwrap_or(0)),
+                BuilderCol::Float(vals) => vals.push(v.as_float().unwrap_or(0.0)),
+                BuilderCol::Date(vals) => vals.push(match v {
+                    Value::Date(d) => *d,
+                    _ => 0,
+                }),
+                BuilderCol::Str { codes, dict, index, dict_bytes } => match v {
+                    Value::Str(s) => {
+                        let code = *index.entry(s.clone()).or_insert_with(|| {
+                            dict.push(s.clone());
+                            *dict_bytes += s.len();
+                            (dict.len() - 1) as u16
+                        });
+                        codes.push(code);
+                    }
+                    _ => codes.push(0),
+                },
+            }
+        }
+        let slot = self.rows as u16;
+        self.rows += 1;
+        Ok(slot)
+    }
+
+    /// Serialize into an immutable [`ColPage`], leaving the builder empty.
+    pub fn finish(&mut self) -> ColPage {
+        let rows = self.rows;
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0..2].copy_from_slice(&COLPAGE_MAGIC.to_le_bytes());
+        data[2..4].copy_from_slice(&(rows as u16).to_le_bytes());
+        data[4..6].copy_from_slice(&(self.cols.len() as u16).to_le_bytes());
+        let mut cursor = HEADER_BYTES + self.cols.len() * DIR_ENTRY_BYTES;
+        let bitmap_bytes = rows.div_ceil(8);
+        for (i, col) in self.cols.iter().enumerate() {
+            let dir = HEADER_BYTES + i * DIR_ENTRY_BYTES;
+            data[dir] = ty_tag(self.types[i]);
+            data[dir + 1] = if self.any_null[i] { FLAG_HAS_NULLS } else { 0 };
+            // Null bitmap (reserved even when clear, so sizing is exact).
+            let null_off = cursor;
+            for (r, &is_null) in self.nulls[i].iter().enumerate() {
+                if is_null {
+                    data[null_off + r / 8] |= 1 << (r % 8);
+                }
+            }
+            cursor += bitmap_bytes;
+            data[dir + 2..dir + 4].copy_from_slice(&(null_off as u16).to_le_bytes());
+            data[dir + 4..dir + 6].copy_from_slice(&(cursor as u16).to_le_bytes());
+            match col {
+                BuilderCol::Int(vals) => {
+                    for v in vals {
+                        data[cursor..cursor + 8].copy_from_slice(&v.to_le_bytes());
+                        cursor += 8;
+                    }
+                }
+                BuilderCol::Float(vals) => {
+                    for v in vals {
+                        data[cursor..cursor + 8].copy_from_slice(&v.to_le_bytes());
+                        cursor += 8;
+                    }
+                }
+                BuilderCol::Date(vals) => {
+                    for v in vals {
+                        data[cursor..cursor + 4].copy_from_slice(&v.to_le_bytes());
+                        cursor += 4;
+                    }
+                }
+                BuilderCol::Str { codes, dict, .. } => {
+                    for c in codes {
+                        data[cursor..cursor + 2].copy_from_slice(&c.to_le_bytes());
+                        cursor += 2;
+                    }
+                    let aux = cursor;
+                    data[dir + 6..dir + 8].copy_from_slice(&(aux as u16).to_le_bytes());
+                    data[cursor..cursor + 2].copy_from_slice(&(dict.len() as u16).to_le_bytes());
+                    cursor += 2;
+                    let mut end = 0usize;
+                    for s in dict {
+                        end += s.len();
+                        data[cursor..cursor + 2].copy_from_slice(&(end as u16).to_le_bytes());
+                        cursor += 2;
+                    }
+                    for s in dict {
+                        data[cursor..cursor + s.len()].copy_from_slice(s.as_bytes());
+                        cursor += s.len();
+                    }
+                }
+            }
+        }
+        debug_assert!(cursor <= PAGE_SIZE);
+        let ncols = self.cols.len() as u16;
+        self.cols = self.types.iter().map(|&t| BuilderCol::new(t)).collect();
+        self.nulls = vec![Vec::new(); self.types.len()];
+        self.any_null = vec![false; self.types.len()];
+        self.rows = 0;
+        ColPage {
+            data: Arc::new(data),
+            rows: rows as u16,
+            cols: ncols,
+            decoded: Arc::new(OnceLock::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpipe_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("k", DataType::Int),
+            ("x", DataType::Float),
+            ("s", DataType::Str),
+            ("d", DataType::Date),
+        ])
+    }
+
+    fn sample_rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    if i % 7 == 0 { Value::Null } else { Value::Int(i) },
+                    Value::Float(i as f64 * 0.5),
+                    if i % 5 == 0 { Value::Null } else { Value::str(format!("s{}", i % 3)) },
+                    Value::Date((i % 900) as i32),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_with_nulls_and_dictionary() {
+        let rows = sample_rows(100);
+        let mut b = ColPageBuilder::new(&schema());
+        for r in &rows {
+            b.append(r).unwrap();
+        }
+        let page = b.finish();
+        assert_eq!(page.num_rows(), 100);
+        assert_eq!(page.rows().unwrap(), rows);
+        // The decoded batch is typed, not Mixed.
+        let batch = page.materialize().unwrap();
+        assert!(matches!(batch.col(0).unwrap().data(), ColumnData::Int64(_)));
+        assert!(matches!(batch.col(2).unwrap().data(), ColumnData::Str(_)));
+    }
+
+    #[test]
+    fn materialize_is_cached_and_shared() {
+        let mut b = ColPageBuilder::new(&schema());
+        for r in sample_rows(10) {
+            b.append(&r).unwrap();
+        }
+        let page = b.finish();
+        let clone = page.clone();
+        let a = page.materialize().unwrap();
+        let c = clone.materialize().unwrap();
+        assert!(Arc::ptr_eq(&a, &c), "clones share the decoded batch");
+    }
+
+    #[test]
+    fn dictionary_interns_distinct_strings_once() {
+        let mut b = ColPageBuilder::new(&Schema::of(&[("s", DataType::Str)]));
+        for i in 0..200 {
+            b.append(&vec![Value::str(if i % 2 == 0 { "even" } else { "odd" })]).unwrap();
+        }
+        let page = b.finish();
+        let batch = page.materialize().unwrap();
+        let ColumnData::Str(v) = batch.col(0).unwrap().data() else { panic!("typed str col") };
+        assert!(Arc::ptr_eq(&v[0], &v[2]), "equal strings share one Arc");
+        assert_eq!(v[1].as_ref(), "odd");
+    }
+
+    #[test]
+    fn builder_rejects_nonconformant_tuples() {
+        let mut b = ColPageBuilder::new(&schema());
+        assert!(b.append(&vec![Value::Int(1)]).is_err(), "wrong width");
+        assert!(
+            b.append(&vec![Value::str("x"), Value::Float(0.0), Value::str("y"), Value::Date(0)])
+                .is_err(),
+            "type mismatch"
+        );
+        // NULL conforms everywhere.
+        b.append(&vec![Value::Null, Value::Null, Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn page_fills_up_and_fits_is_exact() {
+        let mut b = ColPageBuilder::new(&schema());
+        let row = vec![Value::Int(1), Value::Float(2.0), Value::str("abcdefgh"), Value::Date(3)];
+        let mut n = 0;
+        while b.fits(&row) {
+            b.append(&row).unwrap();
+            n += 1;
+        }
+        assert!(n > 300, "8 KiB should hold hundreds of 22-byte rows, got {n}");
+        assert!(b.append(&row).is_err());
+        let page = b.finish();
+        assert_eq!(page.num_rows(), n);
+        assert_eq!(page.rows().unwrap().len(), n);
+    }
+
+    #[test]
+    fn empty_page_round_trips() {
+        let mut b = ColPageBuilder::new(&schema());
+        let page = b.finish();
+        assert_eq!(page.num_rows(), 0);
+        assert!(page.rows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn builder_is_reusable_after_finish() {
+        let mut b = ColPageBuilder::new(&schema());
+        b.append(&sample_rows(1)[0]).unwrap();
+        let first = b.finish();
+        assert_eq!(first.num_rows(), 1);
+        assert_eq!(b.num_rows(), 0);
+        b.append(&sample_rows(1)[0]).unwrap();
+        assert_eq!(b.finish().num_rows(), 1);
+    }
+
+    #[test]
+    fn corrupt_pages_error_not_panic() {
+        assert!(ColPage::from_bytes(Arc::new(vec![0u8; 16])).is_err(), "short buffer");
+        assert!(ColPage::from_bytes(Arc::new(vec![0u8; PAGE_SIZE])).is_err(), "bad magic");
+        // Valid header, garbage directory: decode must error.
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0..2].copy_from_slice(&COLPAGE_MAGIC.to_le_bytes());
+        data[2..4].copy_from_slice(&100u16.to_le_bytes()); // 100 rows
+        data[4..6].copy_from_slice(&1u16.to_le_bytes()); // 1 col
+        data[6] = 99; // unknown type tag
+        let page = ColPage::from_bytes(Arc::new(data)).unwrap();
+        assert!(page.decode().is_err());
+        // Out-of-bounds data offset.
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0..2].copy_from_slice(&COLPAGE_MAGIC.to_le_bytes());
+        data[2..4].copy_from_slice(&2000u16.to_le_bytes());
+        data[4..6].copy_from_slice(&1u16.to_le_bytes());
+        data[6] = TY_INT;
+        data[10..12].copy_from_slice(&8000u16.to_le_bytes()); // int region past EOF
+        let page = ColPage::from_bytes(Arc::new(data)).unwrap();
+        assert!(page.decode().is_err());
+    }
+
+    #[test]
+    fn all_null_string_column_round_trips() {
+        let mut b = ColPageBuilder::new(&Schema::of(&[("s", DataType::Str)]));
+        for _ in 0..9 {
+            b.append(&vec![Value::Null]).unwrap();
+        }
+        let page = b.finish();
+        assert_eq!(page.rows().unwrap(), vec![vec![Value::Null]; 9]);
+    }
+}

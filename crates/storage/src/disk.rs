@@ -9,9 +9,10 @@
 //! time-axis experiments (Figures 9–13) are dominated by I/O exactly as in
 //! the paper, because the per-block charge dwarfs per-tuple CPU work.
 
+use crate::colpage::ColPage;
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock};
-use qpipe_common::{Metrics, QError, QResult};
+use qpipe_common::{Metrics, QError, QResult, Tuple};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,6 +21,76 @@ use std::time::Duration;
 /// Identifies a file on the simulated disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u32);
+
+/// One 8 KiB disk block: either a classic slotted page (row layout) or a
+/// PAX-style columnar page. The disk and buffer pool move blocks without
+/// caring which layout they carry; readers dispatch on the variant.
+#[derive(Debug, Clone)]
+pub enum Block {
+    Slotted(Page),
+    Columnar(ColPage),
+}
+
+impl Block {
+    /// Number of records (rows) stored in the block.
+    pub fn num_records(&self) -> usize {
+        match self {
+            Block::Slotted(p) => p.num_records(),
+            Block::Columnar(p) => p.num_rows(),
+        }
+    }
+
+    /// Borrow the slotted page, erroring on layout mismatch.
+    pub fn as_slotted(&self) -> QResult<&Page> {
+        match self {
+            Block::Slotted(p) => Ok(p),
+            Block::Columnar(_) => {
+                Err(QError::Storage("expected a slotted page, found a columnar page".into()))
+            }
+        }
+    }
+
+    /// Take the slotted page, erroring on layout mismatch.
+    pub fn into_slotted(self) -> QResult<Page> {
+        match self {
+            Block::Slotted(p) => Ok(p),
+            Block::Columnar(_) => {
+                Err(QError::Storage("expected a slotted page, found a columnar page".into()))
+            }
+        }
+    }
+
+    /// Borrow the columnar page, erroring on layout mismatch.
+    pub fn as_columnar(&self) -> QResult<&ColPage> {
+        match self {
+            Block::Columnar(p) => Ok(p),
+            Block::Slotted(_) => {
+                Err(QError::Storage("expected a columnar page, found a slotted page".into()))
+            }
+        }
+    }
+
+    /// Decode every record as a tuple, whichever layout the block carries
+    /// (the layout-agnostic row-engine adapter).
+    pub fn rows(&self) -> QResult<Vec<Tuple>> {
+        match self {
+            Block::Slotted(p) => p.decode_tuples(),
+            Block::Columnar(p) => p.rows(),
+        }
+    }
+}
+
+impl From<Page> for Block {
+    fn from(p: Page) -> Self {
+        Block::Slotted(p)
+    }
+}
+
+impl From<ColPage> for Block {
+    fn from(p: ColPage) -> Self {
+        Block::Columnar(p)
+    }
+}
 
 /// Latency model for the simulated disk.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +138,7 @@ impl Default for DiskConfig {
 #[derive(Debug, Default)]
 struct FileState {
     name: String,
-    blocks: Vec<Page>,
+    blocks: Vec<Block>,
 }
 
 /// The simulated disk: a set of named block files with latency accounting.
@@ -141,7 +212,7 @@ impl SimDisk {
     }
 
     /// Read one block, charging latency and counting the I/O.
-    pub fn read_block(&self, id: FileId, block_no: u64) -> QResult<Page> {
+    pub fn read_block(&self, id: FileId, block_no: u64) -> QResult<Block> {
         let file = self.file(id)?;
         let (page, name) = {
             let f = file.read();
@@ -173,11 +244,11 @@ impl SimDisk {
     }
 
     /// Append a block to the end of the file; returns its block number.
-    pub fn append_block(&self, id: FileId, page: Page) -> QResult<u64> {
+    pub fn append_block(&self, id: FileId, page: impl Into<Block>) -> QResult<u64> {
         let file = self.file(id)?;
         let block_no = {
             let mut f = file.write();
-            f.blocks.push(page);
+            f.blocks.push(page.into());
             (f.blocks.len() - 1) as u64
         };
         self.metrics.add_disk_write(1);
@@ -188,7 +259,7 @@ impl SimDisk {
     }
 
     /// Overwrite an existing block in place.
-    pub fn write_block(&self, id: FileId, block_no: u64, page: Page) -> QResult<()> {
+    pub fn write_block(&self, id: FileId, block_no: u64, page: impl Into<Block>) -> QResult<()> {
         let file = self.file(id)?;
         {
             let mut f = file.write();
@@ -196,7 +267,7 @@ impl SimDisk {
             let slot = f.blocks.get_mut(block_no as usize).ok_or_else(|| {
                 QError::Storage(format!("write past EOF: block {block_no} of {len} blocks"))
             })?;
-            *slot = page;
+            *slot = page.into();
         }
         self.metrics.add_disk_write(1);
         if self.config.charge_latency {
@@ -247,7 +318,7 @@ mod tests {
         let n = d.append_block(f, p.clone()).unwrap();
         assert_eq!(n, 0);
         let back = d.read_block(f, 0).unwrap();
-        assert_eq!(back.record(0).unwrap(), b"hello");
+        assert_eq!(back.as_slotted().unwrap().record(0).unwrap(), b"hello");
     }
 
     #[test]
@@ -290,7 +361,7 @@ mod tests {
         let mut p2 = Page::new();
         p2.append_record(b"v2").unwrap();
         d.write_block(f, 0, p2).unwrap();
-        assert_eq!(d.read_block(f, 0).unwrap().record(0).unwrap(), b"v2");
+        assert_eq!(d.read_block(f, 0).unwrap().as_slotted().unwrap().record(0).unwrap(), b"v2");
         assert!(d.write_block(f, 9, Page::new()).is_err());
     }
 }

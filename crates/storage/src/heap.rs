@@ -147,7 +147,7 @@ mod tests {
         let mut seen = 0;
         for b in 0..hf.num_pages().unwrap() {
             let page = disk.read_block(hf.file_id(), b).unwrap();
-            for t in page.decode_tuples().unwrap() {
+            for t in page.rows().unwrap() {
                 assert_eq!(t[0], Value::Int(seen));
                 seen += 1;
             }

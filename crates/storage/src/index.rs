@@ -136,7 +136,7 @@ impl UnclusteredIndex {
         let end = hi.map_or(self.fences.len(), |v| self.fences.partition_point(|f| f <= v));
         let mut rids = Vec::new();
         for block in start as u64..end.max(start) as u64 {
-            let page = pool.get(self.file, block)?;
+            let page = pool.get(self.file, block)?.into_slotted()?;
             for rec in page.records() {
                 let entry = decode_tuple(rec)?;
                 let key = &entry[0];

@@ -6,18 +6,34 @@
 //! for the authors' 4-disk RAID array (see DESIGN.md §3):
 //!
 //! * [`disk`] — an in-memory block device that charges a configurable latency
-//!   per block read and counts per-file I/O (Figure 8's metric).
-//! * [`page`] — slotted 8 KiB pages with a compact binary tuple codec.
-//! * [`heap`] — append-only heap files of pages.
-//! * [`bufferpool`] — a pin/unpin buffer pool with pluggable replacement
-//!   policies (LRU, Clock, LRU-K, 2Q, ARC — the policies §2.1 surveys).
+//!   per block read and counts per-file I/O (Figure 8's metric). Blocks are
+//!   a [`Block`] enum so one file can carry either page layout.
+//! * [`page`] — **row layout**: slotted 8 KiB pages with a compact tagged
+//!   binary tuple codec. Reads decode tuple-by-tuple.
+//! * [`colpage`] — **columnar layout**: PAX-style 8 KiB pages with per-column
+//!   typed value regions, null bitmaps and a page-local string dictionary.
+//!   Reads materialize a whole [`ColBatch`](qpipe_common::ColBatch) from the
+//!   byte regions in bulk — scans over columnar tables skip the row codec
+//!   entirely, which is what lets one shared circular scan feed N consumers
+//!   with vectorized kernels at near-zero per-page cost.
+//! * [`heap`] / [`colheap`] — append-only heap files of slotted / columnar
+//!   pages, both with an O(1)-amortized open-tail-page bulk-load path.
+//! * [`bufferpool`] — a buffer pool with pluggable replacement policies
+//!   (LRU, Clock, LRU-K, 2Q, ARC — the policies §2.1 surveys). It caches
+//!   [`Block`]s; a resident columnar page carries its decoded batch, so it
+//!   is materialized at most once per residency.
 //! * [`index`] — bulk-loaded paged indexes: clustered (table stored in key
-//!   order) and unclustered (key → RID list, fetched in page order).
-//! * [`catalog`] — table metadata and creation/loading helpers.
+//!   order) and unclustered (key → RID list, fetched in page order). Both
+//!   work over either table layout.
+//! * [`catalog`] — table metadata and creation/loading helpers; each table
+//!   records its [`StorageLayout`] (`Row` or `Columnar`), chosen at
+//!   create/load time.
 //! * [`lock`] — table-level shared/exclusive locks for the update path.
 
 pub mod bufferpool;
 pub mod catalog;
+pub mod colheap;
+pub mod colpage;
 pub mod disk;
 pub mod heap;
 pub mod index;
@@ -25,8 +41,10 @@ pub mod lock;
 pub mod page;
 
 pub use bufferpool::{BufferPool, BufferPoolConfig, PolicyKind};
-pub use catalog::{Catalog, TableInfo};
-pub use disk::{DiskConfig, FileId, SimDisk};
+pub use catalog::{Catalog, StorageLayout, TableInfo, TableStorage};
+pub use colheap::ColHeapFile;
+pub use colpage::{ColPage, ColPageBuilder};
+pub use disk::{Block, DiskConfig, FileId, SimDisk};
 pub use heap::{HeapFile, Rid};
 pub use index::{ClusteredIndex, UnclusteredIndex};
 pub use lock::{LockManager, TableLockGuard};

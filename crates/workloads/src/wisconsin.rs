@@ -11,7 +11,7 @@
 use qpipe_common::{DataType, QResult, Schema, Tuple, Value};
 use qpipe_exec::expr::Expr;
 use qpipe_exec::plan::{PlanNode, SortKey};
-use qpipe_storage::Catalog;
+use qpipe_storage::{Catalog, StorageLayout};
 use std::sync::Arc;
 
 /// Scale knobs (10:1 big:small, like the paper's 8M:800K).
@@ -97,11 +97,23 @@ fn rows(n: usize) -> Vec<Tuple> {
         .collect()
 }
 
-/// Create BIG1, BIG2 and SMALL, each stored sorted on `unique2`.
+/// Create BIG1, BIG2 and SMALL in the row layout, each stored sorted on
+/// `unique2`.
 pub fn build_wisconsin(catalog: &Arc<Catalog>, scale: WisconsinScale) -> QResult<()> {
-    catalog.create_table("big1", schema(), rows(scale.big_tuples), Some(cols::UNIQUE2))?;
-    catalog.create_table("big2", schema(), rows(scale.big_tuples), Some(cols::UNIQUE2))?;
-    catalog.create_table("small", schema(), rows(scale.small_tuples()), Some(cols::UNIQUE2))?;
+    build_wisconsin_with_layout(catalog, scale, StorageLayout::Row)
+}
+
+/// Create BIG1, BIG2 and SMALL in an explicit page layout (columnar tables
+/// scan without the row codec), each stored sorted on `unique2`.
+pub fn build_wisconsin_with_layout(
+    catalog: &Arc<Catalog>,
+    scale: WisconsinScale,
+    layout: StorageLayout,
+) -> QResult<()> {
+    let u2 = Some(cols::UNIQUE2);
+    catalog.create_table_with_layout("big1", schema(), rows(scale.big_tuples), u2, layout)?;
+    catalog.create_table_with_layout("big2", schema(), rows(scale.big_tuples), u2, layout)?;
+    catalog.create_table_with_layout("small", schema(), rows(scale.small_tuples()), u2, layout)?;
     Ok(())
 }
 

@@ -53,13 +53,13 @@ fn main() {
         println!("producer B finished");
     });
     let q1 = std::thread::spawn(move || {
-        let a = q1_a.collect_tuples().len();
-        let b = q1_b.collect_tuples().len();
+        let a = q1_a.collect_tuples().unwrap().len();
+        let b = q1_b.collect_tuples().unwrap().len();
         println!("query 1 consumed A={a} then B={b}");
     });
     let q2 = std::thread::spawn(move || {
-        let b = q2_b.collect_tuples().len();
-        let a = q2_a.collect_tuples().len();
+        let b = q2_b.collect_tuples().unwrap().len();
+        let a = q2_a.collect_tuples().unwrap().len();
         println!("query 2 consumed B={b} then A={a}");
     });
 

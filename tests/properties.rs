@@ -223,6 +223,118 @@ fn page_preserves_record_contents() {
 }
 
 // ---------------------------------------------------------------------------
+// Columnar page codec properties: random NULL-dense, schema-typed batches
+// must survive rows → ColPage → ColBatch → rows exactly, and agree with the
+// slotted-page codec over the same rows (cross-codec parity).
+// ---------------------------------------------------------------------------
+
+/// Random schema + conformant NULL-dense rows (columnar pages are strictly
+/// typed, so unlike `arb_batch` no type-breaking values are injected).
+fn arb_typed_batch(rng: &mut StdRng) -> (qpipe::common::Schema, Vec<Tuple>) {
+    use qpipe::common::{ColumnDef, DataType};
+    let kinds = [DataType::Int, DataType::Float, DataType::Str, DataType::Date];
+    let cols = rng.gen_range(1..=6);
+    let schema = qpipe::common::Schema::new(
+        (0..cols)
+            .map(|i| ColumnDef::new(format!("c{i}"), kinds[rng.gen_range(0..kinds.len())]))
+            .collect(),
+    );
+    let rows = rng.gen_range(0..=120);
+    let rows = (0..rows)
+        .map(|_| {
+            schema
+                .columns()
+                .iter()
+                .map(|c| {
+                    if rng.gen_bool(0.25) {
+                        return Value::Null; // NULL-dense on purpose
+                    }
+                    match c.ty {
+                        DataType::Int => Value::Int(rng.gen_range(i64::MIN / 2..i64::MAX / 2)),
+                        DataType::Float => Value::Float(rng.gen_range(-1e12..1e12)),
+                        DataType::Str => {
+                            let len = rng.gen_range(0..=10);
+                            Value::str(
+                                (0..len)
+                                    .map(|_| {
+                                        let alphabet = b"abcd XY9_";
+                                        alphabet[rng.gen_range(0..alphabet.len())] as char
+                                    })
+                                    .collect::<String>(),
+                            )
+                        }
+                        DataType::Date => Value::Date(rng.gen_range(i32::MIN..i32::MAX)),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (schema, rows)
+}
+
+#[test]
+fn colpage_round_trips_and_matches_slotted_codec() {
+    use qpipe_storage::colpage::ColPageBuilder;
+    let mut rng = StdRng::seed_from_u64(0xC01A6E);
+    for case in 0..300 {
+        let (schema, rows) = arb_typed_batch(&mut rng);
+        // Pack the same prefix of rows into one columnar and one slotted
+        // page; stop at whichever page layout fills first.
+        let mut builder = ColPageBuilder::new(&schema);
+        let mut page = Page::new();
+        let mut stored: Vec<Tuple> = Vec::new();
+        let mut buf = Vec::new();
+        for r in &rows {
+            buf.clear();
+            encode_tuple(r, &mut buf);
+            if !builder.fits(r) || !page.fits(buf.len()) {
+                break;
+            }
+            builder.append(r).unwrap();
+            page.append_record(&buf).unwrap();
+            stored.push(r.clone());
+        }
+        let colpage = builder.finish();
+        let via_columnar = colpage.rows().unwrap();
+        let via_slotted = page.decode_tuples().unwrap();
+        assert_eq!(via_columnar, stored, "case {case}: columnar round trip");
+        assert_eq!(via_slotted, stored, "case {case}: slotted round trip");
+        assert_eq!(via_columnar, via_slotted, "case {case}: cross-codec parity");
+    }
+}
+
+#[test]
+fn colpage_batch_agrees_with_from_rows_semantics() {
+    // The materialized ColBatch must behave like ColBatch::from_rows over
+    // the same tuples under the vectorized kernels (same filter results).
+    use qpipe_storage::colpage::ColPageBuilder;
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    for case in 0..150 {
+        let (schema, rows) = arb_typed_batch(&mut rng);
+        let mut builder = ColPageBuilder::new(&schema);
+        let mut stored: Vec<Tuple> = Vec::new();
+        for r in &rows {
+            if !builder.fits(r) {
+                break;
+            }
+            builder.append(r).unwrap();
+            stored.push(r.clone());
+        }
+        let from_page = builder.finish().materialize().unwrap();
+        let depth = rng.gen_range(0..=2);
+        let pred = arb_pred(&mut rng, schema.len(), depth);
+        let scalar: Vec<usize> = stored
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| pred.eval_bool(t).unwrap())
+            .map(|(i, _)| i)
+            .collect();
+        let vectorized: Vec<usize> = pred.eval_filter(&from_page).unwrap().iter().collect();
+        assert_eq!(vectorized, scalar, "case {case}: predicate {pred:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Expression properties (scalar)
 // ---------------------------------------------------------------------------
 
