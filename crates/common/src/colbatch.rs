@@ -242,22 +242,24 @@ impl Column {
         }
     }
 
-    /// New column containing the slots named by `sel`, in order.
-    pub fn gather(&self, sel: &SelVec) -> Column {
-        fn take<T: Clone>(v: &[T], sel: &SelVec) -> Vec<T> {
-            sel.iter().map(|i| v[i].clone()).collect()
+    /// New column containing the slots named by `idx`, in order. Unlike
+    /// [`gather`](Self::gather), `idx` may repeat and reorder rows — the
+    /// shape a vectorized join probe produces (one entry per match).
+    pub fn take(&self, idx: &[u32]) -> Column {
+        fn pick<T: Clone>(v: &[T], idx: &[u32]) -> Vec<T> {
+            idx.iter().map(|&i| v[i as usize].clone()).collect()
         }
         let data = match &self.data {
-            ColumnData::Int64(v) => ColumnData::Int64(take(v, sel)),
-            ColumnData::Float64(v) => ColumnData::Float64(take(v, sel)),
-            ColumnData::Str(v) => ColumnData::Str(take(v, sel)),
-            ColumnData::Date(v) => ColumnData::Date(take(v, sel)),
-            ColumnData::Mixed(v) => ColumnData::Mixed(take(v, sel)),
+            ColumnData::Int64(v) => ColumnData::Int64(pick(v, idx)),
+            ColumnData::Float64(v) => ColumnData::Float64(pick(v, idx)),
+            ColumnData::Str(v) => ColumnData::Str(pick(v, idx)),
+            ColumnData::Date(v) => ColumnData::Date(pick(v, idx)),
+            ColumnData::Mixed(v) => ColumnData::Mixed(pick(v, idx)),
         };
         let nulls = self.nulls.as_ref().map(|b| {
-            let mut out = NullBitmap::with_len(sel.len());
-            for (new_i, old_i) in sel.iter().enumerate() {
-                if b.get(old_i) {
+            let mut out = NullBitmap::with_len(idx.len());
+            for (new_i, &old_i) in idx.iter().enumerate() {
+                if b.get(old_i as usize) {
                     out.set(new_i);
                 }
             }
@@ -266,6 +268,12 @@ impl Column {
         // Drop an all-clear bitmap so is_null can stay on the fast path.
         let nulls = nulls.filter(|b| !b.is_empty());
         Column { data, nulls }
+    }
+
+    /// New column containing the slots named by `sel`, in order
+    /// (selection-vector form of [`take`](Self::take)).
+    pub fn gather(&self, sel: &SelVec) -> Column {
+        self.take(sel.as_slice())
     }
 }
 
@@ -440,10 +448,200 @@ impl ColBatch {
         if sel.is_all(self.len) {
             return self.clone();
         }
-        ColBatch {
-            len: sel.len(),
-            cols: self.cols.iter().map(|c| Arc::new(c.gather(sel))).collect(),
+        self.take(sel.as_slice())
+    }
+
+    /// Copy out the rows named by `idx` (repeats and arbitrary order
+    /// allowed) — the join-probe shape [`SelVec`] cannot express.
+    pub fn take(&self, idx: &[u32]) -> ColBatch {
+        ColBatch { len: idx.len(), cols: self.cols.iter().map(|c| Arc::new(c.take(idx))).collect() }
+    }
+
+    /// Horizontal concatenation: the joined batch `left ++ right` (pure
+    /// `Arc` bumps — the shape a vectorized join emits after taking each
+    /// side's match rows). Both inputs must have the same row count.
+    pub fn hcat(left: &ColBatch, right: &ColBatch) -> ColBatch {
+        assert_eq!(left.len, right.len, "hcat row counts must agree");
+        ColBatch { len: left.len, cols: left.cols.iter().chain(&right.cols).cloned().collect() }
+    }
+
+    /// Dense copy of the half-open row range `[offset, offset + len)` —
+    /// typed sub-range copies per column (general-purpose batch splitting,
+    /// e.g. re-chunking an oversized batch to pipe granularity).
+    pub fn slice(&self, offset: usize, len: usize) -> ColBatch {
+        assert!(offset + len <= self.len, "slice out of range");
+        if offset == 0 && len == self.len {
+            return self.clone();
         }
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                let data = match c.data() {
+                    ColumnData::Int64(v) => ColumnData::Int64(v[offset..offset + len].to_vec()),
+                    ColumnData::Float64(v) => ColumnData::Float64(v[offset..offset + len].to_vec()),
+                    ColumnData::Str(v) => ColumnData::Str(v[offset..offset + len].to_vec()),
+                    ColumnData::Date(v) => ColumnData::Date(v[offset..offset + len].to_vec()),
+                    ColumnData::Mixed(v) => ColumnData::Mixed(v[offset..offset + len].to_vec()),
+                };
+                let nulls = c
+                    .nulls()
+                    .map(|b| {
+                        let mut out = NullBitmap::with_len(len);
+                        for i in 0..len {
+                            if b.get(offset + i) {
+                                out.set(i);
+                            }
+                        }
+                        out
+                    })
+                    .filter(|b| !b.is_empty());
+                Arc::new(Column::new(data, nulls))
+            })
+            .collect();
+        ColBatch { len, cols }
+    }
+}
+
+/// Incrementally concatenates columns of the same position across batches,
+/// keeping the typed representation when every input agrees on it and
+/// degrading to [`ColumnData::Mixed`] otherwise. This is how a vectorized
+/// join build side accumulates its input stream into one contiguous batch.
+#[derive(Debug, Default)]
+pub struct ColumnBuilder {
+    data: Option<ColumnData>,
+    /// Row indices that are NULL (typed representations only; `Mixed`
+    /// carries NULLs inline).
+    null_rows: Vec<u32>,
+    len: usize,
+}
+
+impl ColumnBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append every slot of `col`.
+    pub fn append(&mut self, col: &Column) {
+        let n = col.len();
+        let same_variant = matches!(
+            (&self.data, col.data()),
+            (None, _)
+                | (Some(ColumnData::Int64(_)), ColumnData::Int64(_))
+                | (Some(ColumnData::Float64(_)), ColumnData::Float64(_))
+                | (Some(ColumnData::Str(_)), ColumnData::Str(_))
+                | (Some(ColumnData::Date(_)), ColumnData::Date(_))
+                | (Some(ColumnData::Mixed(_)), _)
+        );
+        if !same_variant {
+            self.degrade_to_mixed();
+        }
+        match (&mut self.data, col.data()) {
+            (data @ None, _) => {
+                *data = Some(col.data().clone());
+                if let Some(b) = col.nulls() {
+                    self.null_rows.extend((0..n).filter(|&i| b.get(i)).map(|i| i as u32));
+                }
+            }
+            (Some(ColumnData::Mixed(v)), _) => v.extend((0..n).map(|i| col.value(i))),
+            (Some(dst), src) => {
+                match (dst, src) {
+                    (ColumnData::Int64(v), ColumnData::Int64(o)) => v.extend_from_slice(o),
+                    (ColumnData::Float64(v), ColumnData::Float64(o)) => v.extend_from_slice(o),
+                    (ColumnData::Str(v), ColumnData::Str(o)) => v.extend_from_slice(o),
+                    (ColumnData::Date(v), ColumnData::Date(o)) => v.extend_from_slice(o),
+                    _ => unreachable!("variant mismatch handled by degrade_to_mixed"),
+                }
+                if let Some(b) = col.nulls() {
+                    let base = self.len as u32;
+                    self.null_rows.extend((0..n).filter(|&i| b.get(i)).map(|i| base + i as u32));
+                }
+            }
+        }
+        self.len += n;
+    }
+
+    fn degrade_to_mixed(&mut self) {
+        let Some(data) = self.data.take() else {
+            self.data = Some(ColumnData::Mixed(Vec::new()));
+            return;
+        };
+        let nulls = self.bitmap();
+        let tmp = Column::new(data, nulls);
+        self.data = Some(ColumnData::Mixed((0..self.len).map(|i| tmp.value(i)).collect()));
+        self.null_rows.clear();
+    }
+
+    fn bitmap(&self) -> Option<NullBitmap> {
+        if self.null_rows.is_empty() {
+            return None;
+        }
+        let mut b = NullBitmap::with_len(self.len);
+        for &i in &self.null_rows {
+            b.set(i as usize);
+        }
+        Some(b)
+    }
+
+    pub fn finish(self) -> Column {
+        let nulls = self.bitmap();
+        // An empty builder matches `Column::from_values(&[])`: Mixed.
+        Column { data: self.data.unwrap_or_else(|| ColumnData::Mixed(Vec::new())), nulls }
+    }
+}
+
+/// Concatenate a stream of [`ColBatch`]es into one contiguous batch (the
+/// vectorized join's build-side accumulator). All inputs must share a width.
+#[derive(Debug, Default)]
+pub struct ColBatchBuilder {
+    cols: Vec<ColumnBuilder>,
+    len: usize,
+}
+
+impl ColBatchBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append all rows of `batch`. Returns `false` (appending nothing) when
+    /// the width disagrees with what was accumulated so far — the caller
+    /// falls back to the row path rather than silently misaligning columns.
+    #[must_use]
+    pub fn append(&mut self, batch: &ColBatch) -> bool {
+        if self.cols.is_empty() && self.len == 0 {
+            self.cols = (0..batch.num_cols()).map(|_| ColumnBuilder::new()).collect();
+        } else if batch.num_cols() != self.cols.len() {
+            return false;
+        }
+        for (builder, col) in self.cols.iter_mut().zip(batch.columns()) {
+            builder.append(col);
+        }
+        self.len += batch.len();
+        true
+    }
+
+    pub fn finish(self) -> ColBatch {
+        let len = self.len;
+        if self.cols.is_empty() {
+            return ColBatch::empty_rows(len);
+        }
+        ColBatch { len, cols: self.cols.into_iter().map(|c| Arc::new(c.finish())).collect() }
     }
 }
 
@@ -530,6 +728,71 @@ mod tests {
         // Trailing bits past `len` are ignored.
         let b = NullBitmap::from_packed_bytes(&[0b1111_1111], 3);
         assert_eq!((0..3).filter(|&i| b.get(i)).count(), 3);
+    }
+
+    #[test]
+    fn take_repeats_and_reorders() {
+        let cb = ColBatch::from_rows(&rows());
+        let t = cb.take(&[2, 0, 0, 1]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.row(0)[3], Value::Date(30));
+        assert_eq!(t.row(1), t.row(2));
+        assert_eq!(t.row(3)[0], Value::Int(2));
+        assert!(t.col(0).unwrap().is_null(0), "null bitmap follows the take");
+        assert!(!t.col(0).unwrap().is_null(1));
+    }
+
+    #[test]
+    fn slice_and_hcat() {
+        let cb = ColBatch::from_rows(&rows());
+        let s = cb.slice(1, 2);
+        assert_eq!(s.to_rows(), rows()[1..3].to_vec());
+        let j = ColBatch::hcat(&s, &s);
+        assert_eq!(j.num_cols(), 8);
+        assert_eq!(j.len(), 2);
+        let mut expect = rows()[1].clone();
+        expect.extend(rows()[1].clone());
+        assert_eq!(j.row(0), expect);
+    }
+
+    #[test]
+    fn batch_builder_concatenates_typed() {
+        let a = ColBatch::from_rows(&rows());
+        let b = ColBatch::from_rows(&rows());
+        let mut builder = ColBatchBuilder::new();
+        assert!(builder.append(&a));
+        assert!(builder.append(&b));
+        let out = builder.finish();
+        let mut expect = rows();
+        expect.extend(rows());
+        assert_eq!(out.to_rows(), expect);
+        assert!(matches!(out.col(0).unwrap().data(), ColumnData::Int64(_)), "stays typed");
+        assert!(out.col(0).unwrap().is_null(2) && out.col(0).unwrap().is_null(5));
+    }
+
+    #[test]
+    fn batch_builder_degrades_mismatched_column_types() {
+        let ints = ColBatch::from_rows(&[vec![Value::Int(1)], vec![Value::Null]]);
+        let floats = ColBatch::from_rows(&[vec![Value::Float(2.5)]]);
+        let mut builder = ColBatchBuilder::new();
+        assert!(builder.append(&ints));
+        assert!(builder.append(&floats));
+        let out = builder.finish();
+        assert!(matches!(out.col(0).unwrap().data(), ColumnData::Mixed(_)));
+        assert_eq!(
+            out.to_rows(),
+            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Float(2.5)]]
+        );
+    }
+
+    #[test]
+    fn batch_builder_rejects_ragged_widths() {
+        let two = ColBatch::from_rows(&[vec![Value::Int(1), Value::Int(2)]]);
+        let one = ColBatch::from_rows(&[vec![Value::Int(1)]]);
+        let mut builder = ColBatchBuilder::new();
+        assert!(builder.append(&two));
+        assert!(!builder.append(&one));
+        assert_eq!(builder.finish().len(), 1, "rejected batch appended nothing");
     }
 
     #[test]

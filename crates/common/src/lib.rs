@@ -16,8 +16,10 @@ pub mod sim;
 pub mod value;
 
 pub use batch::{AnyBatch, Batch, Tuple};
-pub use colbatch::{ColBatch, Column, ColumnData, NullBitmap, SelVec};
+pub use colbatch::{
+    ColBatch, ColBatchBuilder, Column, ColumnBuilder, ColumnData, NullBitmap, SelVec,
+};
 pub use error::{QError, QResult};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};
-pub use value::Value;
+pub use value::{cmp_i64_f64, float_as_exact_i64, Value};

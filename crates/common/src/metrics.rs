@@ -27,6 +27,11 @@ struct MetricsInner {
     osp_rejections: AtomicU64,
     circular_wraps: AtomicU64,
     deadlocks_resolved: AtomicU64,
+    vec_join_batches: AtomicU64,
+    vec_agg_batches: AtomicU64,
+    vec_fallbacks: AtomicU64,
+    col_rowified_batches: AtomicU64,
+    pruned_pages: AtomicU64,
     queries_completed: AtomicU64,
     tuples_produced: AtomicU64,
     response_time_us_sum: AtomicU64,
@@ -45,6 +50,20 @@ pub struct MetricsSnapshot {
     pub osp_rejections: u64,
     pub circular_wraps: u64,
     pub deadlocks_resolved: u64,
+    /// Probe batches the hash-join µEngine processed as `ColBatch`es.
+    pub vec_join_batches: u64,
+    /// Batches the aggregation µEngine folded as `ColBatch`es.
+    pub vec_agg_batches: u64,
+    /// Vectorized join builds abandoned for the row path (budget overflow or
+    /// ragged input widths → grace join unchanged).
+    pub vec_fallbacks: u64,
+    /// Columnar batches flattened back to `Vec<Tuple>` at a µEngine operator
+    /// boundary (`PipeIter`). The vectorized join/agg acceptance bar is this
+    /// staying at 0 between scan and agg for columnar plans.
+    pub col_rowified_batches: u64,
+    /// Columnar pages materialized with column pruning (only the referenced
+    /// columns decoded).
+    pub pruned_pages: u64,
     pub queries_completed: u64,
     pub tuples_produced: u64,
     pub response_time_us_sum: u64,
@@ -91,6 +110,26 @@ impl Metrics {
         self.inner.deadlocks_resolved.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_vec_join_batch(&self) {
+        self.inner.vec_join_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_vec_agg_batch(&self) {
+        self.inner.vec_agg_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_vec_fallback(&self) {
+        self.inner.vec_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_col_rowified(&self) {
+        self.inner.col_rowified_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_pruned_page(&self) {
+        self.inner.pruned_pages.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn add_tuples(&self, n: u64) {
         self.inner.tuples_produced.fetch_add(n, Ordering::Relaxed);
     }
@@ -124,6 +163,11 @@ impl Metrics {
             osp_rejections: i.osp_rejections.load(Ordering::Relaxed),
             circular_wraps: i.circular_wraps.load(Ordering::Relaxed),
             deadlocks_resolved: i.deadlocks_resolved.load(Ordering::Relaxed),
+            vec_join_batches: i.vec_join_batches.load(Ordering::Relaxed),
+            vec_agg_batches: i.vec_agg_batches.load(Ordering::Relaxed),
+            vec_fallbacks: i.vec_fallbacks.load(Ordering::Relaxed),
+            col_rowified_batches: i.col_rowified_batches.load(Ordering::Relaxed),
+            pruned_pages: i.pruned_pages.load(Ordering::Relaxed),
             queries_completed: i.queries_completed.load(Ordering::Relaxed),
             tuples_produced: i.tuples_produced.load(Ordering::Relaxed),
             response_time_us_sum: i.response_time_us_sum.load(Ordering::Relaxed),
@@ -175,6 +219,11 @@ impl MetricsSnapshot {
             osp_rejections: self.osp_rejections - earlier.osp_rejections,
             circular_wraps: self.circular_wraps - earlier.circular_wraps,
             deadlocks_resolved: self.deadlocks_resolved - earlier.deadlocks_resolved,
+            vec_join_batches: self.vec_join_batches - earlier.vec_join_batches,
+            vec_agg_batches: self.vec_agg_batches - earlier.vec_agg_batches,
+            vec_fallbacks: self.vec_fallbacks - earlier.vec_fallbacks,
+            col_rowified_batches: self.col_rowified_batches - earlier.col_rowified_batches,
+            pruned_pages: self.pruned_pages - earlier.pruned_pages,
             queries_completed: self.queries_completed - earlier.queries_completed,
             tuples_produced: self.tuples_produced - earlier.tuples_produced,
             response_time_us_sum: self.response_time_us_sum - earlier.response_time_us_sum,

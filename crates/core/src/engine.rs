@@ -429,6 +429,7 @@ fn dispatch_packet(
         let mut packet = packet;
         let req = ScanRequest {
             table,
+            columns: ScanRequest::referenced_columns(predicate.as_ref(), projection.as_ref()),
             predicate,
             projection,
             output: packet.output.take().expect("scan packet has an output"),

@@ -134,7 +134,16 @@ impl SharedHost {
     /// (the history entry is recorded before the lock is released), so no
     /// output is ever missed or duplicated.
     pub fn push(&self, batch: Batch) {
-        let batch = Arc::new(AnyBatch::Rows(batch));
+        self.push_any(Arc::new(AnyBatch::Rows(batch)));
+    }
+
+    /// Broadcast a columnar batch (vectorized join/agg output) — same
+    /// replay/attach contract as [`push`](Self::push).
+    pub fn push_cols(&self, batch: qpipe_common::ColBatch) {
+        self.push_any(Arc::new(AnyBatch::Cols(batch)));
+    }
+
+    fn push_any(&self, batch: Arc<AnyBatch>) {
         let mut outputs = {
             let mut st = self.state.lock();
             st.broadcasting = true;

@@ -8,12 +8,13 @@
 
 use crate::host::{AttachWindow, ShareRegistry, SharedHost};
 use crate::packet::Packet;
-use crate::pipe::PipeIter;
-use qpipe_common::{Batch, Metrics, QResult, Tuple, Value};
+use crate::pipe::{PipeConsumer, PipeIter};
+use qpipe_common::{AnyBatch, Batch, ColBatch, Metrics, QResult, Tuple, Value};
 use qpipe_exec::iter::{
-    build, AggregateIter, HashJoinIter, MergeJoinIter, NestedLoopJoinIter, SortIter, TupleIter,
+    build, HashJoinIter, MergeJoinIter, NestedLoopJoinIter, SortIter, TupleIter,
 };
-use qpipe_exec::plan::PlanNode;
+use qpipe_exec::plan::{AggSpec, PlanNode};
+use qpipe_exec::viter::{HashAgg, HashJoinBuild};
 use std::sync::Arc;
 
 /// Shared environment handed to every worker.
@@ -153,24 +154,19 @@ fn run_operator(
 ) -> QResult<()> {
     match plan {
         PlanNode::Sort { keys, .. } => {
-            let input = Box::new(PipeIter::new(children.remove(0)));
+            let input = Box::new(pipe_iter(children.remove(0), env));
             let it = SortIter::new(input, keys.clone(), env.ctx.clone());
             drain_into_host(it, host, cancel)
         }
         PlanNode::Aggregate { group_by, aggs, .. } => {
-            let input = Box::new(PipeIter::new(children.remove(0)));
-            let it = AggregateIter::new(input, group_by.clone(), aggs.clone());
-            drain_into_host(it, host, cancel)
+            run_aggregate(children.remove(0), group_by, aggs, host, cancel, env)
         }
         PlanNode::HashJoin { left_key, right_key, .. } => {
-            let left = Box::new(PipeIter::new(children.remove(0)));
-            let right = Box::new(PipeIter::new(children.remove(0)));
-            let it = HashJoinIter::new(left, right, *left_key, *right_key, env.ctx.clone());
-            drain_into_host(it, host, cancel)
+            run_hash_join(children, *left_key, *right_key, host, cancel, env)
         }
         PlanNode::NestedLoopJoin { predicate, .. } => {
-            let left = Box::new(PipeIter::new(children.remove(0)));
-            let right = Box::new(PipeIter::new(children.remove(0)));
+            let left = Box::new(pipe_iter(children.remove(0), env));
+            let right = Box::new(pipe_iter(children.remove(0), env));
             let it = NestedLoopJoinIter::new(left, right, predicate.clone());
             drain_into_host(it, host, cancel)
         }
@@ -178,7 +174,7 @@ fn run_operator(
             run_merge_join(children, (left, *left_key), (right, *right_key), host, cancel, env)
         }
         PlanNode::Filter { predicate, .. } => {
-            let mut input = PipeIter::new(children.remove(0));
+            let mut input = pipe_iter(children.remove(0), env);
             let mut out = Batch::new();
             while let Some(t) = input.next()? {
                 if cancel.is_cancelled() && !host.wanted() {
@@ -197,7 +193,7 @@ fn run_operator(
             Ok(())
         }
         PlanNode::Project { exprs, .. } => {
-            let mut input = PipeIter::new(children.remove(0));
+            let mut input = pipe_iter(children.remove(0), env);
             let mut out = Batch::new();
             while let Some(t) = input.next()? {
                 if cancel.is_cancelled() && !host.wanted() {
@@ -231,6 +227,153 @@ fn run_operator(
             drain_into_host(it, host, cancel)
         }
     }
+}
+
+/// Row-path ingest adapter, wired to count every `ColBatch` it flattens.
+fn pipe_iter(consumer: PipeConsumer, env: &OpEnv) -> PipeIter {
+    PipeIter::with_metrics(consumer, env.metrics.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized hash join / aggregation (batch-native µEngine workers)
+// ---------------------------------------------------------------------------
+
+/// Already-buffered prefix tuples followed by the rest of a pipe stream —
+/// the hand-off shape when a vectorized join build abandons the columnar
+/// path (budget overflow → grace spill, or ragged input widths) and replays
+/// everything through the unchanged row-path operator.
+struct ChainIter {
+    prefix: std::vec::IntoIter<Tuple>,
+    rest: PipeIter,
+}
+
+impl TupleIter for ChainIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        if let Some(t) = self.prefix.next() {
+            return Ok(Some(t));
+        }
+        self.rest.next()
+    }
+}
+
+/// Hash join over `Arc<AnyBatch>` streams: build accumulates columnar
+/// batches without materializing a single `Tuple`, probe matches whole
+/// batches through the `viter` kernels. Row batches interleaved in either
+/// stream are handled in place; a build side that exceeds the hash budget
+/// (or arrives ragged) falls back to the row-path [`HashJoinIter`], whose
+/// grace partitioning is unchanged.
+fn run_hash_join(
+    mut children: Vec<PipeConsumer>,
+    left_key: usize,
+    right_key: usize,
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    let left = children.remove(0);
+    let right = children.remove(0);
+    let budget = env.ctx.config.hash_budget.max(2);
+    let mut build = HashJoinBuild::new(left_key);
+    loop {
+        if cancel.is_cancelled() && !host.wanted() {
+            return Ok(());
+        }
+        let Some(batch) = left.recv()? else { break };
+        let accepted = match &*batch {
+            AnyBatch::Cols(c) => build.add(c),
+            AnyBatch::Rows(b) => build.add(&ColBatch::from_rows(b.rows())),
+        };
+        if !accepted || build.rows() > budget {
+            env.metrics.add_vec_fallback();
+            let mut prefix = build.into_rows();
+            if !accepted {
+                prefix.extend(batch.to_rows());
+            }
+            let l = Box::new(ChainIter { prefix: prefix.into_iter(), rest: pipe_iter(left, env) });
+            let r = Box::new(pipe_iter(right, env));
+            let it = HashJoinIter::new(l, r, left_key, right_key, env.ctx.clone());
+            return drain_into_host(it, host, cancel);
+        }
+    }
+    let table = build.finish()?;
+    let mut rows_out = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
+    while let Some(batch) = right.recv()? {
+        if cancel.is_cancelled() && !host.wanted() {
+            return Ok(());
+        }
+        match &*batch {
+            AnyBatch::Cols(c) => {
+                // Flush pending row output first so the stream keeps the
+                // probe side's arrival order.
+                if !rows_out.is_empty() {
+                    host.push(std::mem::replace(
+                        &mut rows_out,
+                        Batch::with_capacity(Batch::DEFAULT_CAPACITY),
+                    ));
+                }
+                table.probe(c, right_key, Batch::DEFAULT_CAPACITY, |out| host.push_cols(out))?;
+                env.metrics.add_vec_join_batch();
+            }
+            AnyBatch::Rows(b) => {
+                for t in b.rows() {
+                    table.probe_row(t, right_key, |row| {
+                        rows_out.push(row);
+                        if rows_out.is_full() {
+                            host.push(std::mem::replace(
+                                &mut rows_out,
+                                Batch::with_capacity(Batch::DEFAULT_CAPACITY),
+                            ));
+                        }
+                    })?;
+                }
+            }
+        }
+    }
+    if !rows_out.is_empty() {
+        host.push(rows_out);
+    }
+    Ok(())
+}
+
+/// Hash aggregation over `Arc<AnyBatch>` streams: columnar batches fold
+/// through [`HashAgg`]'s column-run update, row batches update the same
+/// group states in place — one operator, no fallback seam.
+fn run_aggregate(
+    input: PipeConsumer,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    let mut agg = HashAgg::new(group_by.to_vec(), aggs.to_vec());
+    while let Some(batch) = input.recv()? {
+        if cancel.is_cancelled() && !host.wanted() {
+            return Ok(());
+        }
+        match &*batch {
+            AnyBatch::Cols(c) => {
+                agg.update_cols(c)?;
+                env.metrics.add_vec_agg_batch();
+            }
+            AnyBatch::Rows(b) => {
+                for t in b.rows() {
+                    agg.update_row(t)?;
+                }
+            }
+        }
+    }
+    let mut out = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
+    for row in agg.finish() {
+        out.push(row);
+        if out.is_full() {
+            host.push(std::mem::replace(&mut out, Batch::with_capacity(Batch::DEFAULT_CAPACITY)));
+        }
+    }
+    if !out.is_empty() {
+        host.push(out);
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -310,8 +453,8 @@ fn run_merge_join(
     cancel: &crate::packet::CancelToken,
     env: &OpEnv,
 ) -> QResult<()> {
-    let left = PipeIter::new(children.remove(0));
-    let right = PipeIter::new(children.remove(0));
+    let left = pipe_iter(children.remove(0), env);
+    let right = pipe_iter(children.remove(0), env);
     let mut lsplit = WrapSplitIter::new(left, left_key);
     let mut rsplit = WrapSplitIter::new(right, right_key);
 

@@ -394,15 +394,29 @@ impl Drop for PipeConsumer {
 
 /// Adapter exposing a pipe consumer as a pull [`TupleIter`](qpipe_exec::iter::TupleIter) so µEngines can
 /// reuse the iterator-model kernels over pipe inputs.
+///
+/// This is the row-materialization boundary: a columnar batch crossing it is
+/// flattened back into `Vec<Tuple>`. Join and aggregation no longer ingest
+/// through here (they consume `Arc<AnyBatch>` directly — see
+/// `ops::run_hash_join` / `ops::run_aggregate`); each columnar batch this
+/// adapter does flatten is counted so tests can assert the hot path stays
+/// batched end-to-end.
 pub struct PipeIter {
     consumer: PipeConsumer,
     current: Vec<Tuple>,
     pos: usize,
+    metrics: Option<qpipe_common::Metrics>,
 }
 
 impl PipeIter {
     pub fn new(consumer: PipeConsumer) -> Self {
-        Self { consumer, current: Vec::new(), pos: 0 }
+        Self { consumer, current: Vec::new(), pos: 0, metrics: None }
+    }
+
+    /// Count every `ColBatch → Vec<Tuple>` flattening against `metrics`
+    /// (`col_rowified_batches`).
+    pub fn with_metrics(consumer: PipeConsumer, metrics: qpipe_common::Metrics) -> Self {
+        Self { consumer, current: Vec::new(), pos: 0, metrics: Some(metrics) }
     }
 }
 
@@ -417,6 +431,9 @@ impl qpipe_exec::iter::TupleIter for PipeIter {
             match self.consumer.recv()? {
                 None => return Ok(None),
                 Some(batch) => {
+                    if let (Some(m), AnyBatch::Cols(_)) = (&self.metrics, &*batch) {
+                        m.add_col_rowified();
+                    }
                     // Sole-holder batches are moved out instead of cloned.
                     self.current = match Arc::try_unwrap(batch) {
                         Ok(owned) => owned.into_rows(),

@@ -31,6 +31,12 @@ pub struct ScanRequest {
     pub table: String,
     pub predicate: Option<Expr>,
     pub projection: Option<Vec<usize>>,
+    /// The set of table columns the consumer's predicate + projection
+    /// reference (sorted, deduplicated), or `None` when every column is
+    /// needed. Drives page-level column pruning: while this consumer is the
+    /// scanner's only one, columnar pages decode just these columns. Compute
+    /// via [`ScanRequest::referenced_columns`].
+    pub columns: Option<Vec<usize>>,
     pub output: PipeProducer,
     /// Consumer requires stored order.
     pub ordered: bool,
@@ -38,11 +44,69 @@ pub struct ScanRequest {
     pub split_ok: bool,
 }
 
+impl ScanRequest {
+    /// The referenced-column set for a scan with this predicate/projection.
+    /// `None` (= no pruning) when there is no projection: the consumer's
+    /// output then contains every table column.
+    pub fn referenced_columns(
+        predicate: Option<&Expr>,
+        projection: Option<&Vec<usize>>,
+    ) -> Option<Vec<usize>> {
+        let proj = projection?;
+        let mut cols = proj.clone();
+        if let Some(p) = predicate {
+            p.collect_cols(&mut cols);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        Some(cols)
+    }
+}
+
+/// A consumer's predicate/projection re-indexed onto the pruned page batch
+/// (whose columns are `cols`, in order). Output is identical to the
+/// full-width path — only the decode work shrinks.
+struct PrunedScan {
+    cols: Vec<usize>,
+    predicate: Option<Expr>,
+    projection: Vec<usize>,
+}
+
 struct ScanConsumer {
     predicate: Option<Expr>,
     projection: Option<Vec<usize>>,
+    pruned: Option<PrunedScan>,
     output: PipeProducer,
     pages_seen: u64,
+}
+
+impl ScanConsumer {
+    fn new(req: ScanRequest) -> Self {
+        let pruned = req.columns.as_ref().and_then(|cols| {
+            // Pruning needs a projection (otherwise all columns escape) and
+            // a referenced set that covers every expression column; anything
+            // else quietly keeps the full-width path.
+            let proj = req.projection.as_ref()?;
+            let refs =
+                ScanRequest::referenced_columns(req.predicate.as_ref(), req.projection.as_ref())?;
+            let pos = |c: usize| cols.binary_search(&c);
+            if refs.iter().any(|&c| pos(c).is_err()) {
+                return None;
+            }
+            Some(PrunedScan {
+                cols: cols.clone(),
+                predicate: req.predicate.as_ref().map(|p| p.map_cols(&|c| pos(c).unwrap())),
+                projection: proj.iter().map(|&c| pos(c).unwrap()).collect(),
+            })
+        });
+        Self {
+            predicate: req.predicate,
+            projection: req.projection,
+            pruned,
+            output: req.output,
+            pages_seen: 0,
+        }
+    }
 }
 
 struct GroupInner {
@@ -77,12 +141,7 @@ impl ScanGroup {
             // out of order for this newcomer.
             return Err(req);
         }
-        g.inbox.push(ScanConsumer {
-            predicate: req.predicate,
-            projection: req.projection,
-            output: req.output,
-            pages_seen: 0,
-        });
+        g.inbox.push(ScanConsumer::new(req));
         g.active += 1;
         Ok(())
     }
@@ -144,26 +203,21 @@ impl ScanManager {
 
     fn start_group(self: &Arc<Self>, req: ScanRequest) -> QResult<()> {
         // Validate the table before spawning.
-        let info = self.ctx.catalog.table(&req.table)?;
+        let table = req.table.clone();
+        let info = self.ctx.catalog.table(&table)?;
         let num_pages = info.num_pages()?;
         let group = Arc::new(ScanGroup {
-            table: req.table.clone(),
+            table: table.clone(),
             inner: Mutex::new(GroupInner {
                 position: 0,
                 pages_read: 0,
-                inbox: vec![ScanConsumer {
-                    predicate: req.predicate,
-                    projection: req.projection,
-                    output: req.output,
-                    pages_seen: 0,
-                }],
+                inbox: vec![ScanConsumer::new(req)],
                 finished: false,
                 active: 1,
             }),
         });
-        self.groups.lock().entry(req.table.clone()).or_default().push(group.clone());
+        self.groups.lock().entry(table.clone()).or_default().push(group.clone());
         let mgr = self.clone();
-        let table = req.table;
         std::thread::Builder::new()
             .name(format!("qpipe-scan-{table}"))
             .spawn(move || {
@@ -242,18 +296,42 @@ impl ScanManager {
             // * Columnar tables materialize the page's shared batch straight
             //   from the PAX byte regions (zero row decode, and cached in the
             //   pool-resident page handle — later visits are refcount bumps).
+            //   While the scan has a **single** consumer with a known
+            //   referenced-column set, only those columns are decoded
+            //   (page-level column pruning); the consumer's expressions are
+            //   re-indexed onto the pruned batch, so output is identical.
             // * Row tables still pay the slotted codec: decode to tuples,
             //   then column-ify.
             //
             // Either fetch or decode failing fails every attached packet —
             // consumers observe the error, never a silently-empty page.
-            let decoded: QResult<Arc<AnyBatch>> = pool.get(file, position).and_then(|block| {
-                Ok(Arc::new(AnyBatch::Cols(match block {
-                    Block::Columnar(cp) => cp.materialize()?.as_ref().clone(),
-                    Block::Slotted(p) => ColBatch::from_rows(&p.decode_tuples()?),
-                })))
-            });
-            let shared = match decoded {
+            let prune = if consumers.len() == 1 { consumers[0].pruned.as_ref() } else { None };
+            let decoded: QResult<(Arc<AnyBatch>, bool)> =
+                pool.get(file, position).and_then(|block| match block {
+                    // A referenced set pointing past the page width (plan
+                    // names a column the table lacks) keeps the full-width
+                    // path, so such plans behave exactly as unpruned ones
+                    // (predicate eval errors filter the page out) instead of
+                    // failing the scan.
+                    Block::Columnar(cp) => {
+                        match prune.filter(|p| p.cols.last().is_none_or(|&c| c < cp.num_cols())) {
+                            Some(p) => {
+                                let batch = cp.decode_cols(&p.cols)?;
+                                self.metrics.add_pruned_page();
+                                Ok((Arc::new(AnyBatch::Cols(batch)), true))
+                            }
+                            None => Ok((
+                                Arc::new(AnyBatch::Cols(cp.materialize()?.as_ref().clone())),
+                                false,
+                            )),
+                        }
+                    }
+                    Block::Slotted(p) => Ok((
+                        Arc::new(AnyBatch::Cols(ColBatch::from_rows(&p.decode_tuples()?))),
+                        false,
+                    )),
+                });
+            let (shared, pruned_delivery) = match decoded {
                 Ok(s) => s,
                 Err(e) => {
                     self.fail_group(group, &mut consumers, e);
@@ -283,14 +361,22 @@ impl ScanManager {
                     done_indices.push(i);
                     continue;
                 }
+                // Pruned pages carry re-indexed columns; use the consumer's
+                // re-indexed expressions (same output, smaller decode).
+                let (predicate, projection) = if pruned_delivery {
+                    let p = c.pruned.as_ref().expect("pruned delivery implies pruned consumer");
+                    (&p.predicate, Some(&p.projection))
+                } else {
+                    (&c.predicate, c.projection.as_ref())
+                };
                 // A failing predicate drops the page for this consumer (the
                 // scalar path treated row-level eval errors as "filter out").
-                let sel = match &c.predicate {
+                let sel = match predicate {
                     Some(p) => p.eval_filter(cols).unwrap_or_else(|_| SelVec::empty()),
                     None => SelVec::all(cols.len()),
                 };
                 if !sel.is_empty() {
-                    match &c.projection {
+                    match projection {
                         // Unfiltered, unprojected page: broadcast the shared
                         // Arc — a refcount bump per consumer, zero copies.
                         None if sel.is_all(cols.len()) => {
@@ -369,6 +455,7 @@ mod tests {
             table: "t".into(),
             predicate: None,
             projection: None,
+            columns: None,
             output: pipe.producer(),
             ordered,
             split_ok,
@@ -503,6 +590,7 @@ mod tests {
                     table: "t".into(),
                     predicate: Some(Expr::col(0).ge(Expr::lit(lo))),
                     projection: Some(vec![0]),
+                    columns: None,
                     output: pipe.producer(),
                     ordered: false,
                     split_ok: false,
@@ -557,12 +645,143 @@ mod tests {
             table: "t".into(),
             predicate: Some(Expr::col(0).ge(Expr::lit(900))),
             projection: Some(vec![0]),
+            columns: None,
             output: pipe.producer(),
             ordered: false,
             split_ok: false,
         })
         .unwrap();
         assert_eq!(c.collect_tuples().unwrap().len(), 100);
+    }
+
+    fn ctx_with_wide_table(
+        rows: i64,
+        layout: qpipe_storage::StorageLayout,
+    ) -> (ExecContext, Metrics) {
+        let metrics = Metrics::new();
+        let disk = SimDisk::new(DiskConfig::instant(), metrics.clone());
+        let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(64, PolicyKind::Lru));
+        let catalog = Catalog::new(disk, pool);
+        catalog
+            .create_table_with_layout(
+                "w",
+                Schema::of(&[("k", DataType::Int), ("v", DataType::Int), ("s", DataType::Str)]),
+                (0..rows)
+                    .map(|i| vec![Value::Int(i), Value::Int(i * 2), Value::str(format!("s{i}"))])
+                    .collect(),
+                Some(0),
+                layout,
+            )
+            .unwrap();
+        (ExecContext::new(catalog), metrics)
+    }
+
+    fn pruned_request(
+        reg: &Arc<WaitRegistry>,
+        lo: i64,
+        projection: Vec<usize>,
+    ) -> (ScanRequest, PipeConsumer) {
+        let pipe = Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg.clone());
+        let c = pipe.attach_consumer(NodeId(2), false);
+        let predicate = Some(Expr::col(0).ge(Expr::lit(lo)));
+        let columns = ScanRequest::referenced_columns(predicate.as_ref(), Some(&projection));
+        let req = ScanRequest {
+            table: "w".into(),
+            predicate,
+            projection: Some(projection),
+            columns,
+            output: pipe.producer(),
+            ordered: false,
+            split_ok: false,
+        };
+        (req, c)
+    }
+
+    #[test]
+    fn single_consumer_columnar_scan_prunes_columns() {
+        let (ctx, m) = ctx_with_wide_table(3000, qpipe_storage::StorageLayout::Columnar);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        // Predicate on col 0, output col 2: only columns {0, 2} decode.
+        let (req, c) = pruned_request(&reg, 2900, vec![2]);
+        mgr.submit(req).unwrap();
+        let rows = c.collect_tuples().unwrap();
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| r.len() == 1 && r[0].as_str().is_some()));
+        let snap = m.snapshot();
+        assert!(snap.pruned_pages > 0, "single-consumer columnar scan must prune");
+        assert_eq!(snap.pruned_pages, snap.disk_blocks_read, "every page pruned");
+    }
+
+    #[test]
+    fn shared_scan_with_two_consumers_does_not_prune() {
+        let (ctx, m) = ctx_with_wide_table(3000, qpipe_storage::StorageLayout::Columnar);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = pruned_request(&reg, 0, vec![2]);
+        let (r2, c2) = pruned_request(&reg, 1500, vec![1]);
+        mgr.submit(r1).unwrap();
+        mgr.submit(r2).unwrap();
+        let h1 = std::thread::spawn(move || c1.collect_tuples().unwrap().len());
+        let h2 = std::thread::spawn(move || c2.collect_tuples().unwrap().len());
+        assert_eq!(h1.join().unwrap(), 3000);
+        assert_eq!(h2.join().unwrap(), 1500);
+        assert_eq!(m.snapshot().osp_attaches, 1, "second request must share the scan");
+        assert_eq!(m.snapshot().pruned_pages, 0, "sharing wins over pruning");
+    }
+
+    #[test]
+    fn pruned_scan_matches_unpruned_results_across_layouts() {
+        for layout in [qpipe_storage::StorageLayout::Row, qpipe_storage::StorageLayout::Columnar] {
+            let (ctx, m) = ctx_with_wide_table(1000, layout);
+            let mgr = manager(&ctx, &m, true);
+            let reg = Arc::new(WaitRegistry::new());
+            let (req, c) = pruned_request(&reg, 500, vec![2, 0]);
+            mgr.submit(req).unwrap();
+            let mut rows = c.collect_tuples().unwrap();
+            rows.sort_by(|a, b| a[1].cmp(&b[1]));
+            assert_eq!(rows.len(), 500, "{layout:?}");
+            for (i, r) in rows.iter().enumerate() {
+                let k = 500 + i as i64;
+                assert_eq!(r[0], Value::str(format!("s{k}")), "{layout:?}");
+                assert_eq!(r[1], Value::Int(k), "{layout:?}");
+            }
+        }
+    }
+
+    /// Regression: a predicate naming a column the table lacks must behave
+    /// exactly like the unpruned path (eval error ⇒ page filtered out ⇒
+    /// clean empty result), not fail the scan or panic the scanner — even
+    /// though the referenced-column set then points past the page width.
+    #[test]
+    fn out_of_range_predicate_column_filters_out_instead_of_failing() {
+        for layout in [qpipe_storage::StorageLayout::Row, qpipe_storage::StorageLayout::Columnar] {
+            let (ctx, m) = ctx_with_wide_table(500, layout);
+            let mgr = manager(&ctx, &m, true);
+            let reg = Arc::new(WaitRegistry::new());
+            let pipe =
+                Pipe::new(PipeConfig { capacity: 1024, backfill: 0 }, NodeId(1), reg.clone());
+            let c = pipe.attach_consumer(NodeId(2), false);
+            let predicate = Some(Expr::col(9).ge(Expr::lit(0)));
+            let projection = Some(vec![0usize]);
+            let columns = ScanRequest::referenced_columns(predicate.as_ref(), projection.as_ref());
+            assert_eq!(columns.as_deref(), Some(&[0usize, 9][..]));
+            mgr.submit(ScanRequest {
+                table: "w".into(),
+                predicate,
+                projection,
+                columns,
+                output: pipe.producer(),
+                ordered: false,
+                split_ok: false,
+            })
+            .unwrap();
+            let rows = c.collect_tuples().unwrap_or_else(|e| {
+                panic!("{layout:?}: scan must deliver a clean empty result, got {e}")
+            });
+            assert!(rows.is_empty(), "{layout:?}: eval errors filter pages out");
+            assert_eq!(m.snapshot().pruned_pages, 0, "{layout:?}: no pruning past page width");
+        }
     }
 
     #[test]

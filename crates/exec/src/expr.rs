@@ -208,6 +208,47 @@ impl Expr {
         })
     }
 
+    /// Collect every column index this expression references into `out`
+    /// (duplicates allowed; callers sort/dedup). Drives page-level column
+    /// pruning: a scan only decodes columns some consumer expression names.
+    pub fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
+                a.collect_cols(out);
+                b.collect_cols(out);
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.collect_cols(out);
+                }
+            }
+            Expr::Not(e) | Expr::In(e, _) | Expr::IsNull(e) | Expr::StartsWith(e, _) => {
+                e.collect_cols(out);
+            }
+        }
+    }
+
+    /// Rewrite every column reference through `f` (used to re-index
+    /// expressions onto a pruned batch whose columns were renumbered).
+    pub fn map_cols(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(f(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            Expr::And(parts) => Expr::And(parts.iter().map(|p| p.map_cols(f)).collect()),
+            Expr::Or(parts) => Expr::Or(parts.iter().map(|p| p.map_cols(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_cols(f))),
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(a.map_cols(f)), Box::new(b.map_cols(f)))
+            }
+            Expr::In(e, list) => Expr::In(Box::new(e.map_cols(f)), list.clone()),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_cols(f))),
+            Expr::StartsWith(e, p) => Expr::StartsWith(Box::new(e.map_cols(f)), p.clone()),
+        }
+    }
+
     /// Canonical signature encoding for overlap detection.
     pub fn encode_sig(&self, out: &mut Vec<u8>) {
         fn val(out: &mut Vec<u8>, v: &Value) {

@@ -69,6 +69,61 @@ impl AggState {
         }
     }
 
+    /// Typed fast path: semantically identical to `update(&Value::Int(v))`,
+    /// without constructing the `Value` (vectorized agg inner loop).
+    #[inline]
+    pub fn update_int(&mut self, v: i64) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum { acc, int_acc, any, .. } => {
+                *acc += v as f64;
+                *int_acc += v;
+                *any = true;
+            }
+            AggState::Min(m) => {
+                if m.as_ref().is_none_or(|cur| Value::Int(v) < *cur) {
+                    *m = Some(Value::Int(v));
+                }
+            }
+            AggState::Max(m) => {
+                if m.as_ref().is_none_or(|cur| Value::Int(v) > *cur) {
+                    *m = Some(Value::Int(v));
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += v as f64;
+                *count += 1;
+            }
+        }
+    }
+
+    /// Typed fast path: semantically identical to `update(&Value::Float(v))`.
+    #[inline]
+    pub fn update_float(&mut self, v: f64) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum { acc, ints_only, any, .. } => {
+                *acc += v;
+                *ints_only = false;
+                *any = true;
+            }
+            AggState::Min(m) => {
+                if m.as_ref().is_none_or(|cur| Value::Float(v) < *cur) {
+                    *m = Some(Value::Float(v));
+                }
+            }
+            AggState::Max(m) => {
+                if m.as_ref().is_none_or(|cur| Value::Float(v) > *cur) {
+                    *m = Some(Value::Float(v));
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += v;
+                *count += 1;
+            }
+        }
+    }
+
     /// Merge another state of the same function (used by shared µEngines).
     pub fn merge(&mut self, other: &AggState) {
         match (self, other) {

@@ -3,3 +3,4 @@ pub mod expr;
 pub mod iter;
 pub mod plan;
 pub mod vexpr;
+pub mod viter;

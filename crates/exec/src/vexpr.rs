@@ -24,7 +24,7 @@
 
 use crate::expr::{CmpOp, Expr};
 use qpipe_common::colbatch::{ColBatch, Column, ColumnData, SelVec};
-use qpipe_common::{QError, QResult, Value};
+use qpipe_common::{cmp_i64_f64, QError, QResult, Value};
 use std::cmp::Ordering;
 
 #[inline]
@@ -68,7 +68,7 @@ fn cmp_col_lit(col: &Column, op: CmpOp, lit: &Value, sel: &SelVec) -> Option<Sel
         }
         (ColumnData::Int64(v), Value::Float(x)) => {
             let x = *x;
-            kernel!(v, move |a: i64| (a as f64).total_cmp(&x))
+            kernel!(v, move |a: i64| cmp_i64_f64(a, x))
         }
         // Int column vs Date literal compares numerically (Value::total_cmp).
         (ColumnData::Int64(v), Value::Date(d)) => {
@@ -80,8 +80,8 @@ fn cmp_col_lit(col: &Column, op: CmpOp, lit: &Value, sel: &SelVec) -> Option<Sel
             kernel!(v, move |a: f64| a.total_cmp(&x))
         }
         (ColumnData::Float64(v), Value::Int(x)) => {
-            let x = *x as f64;
-            kernel!(v, move |a: f64| a.total_cmp(&x))
+            let x = *x;
+            kernel!(v, move |a: f64| cmp_i64_f64(x, a).reverse())
         }
         (ColumnData::Date(v), Value::Date(d)) => {
             let d = *d;
@@ -130,10 +130,10 @@ fn cmp_col_col(a: &Column, b: &Column, op: CmpOp, sel: &SelVec) -> Option<SelVec
             kernel!(x, y, |p: &i64, q: &i64| p.cmp(q))
         }
         (ColumnData::Int64(x), ColumnData::Float64(y)) => {
-            kernel!(x, y, |p: &i64, q: &f64| (*p as f64).total_cmp(q))
+            kernel!(x, y, |p: &i64, q: &f64| cmp_i64_f64(*p, *q))
         }
         (ColumnData::Float64(x), ColumnData::Int64(y)) => {
-            kernel!(x, y, |p: &f64, q: &i64| p.total_cmp(&(*q as f64)))
+            kernel!(x, y, |p: &f64, q: &i64| cmp_i64_f64(*q, *p).reverse())
         }
         (ColumnData::Float64(x), ColumnData::Float64(y)) => {
             kernel!(x, y, |p: &f64, q: &f64| p.total_cmp(q))
@@ -342,6 +342,47 @@ impl Expr {
 #[inline]
 fn col_at(batch: &ColBatch, i: usize) -> QResult<&Column> {
     batch.col(i).ok_or_else(|| QError::Exec(format!("column {i} out of range")))
+}
+
+// ---------------------------------------------------------------------------
+// Key-hash kernels (vectorized join build/probe, hash aggregation)
+// ---------------------------------------------------------------------------
+
+/// Per-row [`Value::stable_hash`] over a whole column, computed from the
+/// primitive slices without constructing a single `Value`. NULL slots get an
+/// arbitrary hash (the typed vectors hold placeholders there) — callers must
+/// consult `col.is_null` before using a slot, exactly as the row operators
+/// skip NULL join keys.
+pub fn hash_key_column(col: &Column) -> Vec<u64> {
+    match col.data() {
+        ColumnData::Int64(v) => v.iter().map(|&x| Value::hash_int(x)).collect(),
+        ColumnData::Float64(v) => v.iter().map(|&x| Value::hash_float(x)).collect(),
+        ColumnData::Date(v) => v.iter().map(|&x| Value::hash_date(x)).collect(),
+        ColumnData::Str(v) => v.iter().map(|s| Value::hash_str(s)).collect(),
+        ColumnData::Mixed(v) => v.iter().map(|x| x.stable_hash()).collect(),
+    }
+}
+
+/// Exact key equality between one slot of each column — the hash-collision
+/// confirmation a join probe runs, with the same cross-type numeric
+/// semantics as `Value::total_cmp` (and therefore `Value::eq`). Neither
+/// slot may be NULL (callers skip NULL keys before probing).
+#[inline]
+pub fn key_eq(a: &Column, i: usize, b: &Column, j: usize) -> bool {
+    use ColumnData::*;
+    match (a.data(), b.data()) {
+        (Int64(x), Int64(y)) => x[i] == y[j],
+        (Float64(x), Float64(y)) => x[i].total_cmp(&y[j]).is_eq(),
+        (Int64(x), Float64(y)) => cmp_i64_f64(x[i], y[j]).is_eq(),
+        (Float64(x), Int64(y)) => cmp_i64_f64(y[j], x[i]).is_eq(),
+        (Date(x), Date(y)) => x[i] == y[j],
+        (Date(x), Int64(y)) => x[i] as i64 == y[j],
+        (Int64(x), Date(y)) => x[i] == y[j] as i64,
+        (Date(x), Float64(y)) => cmp_i64_f64(x[i] as i64, y[j]).is_eq(),
+        (Float64(x), Date(y)) => cmp_i64_f64(y[j] as i64, x[i]).is_eq(),
+        (Str(x), Str(y)) => x[i] == y[j],
+        _ => a.value(i) == b.value(j),
+    }
 }
 
 /// Project a whole expression list into a new [`ColBatch`] (the vectorized

@@ -1,0 +1,486 @@
+//! Vectorized (batch-native) operators over [`ColBatch`]es.
+//!
+//! The iterator operators in [`iter`](crate::iter) pull one `Tuple` at a
+//! time, which forces every columnar batch arriving from the shared-scan hot
+//! path to be flattened back into `Vec<Tuple>` at the operator boundary —
+//! throwing away the kernel wins the scan paid for. The operators here
+//! consume whole [`ColBatch`]es:
+//!
+//! * [`HashJoinBuild`] / [`HashJoinTable`] — build accumulates the left
+//!   input into one contiguous batch (typed column concatenation, no row
+//!   materialization), then [`HashJoinTable::probe`] matches an entire probe
+//!   batch against it: key hashes come from the [`vexpr`](crate::vexpr)
+//!   kernels over primitive slices, match pairs become index vectors, and
+//!   the joined output is `take`-gathers plus an `hcat` — `Arc` bumps and
+//!   primitive copies only.
+//! * [`HashAgg`] — grouped aggregate update over column runs: group keys
+//!   are read per-slot from the key columns (no full-row `Tuple`), aggregate
+//!   inputs are evaluated once per batch as columns
+//!   ([`Expr::eval_project`]), and hot `SUM`/`AVG`/`COUNT` shapes fold
+//!   primitive slices directly.
+//!
+//! Both operators accept interleaved row batches (legacy producers) through
+//! row-shaped entry points that update the *same* state, so a mixed stream
+//! needs no fallback. Semantics are identical to [`HashJoinIter`] /
+//! [`AggregateIter`](crate::iter::AggregateIter): NULL keys never join,
+//! NULL aggregate inputs are skipped, group output is sorted by key — the
+//! cross-operator parity suite in `tests/` holds them to it.
+//!
+//! [`HashJoinIter`]: crate::iter::HashJoinIter
+
+use crate::plan::{AggFunc, AggSpec};
+use crate::vexpr::{hash_key_column, key_eq};
+use qpipe_common::colbatch::{ColBatch, ColBatchBuilder, Column, ColumnData, SelVec};
+use qpipe_common::{QError, QResult, Tuple, Value};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Accumulates the build (left) side of a hash join as one growing columnar
+/// batch. The caller enforces its memory budget and falls back to the grace
+/// (row-path) join on overflow — spilling is unchanged by vectorization.
+pub struct HashJoinBuild {
+    key: usize,
+    builder: ColBatchBuilder,
+}
+
+impl HashJoinBuild {
+    pub fn new(key: usize) -> Self {
+        Self { key, builder: ColBatchBuilder::new() }
+    }
+
+    /// Append one build batch. Returns `false` when the batch's width
+    /// disagrees with earlier input (the caller falls back to the row path
+    /// rather than misalign columns).
+    #[must_use]
+    pub fn add(&mut self, batch: &ColBatch) -> bool {
+        self.builder.append(batch)
+    }
+
+    /// Rows accumulated so far (budget checks).
+    pub fn rows(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// Flatten what was accumulated back into tuples — the hand-off when the
+    /// caller abandons the vectorized path (budget overflow → grace join).
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.builder.finish().to_rows()
+    }
+
+    /// Freeze the build side into a probe-ready hash table.
+    pub fn finish(self) -> QResult<HashJoinTable> {
+        HashJoinTable::new(self.builder.finish(), self.key)
+    }
+}
+
+/// A frozen hash-join build side: the concatenated build batch plus a
+/// `key hash → build row indices` table.
+pub struct HashJoinTable {
+    build: ColBatch,
+    key: usize,
+    table: HashMap<u64, Vec<u32>>,
+}
+
+impl HashJoinTable {
+    fn new(build: ColBatch, key: usize) -> QResult<Self> {
+        let kc = key_col(&build, key)?;
+        let hashes = hash_key_column(kc);
+        let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            if !kc.is_null(i) {
+                table.entry(h).or_default().push(i as u32);
+            }
+        }
+        Ok(Self { build, key, table })
+    }
+
+    /// Rows on the build side.
+    pub fn build_rows(&self) -> usize {
+        self.build.len()
+    }
+
+    /// Probe a whole batch: emit joined batches (build columns then probe
+    /// columns, the row path's `concat(left, right)` layout) of at most
+    /// `chunk` rows each through `out`.
+    ///
+    /// Match order per probe row follows the row path exactly (it pops its
+    /// per-tuple match list LIFO, so candidates come out in reverse build
+    /// order) — downstream float aggregation then folds in the same order
+    /// and row/vectorized results stay bit-identical, not just set-equal.
+    pub fn probe(
+        &self,
+        probe: &ColBatch,
+        key: usize,
+        chunk: usize,
+        mut out: impl FnMut(ColBatch),
+    ) -> QResult<()> {
+        let pk = key_col(probe, key)?;
+        let bk = key_col(&self.build, self.key)?;
+        let hashes = hash_key_column(pk);
+        let mut bidx: Vec<u32> = Vec::new();
+        let mut pidx: Vec<u32> = Vec::new();
+        for (j, &h) in hashes.iter().enumerate() {
+            if pk.is_null(j) {
+                continue;
+            }
+            if let Some(cands) = self.table.get(&h) {
+                for &bi in cands.iter().rev() {
+                    if key_eq(bk, bi as usize, pk, j) {
+                        bidx.push(bi);
+                        pidx.push(j as u32);
+                    }
+                }
+            }
+        }
+        let chunk = chunk.max(1);
+        let mut at = 0;
+        while at < bidx.len() {
+            let end = (at + chunk).min(bidx.len());
+            let left = self.build.take(&bidx[at..end]);
+            let right = probe.take(&pidx[at..end]);
+            out(ColBatch::hcat(&left, &right));
+            at = end;
+        }
+        Ok(())
+    }
+
+    /// Probe one row tuple (legacy row batches interleaved in the probe
+    /// stream); pushes joined tuples through `out`.
+    pub fn probe_row(&self, tuple: &Tuple, key: usize, mut out: impl FnMut(Tuple)) -> QResult<()> {
+        let v =
+            tuple.get(key).ok_or_else(|| QError::Exec(format!("join key {key} out of range")))?;
+        if v.is_null() {
+            return Ok(());
+        }
+        let Some(cands) = self.table.get(&v.stable_hash()) else {
+            return Ok(());
+        };
+        for &bi in cands.iter().rev() {
+            if self.build.col(self.key).is_some_and(|c| c.value(bi as usize) == *v) {
+                let mut row = self.build.row(bi as usize);
+                row.extend(tuple.iter().cloned());
+                out(row);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn key_col(batch: &ColBatch, key: usize) -> QResult<&Column> {
+    batch.col(key).ok_or_else(|| QError::Exec(format!("join key {key} out of range")))
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregation
+// ---------------------------------------------------------------------------
+
+use crate::iter::AggState;
+
+/// Batch-native hash aggregation: the vectorized analogue of
+/// [`AggregateIter`](crate::iter::AggregateIter), updating grouped
+/// [`AggState`]s from column runs instead of tuples.
+pub struct HashAgg {
+    group_by: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    /// Group key → index into `keys`/`states` (arena keeps insertion cheap).
+    groups: HashMap<Vec<Value>, u32>,
+    keys: Vec<Vec<Value>>,
+    states: Vec<Vec<AggState>>,
+    /// Scratch: per-row group ids for the batch being folded.
+    gids: Vec<u32>,
+}
+
+impl HashAgg {
+    pub fn new(group_by: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        let mut agg = Self {
+            group_by,
+            aggs,
+            groups: HashMap::new(),
+            keys: Vec::new(),
+            states: Vec::new(),
+            gids: Vec::new(),
+        };
+        if agg.group_by.is_empty() {
+            // Single-result aggregates emit one row even on empty input.
+            agg.group_id(Vec::new());
+        }
+        agg
+    }
+
+    fn group_id(&mut self, key: Vec<Value>) -> u32 {
+        if let Some(&g) = self.groups.get(&key) {
+            return g;
+        }
+        let g = self.states.len() as u32;
+        self.states.push(self.aggs.iter().map(|a| AggState::new(a.func)).collect());
+        self.keys.push(key.clone());
+        self.groups.insert(key, g);
+        g
+    }
+
+    /// Fold a whole columnar batch into the group states.
+    pub fn update_cols(&mut self, batch: &ColBatch) -> QResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.assign_group_ids(batch)?;
+        let sel = SelVec::all(batch.len());
+        for s in 0..self.aggs.len() {
+            if self.aggs[s].func == AggFunc::CountStar {
+                for i in 0..batch.len() {
+                    self.states[self.gids[i] as usize][s].update(&Value::Int(1));
+                }
+                continue;
+            }
+            // One column evaluation per (spec, batch): a plain Col reference
+            // is an Arc-bump gather, anything else runs the expression over
+            // the batch without materializing input tuples.
+            let input = self.aggs[s].expr.eval_project(batch, &sel)?;
+            self.fold_column(s, &input);
+        }
+        Ok(())
+    }
+
+    /// Compute `self.gids[i]` = group of row `i`.
+    fn assign_group_ids(&mut self, batch: &ColBatch) -> QResult<()> {
+        let n = batch.len();
+        self.gids.clear();
+        if self.group_by.is_empty() {
+            self.gids.resize(n, 0);
+            return Ok(());
+        }
+        let cols: Vec<&Column> = self
+            .group_by
+            .iter()
+            .map(|&c| {
+                batch.col(c).ok_or_else(|| QError::Exec(format!("group column {c} out of range")))
+            })
+            .collect::<QResult<_>>()?;
+        // Per-slot Value reads (Arc bump at worst) — never a full-row Tuple.
+        let mut key = Vec::with_capacity(cols.len());
+        for i in 0..n {
+            key.clear();
+            key.extend(cols.iter().map(|c| c.value(i)));
+            let g = match self.groups.get(&key) {
+                Some(&g) => g,
+                None => self.group_id(key.clone()),
+            };
+            self.gids.push(g);
+        }
+        Ok(())
+    }
+
+    /// Fold one evaluated input column into state `s` of every row's group,
+    /// with primitive inner loops for the hot numeric shapes.
+    fn fold_column(&mut self, s: usize, input: &Column) {
+        let no_nulls = input.nulls().is_none();
+        match input.data() {
+            ColumnData::Int64(v) if no_nulls => {
+                for (i, &x) in v.iter().enumerate() {
+                    self.states[self.gids[i] as usize][s].update_int(x);
+                }
+            }
+            ColumnData::Float64(v) if no_nulls => {
+                for (i, &x) in v.iter().enumerate() {
+                    self.states[self.gids[i] as usize][s].update_float(x);
+                }
+            }
+            _ => {
+                for i in 0..input.len() {
+                    self.states[self.gids[i] as usize][s].update(&input.value(i));
+                }
+            }
+        }
+    }
+
+    /// Fold one row tuple (legacy row batches interleaved in the stream).
+    pub fn update_row(&mut self, tuple: &Tuple) -> QResult<()> {
+        let key: Vec<Value> = self.group_by.iter().map(|&c| tuple[c].clone()).collect();
+        let g = self.group_id(key) as usize;
+        for (spec, state) in self.aggs.iter().zip(self.states[g].iter_mut()) {
+            if spec.func == AggFunc::CountStar {
+                state.update(&Value::Int(1));
+            } else {
+                state.update(&spec.expr.eval(tuple)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Groups accumulated so far.
+    pub fn num_groups(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Finish: one row per group (key columns then aggregates), sorted by
+    /// group key ascending — the same deterministic order `AggregateIter`
+    /// produces.
+    pub fn finish(self) -> Vec<Tuple> {
+        let width = self.group_by.len();
+        let mut rows: Vec<Tuple> = self
+            .keys
+            .into_iter()
+            .zip(self.states)
+            .map(|(key, states)| {
+                let mut row = key;
+                row.extend(states.iter().map(|st| st.finish()));
+                row
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            a[..width]
+                .iter()
+                .zip(&b[..width])
+                .map(|(x, y)| x.cmp(y))
+                .find(|o| !o.is_eq())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn batch(rows: &[Vec<Value>]) -> ColBatch {
+        ColBatch::from_rows(rows)
+    }
+
+    #[test]
+    fn probe_matches_row_join_semantics() {
+        let build = batch(&[
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+            vec![Value::Null, Value::str("n")],
+            vec![Value::Int(2), Value::str("b2")],
+        ]);
+        let mut b = HashJoinBuild::new(0);
+        assert!(b.add(&build));
+        let table = b.finish().unwrap();
+        let probe = batch(&[
+            vec![Value::Int(2), Value::Float(0.5)],
+            vec![Value::Null, Value::Float(1.5)],
+            vec![Value::Int(9), Value::Float(2.5)],
+            vec![Value::Int(1), Value::Float(3.5)],
+        ]);
+        let mut rows = Vec::new();
+        table.probe(&probe, 0, 256, |out| rows.extend(out.to_rows())).unwrap();
+        // Probe row 0 (key 2) matches build rows 3 then 1 (LIFO like the row
+        // path), probe row 3 (key 1) matches build row 0. NULLs never join.
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(2), Value::str("b2"), Value::Int(2), Value::Float(0.5)],
+                vec![Value::Int(2), Value::str("b"), Value::Int(2), Value::Float(0.5)],
+                vec![Value::Int(1), Value::str("a"), Value::Int(1), Value::Float(3.5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn cross_type_keys_join_exactly() {
+        let big = 1i64 << 53;
+        let build = batch(&[
+            vec![Value::Int(big), Value::str("exact")],
+            vec![Value::Int(big + 1), Value::str("above")],
+            vec![Value::Int(7), Value::str("seven")],
+        ]);
+        let mut b = HashJoinBuild::new(0);
+        assert!(b.add(&build));
+        let table = b.finish().unwrap();
+        // Float probe keys: 2^53.0 must match Int(2^53) but NOT Int(2^53+1).
+        let probe = batch(&[vec![Value::Float(big as f64)], vec![Value::Float(7.0)]]);
+        let mut rows = Vec::new();
+        table.probe(&probe, 0, 256, |out| rows.extend(out.to_rows())).unwrap();
+        let tags: Vec<String> = rows.iter().map(|r| r[1].to_string()).collect();
+        assert_eq!(tags, vec!["exact", "seven"]);
+    }
+
+    #[test]
+    fn probe_chunks_output() {
+        let build = batch(&[vec![Value::Int(1)]]);
+        let mut b = HashJoinBuild::new(0);
+        assert!(b.add(&build));
+        let table = b.finish().unwrap();
+        let probe = batch(&(0..10).map(|_| vec![Value::Int(1)]).collect::<Vec<_>>());
+        let mut sizes = Vec::new();
+        table.probe(&probe, 0, 4, |out| sizes.push(out.len())).unwrap();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn ragged_build_width_rejected() {
+        let mut b = HashJoinBuild::new(0);
+        assert!(b.add(&batch(&[vec![Value::Int(1), Value::Int(2)]])));
+        assert!(!b.add(&batch(&[vec![Value::Int(1)]])), "width mismatch must refuse");
+    }
+
+    #[test]
+    fn row_probe_agrees_with_batch_probe() {
+        let build =
+            batch(&[vec![Value::Int(5), Value::str("x")], vec![Value::Int(5), Value::str("y")]]);
+        let mut b = HashJoinBuild::new(0);
+        assert!(b.add(&build));
+        let table = b.finish().unwrap();
+        let mut via_batch = Vec::new();
+        table
+            .probe(&batch(&[vec![Value::Float(5.0)]]), 0, 256, |out| {
+                via_batch.extend(out.to_rows())
+            })
+            .unwrap();
+        let mut via_row = Vec::new();
+        table.probe_row(&vec![Value::Float(5.0)], 0, |t| via_row.push(t)).unwrap();
+        assert_eq!(via_batch, via_row);
+    }
+
+    #[test]
+    fn hash_agg_matches_aggregate_iter() {
+        use crate::iter::{AggregateIter, TupleIter, VecIter};
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(1), Value::Float(10.0)],
+            vec![Value::Int(2), Value::Float(20.0)],
+            vec![Value::Int(1), Value::Float(30.0)],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Null, Value::Float(5.0)],
+        ];
+        let aggs = vec![
+            AggSpec::count_star(),
+            AggSpec::sum(Expr::col(1)),
+            AggSpec::min(Expr::col(1)),
+            AggSpec::avg(Expr::col(1)),
+            AggSpec::count(Expr::col(1)),
+        ];
+        let mut it =
+            AggregateIter::new(Box::new(VecIter::new(rows.clone())), vec![0], aggs.clone());
+        let mut expected = Vec::new();
+        while let Some(t) = it.next().unwrap() {
+            expected.push(t);
+        }
+        let mut agg = HashAgg::new(vec![0], aggs);
+        agg.update_cols(&ColBatch::from_rows(&rows)).unwrap();
+        assert_eq!(agg.finish(), expected);
+    }
+
+    #[test]
+    fn mixed_row_and_col_updates_share_state() {
+        let aggs = vec![AggSpec::count_star(), AggSpec::sum(Expr::col(0))];
+        let mut agg = HashAgg::new(vec![], aggs);
+        agg.update_cols(&batch(&[vec![Value::Int(2)], vec![Value::Int(3)]])).unwrap();
+        agg.update_row(&vec![Value::Int(5)]).unwrap();
+        let rows = agg.finish();
+        assert_eq!(rows, vec![vec![Value::Int(3), Value::Int(10)]]);
+    }
+
+    #[test]
+    fn empty_input_single_aggregate_emits_row() {
+        let agg = HashAgg::new(vec![], vec![AggSpec::count_star()]);
+        assert_eq!(agg.finish(), vec![vec![Value::Int(0)]]);
+        let agg = HashAgg::new(vec![0], vec![AggSpec::count_star()]);
+        assert_eq!(agg.finish(), Vec::<Tuple>::new());
+    }
+}

@@ -120,59 +120,88 @@ impl ColPage {
     /// regions (bulk reads per column — the zero-row-decode path).
     pub fn decode(&self) -> QResult<ColBatch> {
         let rows = self.rows as usize;
-        let data: &[u8] = &self.data;
         let mut cols = Vec::with_capacity(self.cols as usize);
         for c in 0..self.cols as usize {
-            let dir = HEADER_BYTES + c * DIR_ENTRY_BYTES;
-            let ty = data[dir];
-            let flags = data[dir + 1];
-            let null_off = read_u16(data, dir + 2) as usize;
-            let data_off = read_u16(data, dir + 4) as usize;
-            let aux_off = read_u16(data, dir + 6) as usize;
-            let nulls = if flags & FLAG_HAS_NULLS != 0 {
-                let n = rows.div_ceil(8);
-                let region = region(data, null_off, n, "null bitmap")?;
-                Some(NullBitmap::from_packed_bytes(region, rows))
-            } else {
-                None
-            };
-            let payload = match ty {
-                TY_INT => {
-                    let region = region(data, data_off, rows * 8, "int region")?;
-                    ColumnData::Int64(
-                        region
-                            .chunks_exact(8)
-                            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
-                            .collect(),
-                    )
-                }
-                TY_FLOAT => {
-                    let region = region(data, data_off, rows * 8, "float region")?;
-                    ColumnData::Float64(
-                        region
-                            .chunks_exact(8)
-                            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-                            .collect(),
-                    )
-                }
-                TY_DATE => {
-                    let region = region(data, data_off, rows * 4, "date region")?;
-                    ColumnData::Date(
-                        region
-                            .chunks_exact(4)
-                            .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
-                            .collect(),
-                    )
-                }
-                TY_STR => ColumnData::Str(decode_strings(data, data_off, aux_off, rows, &nulls)?),
-                other => return Err(corrupt(&format!("unknown column type tag {other}"))),
-            };
-            cols.push(Column::new(payload, nulls));
+            cols.push(self.decode_col(c)?);
         }
         if cols.is_empty() {
             return Ok(ColBatch::empty_rows(rows));
         }
         Ok(ColBatch::from_columns(cols))
+    }
+
+    /// Materialize only the named columns, in the given order — page-level
+    /// column pruning for single-consumer scans. The result has
+    /// `cols.len()` columns (callers re-index their expressions onto the
+    /// pruned positions) and the page's full row count. When the full batch
+    /// is already cached this is a projection (refcount bumps); otherwise
+    /// only the requested byte regions are decoded.
+    pub fn decode_cols(&self, cols: &[usize]) -> QResult<ColBatch> {
+        if let Some(&c) = cols.iter().find(|&&c| c >= self.cols as usize) {
+            return Err(corrupt(&format!("column {c} beyond page width {}", self.cols)));
+        }
+        if let Some(b) = self.decoded.get() {
+            return Ok(b.project(cols));
+        }
+        if cols.is_empty() {
+            return Ok(ColBatch::empty_rows(self.rows as usize));
+        }
+        let out = cols.iter().map(|&c| self.decode_col(c)).collect::<QResult<Vec<_>>>()?;
+        Ok(ColBatch::from_columns(out))
+    }
+
+    /// Decode one column from its byte regions.
+    fn decode_col(&self, c: usize) -> QResult<Column> {
+        if c >= self.cols as usize {
+            return Err(corrupt(&format!("column {c} beyond page width {}", self.cols)));
+        }
+        let rows = self.rows as usize;
+        let data: &[u8] = &self.data;
+        let dir = HEADER_BYTES + c * DIR_ENTRY_BYTES;
+        let ty = data[dir];
+        let flags = data[dir + 1];
+        let null_off = read_u16(data, dir + 2) as usize;
+        let data_off = read_u16(data, dir + 4) as usize;
+        let aux_off = read_u16(data, dir + 6) as usize;
+        let nulls = if flags & FLAG_HAS_NULLS != 0 {
+            let n = rows.div_ceil(8);
+            let region = region(data, null_off, n, "null bitmap")?;
+            Some(NullBitmap::from_packed_bytes(region, rows))
+        } else {
+            None
+        };
+        let payload = match ty {
+            TY_INT => {
+                let region = region(data, data_off, rows * 8, "int region")?;
+                ColumnData::Int64(
+                    region
+                        .chunks_exact(8)
+                        .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            TY_FLOAT => {
+                let region = region(data, data_off, rows * 8, "float region")?;
+                ColumnData::Float64(
+                    region
+                        .chunks_exact(8)
+                        .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            TY_DATE => {
+                let region = region(data, data_off, rows * 4, "date region")?;
+                ColumnData::Date(
+                    region
+                        .chunks_exact(4)
+                        .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            TY_STR => ColumnData::Str(decode_strings(data, data_off, aux_off, rows, &nulls)?),
+            other => return Err(corrupt(&format!("unknown column type tag {other}"))),
+        };
+        Ok(Column::new(payload, nulls))
     }
 
     /// Materialize every row as a tuple (the row-engine boundary adapter,

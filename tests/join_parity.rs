@@ -1,0 +1,195 @@
+//! Cross-operator join parity and the vectorized-boundary acceptance bar.
+//!
+//! 1. Hash, merge, and block-nested-loop joins must produce identical result
+//!    multisets on identical inputs — including NULL keys, duplicate keys,
+//!    and cross-type Int/Float keys at the 2^53 boundary where the old lossy
+//!    `i64 → f64` comparison silently merged distinct keys.
+//! 2. The QPipe engine's vectorized join/agg µEngine workers must agree with
+//!    the row-path iterator operators on the whole TPC-H mix.
+//! 3. A TPC-H Q12-shaped join+agg plan over columnar storage must execute
+//!    its probe and aggregate update over `ColBatch`es with **zero**
+//!    `Vec<Tuple>` materialization between scan and agg (metrics-asserted).
+
+use qpipe::prelude::*;
+use qpipe::quick_system;
+use qpipe::storage::StorageLayout;
+use qpipe::workloads::tpch::{self, build_tpch_with_layout, TpchScale, MIX};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn sorted(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(a.len().cmp(&b.len()))
+    });
+    rows
+}
+
+/// Adversarial join keys: NULLs, dense duplicates, and Int/Float values
+/// straddling the 2^53 exactness boundary and the i64 extremes.
+fn adversarial_key(rng: &mut StdRng) -> Value {
+    let big = 1i64 << 53;
+    match rng.gen_range(0..8) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(-4..4)),
+        2 => Value::Float(rng.gen_range(-4..4) as f64),
+        3 => Value::Int(big + rng.gen_range(-2..=2)),
+        4 => Value::Float((big + rng.gen_range(-2..=2)) as f64),
+        5 => Value::Int(*[i64::MIN, i64::MAX, 0].get(rng.gen_range(0..3)).unwrap()),
+        6 => Value::Float(
+            *[i64::MIN as f64, i64::MAX as f64, -0.0, 0.5, (big + 1) as f64]
+                .get(rng.gen_range(0..5))
+                .unwrap(),
+        ),
+        _ => Value::Int(rng.gen_range(-4..4)),
+    }
+}
+
+fn key_table(rng: &mut StdRng, n: usize, tag_base: i64) -> Vec<Tuple> {
+    let mut rows: Vec<Tuple> =
+        (0..n).map(|i| vec![adversarial_key(rng), Value::Int(tag_base + i as i64)]).collect();
+    // Merge join needs key-ordered inputs; NULLs sort first and are skipped
+    // by every join flavor.
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    rows
+}
+
+/// Ground truth: the exact cartesian product of equal-key groups, NULLs
+/// never joining, with `Value` equality (cross-type exact).
+fn reference_join(left: &[Tuple], right: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for l in left {
+        if l[0].is_null() {
+            continue;
+        }
+        for r in right {
+            if l[0] == r[0] {
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn hash_merge_bnl_join_parity_on_adversarial_keys() {
+    for seed in [1u64, 7, 42, 0xBEEF] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let left = key_table(&mut rng, 120, 0);
+        let right = key_table(&mut rng, 90, 1000);
+        let catalog = quick_system(DiskConfig::instant(), 128);
+        let schema = || Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+        catalog.create_table("l", schema(), left.clone(), None).unwrap();
+        catalog.create_table("r", schema(), right.clone(), None).unwrap();
+        let ctx = ExecContext::new(catalog);
+        let expected = sorted(reference_join(&left, &right));
+
+        let hash = PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0);
+        let merge = PlanNode::scan("l").merge_join(PlanNode::scan("r"), 0, 0);
+        let bnl = PlanNode::NestedLoopJoin {
+            left: Arc::new(PlanNode::scan("l")),
+            right: Arc::new(PlanNode::scan("r")),
+            predicate: Expr::col(0).eq(Expr::col(2)),
+        };
+        for (name, plan) in [("hash", hash), ("merge", merge), ("bnl", bnl)] {
+            let got = sorted(qpipe::exec::iter::run(&plan, &ctx).unwrap());
+            assert_eq!(got, expected, "seed {seed}: {name} join diverges from reference");
+        }
+    }
+}
+
+/// The same adversarial inputs through the QPipe engine's vectorized hash
+/// join (columnar batches from the scanner) must match the row-path
+/// iterator result — and actually take the vectorized path.
+#[test]
+fn vectorized_hash_join_matches_row_path_on_adversarial_keys() {
+    let mut rng = StdRng::seed_from_u64(0x2A53);
+    let left = key_table(&mut rng, 150, 0);
+    let right = key_table(&mut rng, 150, 1000);
+    let catalog = quick_system(DiskConfig::instant(), 128);
+    let schema = || Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+    catalog.create_table("l", schema(), left.clone(), None).unwrap();
+    catalog.create_table("r", schema(), right.clone(), None).unwrap();
+    let plan = PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0);
+    let expected =
+        sorted(qpipe::exec::iter::run(&plan, &ExecContext::new(catalog.clone())).unwrap());
+    assert_eq!(expected, sorted(reference_join(&left, &right)));
+    let engine = QPipe::new(catalog, QPipeConfig::default());
+    let got = sorted(engine.submit(plan).unwrap().collect());
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn vectorized_and_row_paths_agree_on_tpch_mix() {
+    let catalog = quick_system(DiskConfig::instant(), 512);
+    build_tpch_with_layout(&catalog, TpchScale::tiny(), 42, StorageLayout::Columnar).unwrap();
+    let ctx = ExecContext::new(catalog.clone());
+    let engine = QPipe::new(catalog, QPipeConfig::default());
+    let mut rng = StdRng::seed_from_u64(17);
+    for &q in MIX.iter() {
+        let plan = tpch::query(q, &mut rng);
+        let reference = sorted(qpipe::exec::iter::run(&plan, &ctx).unwrap());
+        let got = sorted(engine.submit(plan).unwrap().collect());
+        assert_eq!(got, reference, "Q{q}: vectorized µEngines diverge from row-path operators");
+    }
+}
+
+/// Acceptance bar: a Q12-shaped join+agg query over columnar storage runs
+/// its join probe and aggregate update entirely over `ColBatch`es — no
+/// columnar batch is flattened to `Vec<Tuple>` anywhere between the scan
+/// and the aggregate.
+#[test]
+fn q12_shape_executes_columnar_end_to_end() {
+    let catalog = quick_system(DiskConfig::instant(), 512);
+    build_tpch_with_layout(&catalog, TpchScale::tiny(), 7, StorageLayout::Columnar).unwrap();
+    let ctx = ExecContext::new(catalog.clone());
+    let engine = QPipe::new(catalog, QPipeConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let plan = tpch::query(12, &mut rng);
+    let reference = sorted(qpipe::exec::iter::run(&plan, &ctx).unwrap());
+    assert!(!reference.is_empty(), "Q12 must produce groups for the test to mean anything");
+
+    let before = engine.metrics().snapshot();
+    let got = sorted(engine.submit(plan).unwrap().collect());
+    assert_eq!(got, reference);
+    let delta = engine.metrics().snapshot().delta_since(&before);
+    assert_eq!(
+        delta.col_rowified_batches, 0,
+        "no ColBatch may be flattened to rows between scan and agg"
+    );
+    assert!(delta.vec_join_batches > 0, "join probe must run over ColBatches");
+    assert!(delta.vec_agg_batches > 0, "agg update must run over ColBatches");
+    assert_eq!(delta.vec_fallbacks, 0, "nothing should fall back to the row path");
+}
+
+/// The row fallback (hash budget overflow → grace join) still works and
+/// still agrees, end to end, when the build side blows the budget.
+#[test]
+fn join_budget_overflow_falls_back_to_grace_and_agrees() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let left = key_table(&mut rng, 400, 0);
+    let right = key_table(&mut rng, 200, 1000);
+    let catalog = quick_system(DiskConfig::instant(), 128);
+    let schema = || Schema::of(&[("k", DataType::Int), ("tag", DataType::Int)]);
+    catalog.create_table("l", schema(), left.clone(), None).unwrap();
+    catalog.create_table("r", schema(), right.clone(), None).unwrap();
+    let plan = PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0);
+    let expected = sorted(reference_join(&left, &right));
+    // Budget far below the 400-row build side forces the grace path.
+    let config = QPipeConfig {
+        exec: ExecConfig { hash_budget: 64, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    let before = engine.metrics().snapshot();
+    let got = sorted(engine.submit(plan).unwrap().collect());
+    assert_eq!(got, expected);
+    let delta = engine.metrics().snapshot().delta_since(&before);
+    assert!(delta.vec_fallbacks > 0, "overflow must take the row/grace fallback");
+}

@@ -17,8 +17,35 @@ use rand::{Rng, SeedableRng};
 // Random generators
 // ---------------------------------------------------------------------------
 
+/// Cross-type numeric extremes: the values where a lossy `i64 ↔ f64` cast
+/// breaks ordering transitivity or the `Eq ⇒ hash-equal` contract. Every
+/// ordering/hash property runs over these so the 2^53 class of bug cannot
+/// silently return.
+fn arb_extreme_numeric(rng: &mut StdRng) -> Value {
+    const BIG: i64 = 1 << 53;
+    const INTS: [i64; 9] =
+        [BIG - 1, BIG, BIG + 1, BIG + 2, -BIG, -BIG - 1, i64::MIN, i64::MAX, i64::MAX - 1];
+    let floats = [
+        BIG as f64,
+        (BIG + 2) as f64,
+        -(BIG as f64),
+        i64::MIN as f64,
+        i64::MAX as f64, // = 2^63, strictly above every i64
+        0.0,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        (BIG as f64) + 0.5,
+    ];
+    if rng.gen_bool(0.5) {
+        Value::Int(INTS[rng.gen_range(0..INTS.len())])
+    } else {
+        Value::Float(floats[rng.gen_range(0..floats.len())])
+    }
+}
+
 fn arb_value(rng: &mut StdRng) -> Value {
-    match rng.gen_range(0..5) {
+    match rng.gen_range(0..6) {
         0 => Value::Int(rng.gen_range(i64::MIN / 2..i64::MAX / 2)),
         // Finite floats only: NaN breaks round-trip equality on purpose.
         1 => Value::Float(rng.gen_range(-1e12..1e12)),
@@ -33,6 +60,7 @@ fn arb_value(rng: &mut StdRng) -> Value {
             Value::str(s)
         }
         3 => Value::Date(rng.gen_range(i32::MIN..i32::MAX)),
+        4 => arb_extreme_numeric(rng),
         _ => Value::Null,
     }
 }
@@ -193,6 +221,57 @@ fn value_ordering_transitive() {
         let mut v = [arb_value(&mut rng), arb_value(&mut rng), arb_value(&mut rng)];
         v.sort();
         assert!(v[0] <= v[1] && v[1] <= v[2]);
+    }
+}
+
+/// The headline-bugfix property: over adversarial Int/Float pairs at the
+/// 2^53 boundary and the i64 extremes, ordering stays a genuine total order
+/// (antisymmetric + transitive) and `a == b ⇒ hash(a) == hash(b)`. Under
+/// the old lossy `i64 → f64` comparison, `Int(2^53 + 1) == Float(2^53.0)`
+/// while `Int(2^53 + 1) > Int(2^53)` — sorted runs and join groups at the
+/// boundary silently corrupted.
+#[test]
+fn value_ordering_total_over_cross_type_extremes() {
+    use std::cmp::Ordering;
+    let mut rng = StdRng::seed_from_u64(0x2F53);
+    for _ in 0..4000 {
+        let a = arb_extreme_numeric(&mut rng);
+        let b = arb_extreme_numeric(&mut rng);
+        let c = arb_extreme_numeric(&mut rng);
+        assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse(), "{a} vs {b}");
+        if a.total_cmp(&b) == Ordering::Equal {
+            assert_eq!(a.stable_hash(), b.stable_hash(), "{a} == {b} must hash equal");
+        }
+        // Transitivity over every permutation of the triple.
+        if a <= b && b <= c {
+            assert!(a <= c, "{a} <= {b} <= {c} but {a} > {c}");
+        }
+        if a >= b && b >= c {
+            assert!(a >= c, "{a} >= {b} >= {c} but {a} < {c}");
+        }
+    }
+}
+
+/// Distinct i64s near the exactness boundary must never collapse onto one
+/// float: equality across Int/Float is exact, both ways.
+#[test]
+fn boundary_ints_stay_distinct_from_rounded_floats() {
+    let big = 1i64 << 53;
+    for d in -3i64..=3 {
+        let int = Value::Int(big + d);
+        let float = Value::Float((big + d) as f64); // rounds for odd d
+        let eq = int == float;
+        let exact = (big + d) as f64 as i64 == big + d;
+        assert_eq!(
+            eq,
+            exact,
+            "Int({}) vs Float({}): equality must track exactness",
+            big + d,
+            (big + d) as f64
+        );
+        if eq {
+            assert_eq!(int.stable_hash(), float.stable_hash());
+        }
     }
 }
 
