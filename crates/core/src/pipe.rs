@@ -396,11 +396,13 @@ impl Drop for PipeConsumer {
 /// reuse the iterator-model kernels over pipe inputs.
 ///
 /// This is the row-materialization boundary: a columnar batch crossing it is
-/// flattened back into `Vec<Tuple>`. Join and aggregation no longer ingest
-/// through here (they consume `Arc<AnyBatch>` directly — see
-/// `ops::run_hash_join` / `ops::run_aggregate`); each columnar batch this
-/// adapter does flatten is counted so tests can assert the hot path stays
-/// batched end-to-end.
+/// flattened back into `Vec<Tuple>`. Hash join, aggregation, filter,
+/// projection, and sort no longer ingest through here (they consume
+/// `Arc<AnyBatch>` directly — see `ops::run_hash_join` / `run_aggregate` /
+/// `run_filter` / `run_project` / `run_sort`); only merge join, nested-loop
+/// join, and row-path fallbacks still do. Each columnar batch this adapter
+/// does flatten is counted so tests can assert the hot path stays batched
+/// end-to-end.
 pub struct PipeIter {
     consumer: PipeConsumer,
     current: Vec<Tuple>,

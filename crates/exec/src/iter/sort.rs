@@ -118,8 +118,11 @@ struct HeapEntry {
 }
 
 impl PartialEq for HeapEntry {
+    /// Consistent with [`Ord`]: equality requires key-equality *and* the same
+    /// run index. (Comparing keys only while `cmp` tie-breaks on run index
+    /// violated the `Ord` contract — `a == b` with `a.cmp(b) != Equal`.)
     fn eq(&self, other: &Self) -> bool {
-        cmp_keys(&self.tuple, &other.tuple, &self.keys) == Ordering::Equal
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -163,5 +166,40 @@ impl MergeState {
             self.heap.push(HeapEntry { tuple: t, run, keys: self.keys.clone() });
         }
         Ok(Some(top.tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpipe_common::Value;
+
+    /// Regression: `HeapEntry::eq` compared keys only while `cmp` tie-broke
+    /// on run index, so two entries could be `==` yet not `cmp == Equal`.
+    #[test]
+    fn heap_entry_eq_is_consistent_with_ord() {
+        let keys: std::sync::Arc<[SortKey]> = vec![SortKey::asc(0)].into();
+        let entry = |v: i64, run: usize| HeapEntry {
+            tuple: vec![Value::Int(v), Value::Int(run as i64)],
+            run,
+            keys: keys.clone(),
+        };
+        let (a, b) = (entry(5, 0), entry(5, 1));
+        assert_ne!(a.cmp(&b), Ordering::Equal, "run index tie-breaks");
+        assert!(a != b, "eq must agree with cmp (Ord contract)");
+        assert_eq!(a.partial_cmp(&b), Some(a.cmp(&b)));
+        // Same key, same run: genuinely equal both ways.
+        let c = entry(5, 0);
+        assert!(a == c && a.cmp(&c) == Ordering::Equal);
+        // Min-heap order: smaller key pops first; equal keys pop in run
+        // order (the merge's stability tie-break) — unchanged by the fix.
+        let mut heap = BinaryHeap::new();
+        heap.push(entry(9, 0));
+        heap.push(entry(3, 2));
+        heap.push(entry(3, 1));
+        let order: Vec<(i64, usize)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.tuple[0].as_int().unwrap(), e.run))
+            .collect();
+        assert_eq!(order, vec![(3, 1), (3, 2), (9, 0)]);
     }
 }

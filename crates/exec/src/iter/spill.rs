@@ -1,13 +1,32 @@
 //! Temp-file spill support shared by the external sort and grace hash join.
 //!
-//! Spilled runs are written as pages of encoded tuples to freshly created
-//! files on the simulated disk and read back sequentially. Temp reads bypass
-//! the buffer pool (like real engines, which use private I/O buffers for
-//! sort runs) but still charge disk latency and count as I/O.
+//! Spilled runs are written as pages to freshly created files on the
+//! simulated disk and read back sequentially. Temp reads bypass the buffer
+//! pool (like real engines, which use private I/O buffers for sort runs) but
+//! still charge disk latency and count as I/O.
+//!
+//! Two run formats share one lifecycle:
+//!
+//! * **Row runs** ([`RunWriter`] / [`RunHandle`] / [`RunReader`]) — slotted
+//!   pages of tuple-codec records, one tuple per record. Used by the grace
+//!   hash join's partitions and the row-path external sort.
+//! * **Columnar runs** ([`ColRunWriter`] / [`ColRunHandle`] /
+//!   [`ColRunReader`]) — pages of *chunk* records, each a serialized
+//!   [`ColBatch`] slice (typed value regions + packed null bitmaps; `Mixed`
+//!   columns reuse the tuple value codec). The vectorized external sort
+//!   spills and merges these without materializing tuples.
+//!
+//! **Lifecycle:** every run file is owned by an [`Arc`]`<TempFile>` that
+//! deletes the file from the disk when the last handle (writer, run handle,
+//! or reader — cloned freely) drops. Completed, cancelled, and failed
+//! queries all return spill storage to baseline; nothing leaks for the life
+//! of the engine.
 
-use qpipe_common::{QResult, Tuple};
+use qpipe_common::colbatch::{ColBatch, Column, ColumnData, NullBitmap};
+use qpipe_common::{QError, QResult, Tuple};
 use qpipe_storage::page::{decode_tuple, encode_tuple, encoded_len, Page};
 use qpipe_storage::{FileId, SimDisk};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -19,10 +38,35 @@ pub fn create_temp(disk: &Arc<SimDisk>, label: &str) -> QResult<FileId> {
     disk.create_file(&format!("__tmp.{label}.{n}"))
 }
 
-/// Writes tuples into pages of a temp file.
-pub struct RunWriter {
+/// RAII handle to one temp file: the file is deleted from the disk when the
+/// last clone of the owning `Arc` drops. Writers hold it directly (so a
+/// half-written run from a failed push cleans itself up); `finish()` moves
+/// it into the run handle, which shares it with every reader.
+#[derive(Debug)]
+struct TempFile {
     disk: Arc<SimDisk>,
     file: FileId,
+}
+
+impl TempFile {
+    fn create(disk: Arc<SimDisk>, label: &str) -> QResult<Self> {
+        let file = create_temp(&disk, label)?;
+        Ok(Self { disk, file })
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        // Engine-owned temp: nothing else holds this FileId, and a missing
+        // file (disk torn down first in tests) is not an error worth
+        // surfacing from a destructor.
+        let _ = self.disk.delete_file(self.file);
+    }
+}
+
+/// Writes tuples into pages of a temp file.
+pub struct RunWriter {
+    temp: TempFile,
     page: Page,
     buf: Vec<u8>,
     count: u64,
@@ -30,15 +74,30 @@ pub struct RunWriter {
 
 impl RunWriter {
     pub fn create(disk: Arc<SimDisk>, label: &str) -> QResult<Self> {
-        let file = create_temp(&disk, label)?;
-        Ok(Self { disk, file, page: Page::new(), buf: Vec::new(), count: 0 })
+        Ok(Self {
+            temp: TempFile::create(disk, label)?,
+            page: Page::new(),
+            buf: Vec::new(),
+            count: 0,
+        })
     }
 
     pub fn push(&mut self, tuple: &Tuple) -> QResult<()> {
         let len = encoded_len(tuple);
         if !self.page.fits(len) {
-            let full = std::mem::take(&mut self.page);
-            self.disk.append_block(self.file, full)?;
+            if self.page.num_records() > 0 {
+                let full = std::mem::take(&mut self.page);
+                self.temp.disk.append_block(self.temp.file, full)?;
+            }
+            if !self.page.fits(len) {
+                // A tuple larger than an empty page can never be spilled;
+                // fail *before* writing anything more. The caller drops this
+                // writer and the temp file deletes itself — no half-written
+                // run survives the error.
+                return Err(QError::Exec(format!(
+                    "spill tuple of {len} encoded bytes exceeds the page size"
+                )));
+            }
         }
         self.buf.clear();
         encode_tuple(tuple, &mut self.buf);
@@ -51,17 +110,17 @@ impl RunWriter {
     pub fn finish(mut self) -> QResult<RunHandle> {
         if self.page.num_records() > 0 {
             let tail = std::mem::take(&mut self.page);
-            self.disk.append_block(self.file, tail)?;
+            self.temp.disk.append_block(self.temp.file, tail)?;
         }
-        Ok(RunHandle { disk: self.disk, file: self.file, tuples: self.count })
+        Ok(RunHandle { file: Arc::new(self.temp), tuples: self.count })
     }
 }
 
-/// A completed spilled run.
+/// A completed spilled run. Clones share the underlying temp file; it is
+/// deleted when the last handle (or reader) drops.
 #[derive(Debug, Clone)]
 pub struct RunHandle {
-    disk: Arc<SimDisk>,
-    file: FileId,
+    file: Arc<TempFile>,
     tuples: u64,
 }
 
@@ -75,20 +134,14 @@ impl RunHandle {
     }
 
     pub fn reader(&self) -> RunReader {
-        RunReader {
-            disk: self.disk.clone(),
-            file: self.file,
-            next_block: 0,
-            current: Vec::new(),
-            pos: 0,
-        }
+        RunReader { file: self.file.clone(), next_block: 0, current: Vec::new(), pos: 0 }
     }
 }
 
-/// Sequential reader over a spilled run.
+/// Sequential reader over a spilled run. Keeps the run file alive while it
+/// exists (reading never races the delete-on-drop).
 pub struct RunReader {
-    disk: Arc<SimDisk>,
-    file: FileId,
+    file: Arc<TempFile>,
     next_block: u64,
     current: Vec<Tuple>,
     pos: usize,
@@ -104,15 +157,300 @@ impl RunReader {
                 self.pos += 1;
                 return Ok(Some(t));
             }
-            if self.next_block >= self.disk.num_blocks(self.file)? {
+            let (disk, file) = (&self.file.disk, self.file.file);
+            if self.next_block >= disk.num_blocks(file)? {
                 return Ok(None);
             }
-            let page = self.disk.read_block(self.file, self.next_block)?.into_slotted()?;
+            let page = disk.read_block(file, self.next_block)?.into_slotted()?;
             self.next_block += 1;
             self.current = page.records().map(decode_tuple).collect::<QResult<Vec<_>>>()?;
             self.pos = 0;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar runs (vectorized external sort)
+// ---------------------------------------------------------------------------
+
+/// Preferred rows per serialized chunk (halved when a chunk's encoding
+/// overflows a page — e.g. very wide strings).
+const COL_CHUNK_ROWS: usize = 256;
+
+// Column tags of the chunk record format.
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_DATE: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_MIXED: u8 = 4;
+
+/// Writes [`ColBatch`] chunks into pages of a temp file. Each page holds one
+/// or more *chunk records*: `u32 nrows, u32 ncols`, then per column a type
+/// tag, an optional packed null bitmap, and the raw value region (`Mixed`
+/// columns serialize through the tuple value codec).
+pub struct ColRunWriter {
+    temp: TempFile,
+    page: Page,
+    buf: Vec<u8>,
+    rows: u64,
+}
+
+impl ColRunWriter {
+    pub fn create(disk: Arc<SimDisk>, label: &str) -> QResult<Self> {
+        Ok(Self {
+            temp: TempFile::create(disk, label)?,
+            page: Page::new(),
+            buf: Vec::new(),
+            rows: 0,
+        })
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Append every row of `batch`, chunking adaptively so each record fits
+    /// a page. Errs when a single row's encoding exceeds an empty page (the
+    /// same bound the row-run writer enforces); the temp file then deletes
+    /// itself when this writer drops.
+    pub fn push_batch(&mut self, batch: &ColBatch) -> QResult<()> {
+        let mut start = 0;
+        // The adapted chunk size carries across windows: once the row width
+        // forces a halving, later windows start from the size that fit
+        // instead of re-descending (and re-encoding) the whole ladder.
+        let mut n = COL_CHUNK_ROWS;
+        while start < batch.len() {
+            n = n.min(batch.len() - start);
+            self.buf.clear();
+            encode_chunk(batch, start, n, &mut self.buf);
+            loop {
+                if self.page.fits(self.buf.len()) {
+                    self.page.append_record(&self.buf)?;
+                    break;
+                }
+                if self.page.num_records() > 0 {
+                    // Flushing frees a whole page; `buf` is unchanged, so no
+                    // re-encode is needed before retrying.
+                    let full = std::mem::take(&mut self.page);
+                    self.temp.disk.append_block(self.temp.file, full)?;
+                    continue;
+                }
+                if n > 1 {
+                    n /= 2;
+                    self.buf.clear();
+                    encode_chunk(batch, start, n, &mut self.buf);
+                    continue;
+                }
+                return Err(QError::Exec(format!(
+                    "spill row of {} encoded bytes exceeds the page size",
+                    self.buf.len()
+                )));
+            }
+            start += n;
+            self.rows += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Flush the tail page and return the run handle.
+    pub fn finish(mut self) -> QResult<ColRunHandle> {
+        if self.page.num_records() > 0 {
+            let tail = std::mem::take(&mut self.page);
+            self.temp.disk.append_block(self.temp.file, tail)?;
+        }
+        Ok(ColRunHandle { file: Arc::new(self.temp), rows: self.rows })
+    }
+}
+
+/// A completed columnar run; same delete-on-last-drop lifecycle as
+/// [`RunHandle`].
+#[derive(Debug, Clone)]
+pub struct ColRunHandle {
+    file: Arc<TempFile>,
+    rows: u64,
+}
+
+impl ColRunHandle {
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    pub fn reader(&self) -> ColRunReader {
+        ColRunReader { file: self.file.clone(), next_block: 0, pending: VecDeque::new() }
+    }
+}
+
+/// Sequential batch reader over a columnar run.
+pub struct ColRunReader {
+    file: Arc<TempFile>,
+    next_block: u64,
+    pending: VecDeque<ColBatch>,
+}
+
+impl ColRunReader {
+    /// Pull the next chunk as a [`ColBatch`]; `None` at end of run.
+    pub fn next_batch(&mut self) -> QResult<Option<ColBatch>> {
+        loop {
+            if let Some(b) = self.pending.pop_front() {
+                return Ok(Some(b));
+            }
+            let (disk, file) = (&self.file.disk, self.file.file);
+            if self.next_block >= disk.num_blocks(file)? {
+                return Ok(None);
+            }
+            let page = disk.read_block(file, self.next_block)?.into_slotted()?;
+            self.next_block += 1;
+            for rec in page.records() {
+                self.pending.push_back(decode_chunk(rec)?);
+            }
+        }
+    }
+}
+
+/// Serialize rows `[start, start + n)` of `batch` as one chunk record.
+fn encode_chunk(batch: &ColBatch, start: usize, n: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(batch.num_cols() as u32).to_le_bytes());
+    for col in batch.columns() {
+        match col.data() {
+            ColumnData::Mixed(v) => {
+                out.push(TAG_MIXED);
+                // A column slice *is* a Vec<Value>, which is what the tuple
+                // codec serializes — reuse it (handles inline NULLs).
+                let values: Tuple = v[start..start + n].to_vec();
+                let mark = out.len();
+                out.extend_from_slice(&0u32.to_le_bytes());
+                encode_tuple(&values, out);
+                let len = (out.len() - mark - 4) as u32;
+                out[mark..mark + 4].copy_from_slice(&len.to_le_bytes());
+            }
+            typed => {
+                out.push(match typed {
+                    ColumnData::Int64(_) => TAG_INT,
+                    ColumnData::Float64(_) => TAG_FLOAT,
+                    ColumnData::Date(_) => TAG_DATE,
+                    ColumnData::Str(_) => TAG_STR,
+                    ColumnData::Mixed(_) => unreachable!("handled above"),
+                });
+                let any_null = (0..n).any(|i| col.is_null(start + i));
+                out.push(any_null as u8);
+                if any_null {
+                    let mut bits = vec![0u8; n.div_ceil(8)];
+                    for i in 0..n {
+                        if col.is_null(start + i) {
+                            bits[i / 8] |= 1 << (i % 8);
+                        }
+                    }
+                    out.extend_from_slice(&bits);
+                }
+                match typed {
+                    ColumnData::Int64(v) => {
+                        for x in &v[start..start + n] {
+                            out.extend_from_slice(&x.to_le_bytes());
+                        }
+                    }
+                    ColumnData::Float64(v) => {
+                        for x in &v[start..start + n] {
+                            out.extend_from_slice(&x.to_bits().to_le_bytes());
+                        }
+                    }
+                    ColumnData::Date(v) => {
+                        for x in &v[start..start + n] {
+                            out.extend_from_slice(&x.to_le_bytes());
+                        }
+                    }
+                    ColumnData::Str(v) => {
+                        for s in &v[start..start + n] {
+                            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                            out.extend_from_slice(s.as_bytes());
+                        }
+                    }
+                    ColumnData::Mixed(_) => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+}
+
+/// Decode one chunk record back into a [`ColBatch`].
+fn decode_chunk(mut rec: &[u8]) -> QResult<ColBatch> {
+    fn take<'a>(rec: &mut &'a [u8], n: usize) -> QResult<&'a [u8]> {
+        if rec.len() < n {
+            return Err(QError::Storage("truncated spill chunk record".into()));
+        }
+        let (head, tail) = rec.split_at(n);
+        *rec = tail;
+        Ok(head)
+    }
+    fn take_u32(rec: &mut &[u8]) -> QResult<u32> {
+        Ok(u32::from_le_bytes(take(rec, 4)?.try_into().expect("4 bytes")))
+    }
+    let n = take_u32(&mut rec)? as usize;
+    let ncols = take_u32(&mut rec)? as usize;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let tag = take(&mut rec, 1)?[0];
+        if tag == TAG_MIXED {
+            let len = take_u32(&mut rec)? as usize;
+            let values = decode_tuple(take(&mut rec, len)?)?;
+            if values.len() != n {
+                return Err(QError::Storage("spill chunk column length mismatch".into()));
+            }
+            cols.push(Column::new(ColumnData::Mixed(values), None));
+            continue;
+        }
+        let any_null = take(&mut rec, 1)?[0] != 0;
+        let nulls = if any_null {
+            Some(NullBitmap::from_packed_bytes(take(&mut rec, n.div_ceil(8))?, n))
+        } else {
+            None
+        };
+        let data = match tag {
+            TAG_INT => ColumnData::Int64(
+                take(&mut rec, n * 8)?
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ),
+            TAG_FLOAT => ColumnData::Float64(
+                take(&mut rec, n * 8)?
+                    .chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                    .collect(),
+            ),
+            TAG_DATE => ColumnData::Date(
+                take(&mut rec, n * 4)?
+                    .chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            ),
+            TAG_STR => {
+                let mut v: Vec<Arc<str>> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = take_u32(&mut rec)? as usize;
+                    let bytes = take(&mut rec, len)?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| QError::Storage("spill chunk string not UTF-8".into()))?;
+                    v.push(Arc::from(s));
+                }
+                ColumnData::Str(v)
+            }
+            other => {
+                return Err(QError::Storage(format!("unknown spill chunk column tag {other}")))
+            }
+        };
+        cols.push(Column::new(data, nulls));
+    }
+    // Zero-column chunks still carry their row count.
+    if cols.is_empty() {
+        return Ok(ColBatch::empty_rows(n));
+    }
+    Ok(ColBatch::from_columns(cols))
 }
 
 #[cfg(test)]
@@ -121,9 +459,13 @@ mod tests {
     use qpipe_common::{Metrics, Value};
     use qpipe_storage::DiskConfig;
 
+    fn disk() -> Arc<SimDisk> {
+        SimDisk::new(DiskConfig::instant(), Metrics::new())
+    }
+
     #[test]
     fn run_round_trip() {
-        let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+        let disk = disk();
         let mut w = RunWriter::create(disk, "test").unwrap();
         for i in 0..3000i64 {
             w.push(&vec![Value::Int(i), Value::str(format!("v{i}"))]).unwrap();
@@ -144,7 +486,7 @@ mod tests {
 
     #[test]
     fn empty_run() {
-        let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+        let disk = disk();
         let w = RunWriter::create(disk, "empty").unwrap();
         let run = w.finish().unwrap();
         assert!(run.is_empty());
@@ -153,9 +495,127 @@ mod tests {
 
     #[test]
     fn temp_names_unique() {
-        let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+        let disk = disk();
         let a = create_temp(&disk, "x").unwrap();
         let b = create_temp(&disk, "x").unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn run_file_deleted_when_last_handle_drops() {
+        let disk = disk();
+        let baseline = disk.file_count();
+        let mut w = RunWriter::create(disk.clone(), "lease").unwrap();
+        w.push(&vec![Value::Int(1)]).unwrap();
+        assert_eq!(disk.file_count(), baseline + 1);
+        let run = w.finish().unwrap();
+        let clone = run.clone();
+        let reader = run.reader();
+        drop(run);
+        assert_eq!(disk.file_count(), baseline + 1, "clone + reader keep the file alive");
+        drop(clone);
+        assert_eq!(disk.file_count(), baseline + 1, "reader keeps the file alive");
+        drop(reader);
+        assert_eq!(disk.file_count(), baseline, "last handle dropped ⇒ file deleted");
+    }
+
+    #[test]
+    fn oversized_tuple_errors_and_deletes_partial_run() {
+        let disk = disk();
+        let baseline = disk.file_count();
+        let mut w = RunWriter::create(disk.clone(), "big").unwrap();
+        // A normal page is appended first, then the oversized tuple fails.
+        for i in 0..1000i64 {
+            w.push(&vec![Value::Int(i)]).unwrap();
+        }
+        let giant = vec![Value::str("x".repeat(64 * 1024))];
+        let err = w.push(&giant).expect_err("tuple larger than a page must fail");
+        assert!(format!("{err}").contains("page size"), "clear error: {err}");
+        drop(w);
+        assert_eq!(disk.file_count(), baseline, "half-written run deleted on drop");
+    }
+
+    #[test]
+    fn col_run_round_trips_all_column_shapes() {
+        let disk = disk();
+        let rows: Vec<Tuple> = (0..700i64)
+            .map(|i| {
+                vec![
+                    if i % 7 == 0 { Value::Null } else { Value::Int(i) },
+                    Value::Float(i as f64 * 0.5),
+                    if i % 5 == 0 { Value::Null } else { Value::str(format!("s{i}")) },
+                    Value::Date(i as i32),
+                    // Mixed column with inline NULLs.
+                    match i % 3 {
+                        0 => Value::Int(i),
+                        1 => Value::str("m"),
+                        _ => Value::Null,
+                    },
+                ]
+            })
+            .collect();
+        let batch = ColBatch::from_rows(&rows);
+        let mut w = ColRunWriter::create(disk.clone(), "colrun").unwrap();
+        w.push_batch(&batch).unwrap();
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows(), 700);
+        let mut r = run.reader();
+        let mut got: Vec<Tuple> = Vec::new();
+        while let Some(b) = r.next_batch().unwrap() {
+            assert!(matches!(b.col(0).unwrap().data(), ColumnData::Int64(_)), "stays typed");
+            got.extend(b.to_rows());
+        }
+        assert_eq!(got, rows);
+        drop(r);
+        let baseline = disk.file_count();
+        drop(run);
+        assert_eq!(disk.file_count(), baseline - 1, "columnar run deleted on drop");
+    }
+
+    #[test]
+    fn col_run_halves_chunks_for_wide_strings() {
+        let disk = disk();
+        // ~1 KiB strings: 256 rows ≈ 256 KiB per chunk — far beyond a page,
+        // so the writer must recursively halve until chunks fit.
+        let rows: Vec<Tuple> = (0..40).map(|i| vec![Value::str(format!("{i:01000}"))]).collect();
+        let batch = ColBatch::from_rows(&rows);
+        let mut w = ColRunWriter::create(disk, "wide").unwrap();
+        w.push_batch(&batch).unwrap();
+        let run = w.finish().unwrap();
+        let mut r = run.reader();
+        let mut got = Vec::new();
+        while let Some(b) = r.next_batch().unwrap() {
+            got.extend(b.to_rows());
+        }
+        assert_eq!(got, rows);
+    }
+
+    #[test]
+    fn col_run_oversized_row_errors_and_deletes_file() {
+        let disk = disk();
+        let baseline = disk.file_count();
+        let rows = vec![vec![Value::str("y".repeat(64 * 1024))]];
+        let batch = ColBatch::from_rows(&rows);
+        let mut w = ColRunWriter::create(disk.clone(), "huge").unwrap();
+        assert!(w.push_batch(&batch).is_err(), "row larger than a page must fail");
+        drop(w);
+        assert_eq!(disk.file_count(), baseline, "partial columnar run deleted on drop");
+    }
+
+    #[test]
+    fn col_run_zero_width_batch_keeps_cardinality() {
+        let disk = disk();
+        let batch = ColBatch::empty_rows(5);
+        let mut w = ColRunWriter::create(disk, "zw").unwrap();
+        w.push_batch(&batch).unwrap();
+        let run = w.finish().unwrap();
+        assert_eq!(run.rows(), 5);
+        let mut r = run.reader();
+        let mut rows = 0;
+        while let Some(b) = r.next_batch().unwrap() {
+            assert_eq!(b.num_cols(), 0);
+            rows += b.len();
+        }
+        assert_eq!(rows, 5);
     }
 }

@@ -4,3 +4,4 @@ pub mod iter;
 pub mod plan;
 pub mod vexpr;
 pub mod viter;
+pub mod vsort;

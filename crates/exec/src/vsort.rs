@@ -1,0 +1,423 @@
+//! Vectorized (batch-native) external sort over [`ColBatch`]es.
+//!
+//! [`SortIter`](crate::iter::SortIter) pulls one `Tuple` at a time, which
+//! forced the sort µEngine to flatten every columnar batch arriving from the
+//! vectorized scan/filter/project/join path back into `Vec<Tuple>`.
+//! [`VecSort`] keeps the whole pipeline columnar:
+//!
+//! * **Accumulate** — input batches concatenate into one growing
+//!   [`ColBatch`] (typed column extends via [`ColBatchBuilder`], no row
+//!   materialization). Interleaved legacy row batches column-ify into the
+//!   same accumulator.
+//! * **Sort** — a stable *permutation* is sorted over the key columns only
+//!   ([`ColBatch::sort_perm`]: typed comparators per column —
+//!   int/float/date/str, asc/desc, NULLs first exactly like
+//!   [`Value::total_cmp`](qpipe_common::Value::total_cmp)); payload columns
+//!   move once, gathered by [`ColBatch::take`].
+//! * **Spill** — when the accumulator exceeds `sort_budget`, the sorted run
+//!   is written as a *columnar* run
+//!   ([`ColRunWriter`](crate::iter::spill::ColRunWriter): typed value
+//!   regions + packed null bitmaps per chunk) and the runs are k-way merged
+//!   batch-at-a-time, emitting through per-column slot appends
+//!   ([`ColBatchBuilder::push_row_from`]) that keep the typed
+//!   representation.
+//!
+//! **Output order is bit-identical to `SortIter`**: the permutation sort is
+//! stable, runs are consecutive input chunks, and the merge tie-breaks equal
+//! keys on run index — together that is exactly the stable total order the
+//! row path produces, independent of where the run boundaries fall. The
+//! seeded property suite in `tests/properties.rs` pins the two engines to
+//! each other over multi-key asc/desc, NULLs, cross-type numeric extremes at
+//! the 2^53 boundary, duplicate keys, and budget-forced spills.
+//!
+//! Temp-file lifecycle: columnar runs delete themselves when the last handle
+//! drops (see [`spill`](crate::iter::spill)), so a cancelled or failed sort
+//! leaks nothing.
+
+use crate::iter::spill::{ColRunHandle, ColRunReader, ColRunWriter};
+use crate::iter::{ExecContext, TupleIter};
+use crate::plan::SortKey;
+use qpipe_common::colbatch::{ColBatch, ColBatchBuilder, SortSpec};
+use qpipe_common::{Batch, QResult, Tuple};
+use std::cmp::Ordering;
+
+/// Rows per emitted output batch (the pipe-granularity chunk size).
+const OUT_CHUNK: usize = Batch::DEFAULT_CAPACITY;
+
+/// Batch-native external sort; the vectorized analogue of
+/// [`SortIter`](crate::iter::SortIter). See the module docs for the phase
+/// structure and the bit-identical-order guarantee.
+pub struct VecSort {
+    keys: Vec<SortSpec>,
+    ctx: ExecContext,
+    builder: ColBatchBuilder,
+    runs: Vec<ColRunHandle>,
+    /// Width established by the first non-empty batch. Tracked here (not
+    /// just in `builder`, which resets after every spill) so a ragged batch
+    /// arriving between runs is still refused.
+    width: Option<usize>,
+}
+
+impl VecSort {
+    pub fn new(keys: &[SortKey], ctx: ExecContext) -> Self {
+        let keys = keys.iter().map(|k| SortSpec { col: k.col, asc: k.asc }).collect();
+        Self { keys, ctx, builder: ColBatchBuilder::new(), runs: Vec::new(), width: None }
+    }
+
+    /// Rows accumulated so far (buffered + spilled).
+    pub fn rows(&self) -> u64 {
+        self.builder.len() as u64 + self.runs.iter().map(|r| r.rows()).sum::<u64>()
+    }
+
+    /// Append one columnar batch. Returns `false` (appending nothing) when
+    /// the batch's width disagrees with earlier input — the caller falls
+    /// back to the row-path sort rather than misalign columns.
+    #[must_use = "a rejected batch must be routed to the row-path fallback"]
+    pub fn push_cols(&mut self, batch: &ColBatch) -> QResult<bool> {
+        if batch.is_empty() {
+            return Ok(true);
+        }
+        if *self.width.get_or_insert(batch.num_cols()) != batch.num_cols()
+            || !self.builder.append(batch)
+        {
+            return Ok(false);
+        }
+        self.maybe_spill()?;
+        Ok(true)
+    }
+
+    /// Append legacy row tuples (interleaved row batches column-ify into the
+    /// same accumulator). Same width contract as [`push_cols`](Self::push_cols).
+    #[must_use = "a rejected batch must be routed to the row-path fallback"]
+    pub fn push_rows(&mut self, rows: &[Tuple]) -> QResult<bool> {
+        if rows.is_empty() {
+            return Ok(true);
+        }
+        self.push_cols(&ColBatch::from_rows(rows))
+    }
+
+    fn maybe_spill(&mut self) -> QResult<()> {
+        let budget = self.ctx.config.sort_budget.max(2);
+        if self.builder.len() < budget {
+            return Ok(());
+        }
+        self.spill_run()
+    }
+
+    /// Sort the accumulator into a columnar run on disk.
+    fn spill_run(&mut self) -> QResult<()> {
+        let batch = std::mem::take(&mut self.builder).finish();
+        let perm = batch.sort_perm(&self.keys);
+        let sorted = batch.take(&perm);
+        let mut w = ColRunWriter::create(self.ctx.catalog.disk().clone(), "vsortrun")?;
+        w.push_batch(&sorted)?;
+        self.runs.push(w.finish()?);
+        Ok(())
+    }
+
+    /// Stream everything accumulated (spilled runs first, buffered rows
+    /// last) back out as tuples — the hand-off when the caller abandons the
+    /// vectorized path on ragged input widths. Spilled rows come back in
+    /// run-sorted order (their original arrival order is gone), which a
+    /// subsequent full sort absorbs. Memory stays bounded by one run chunk
+    /// plus the (budget-capped) buffered tail — the fallback never undoes
+    /// the budget the spills were honoring.
+    pub fn into_drain(self) -> VecSortDrain {
+        VecSortDrain {
+            runs: self.runs.into_iter(),
+            reader: None,
+            current: Vec::new().into_iter(),
+            tail: Some(self.builder.finish()),
+        }
+    }
+
+    /// [`into_drain`](Self::into_drain) collected into one vector (tests).
+    pub fn into_rows(self) -> QResult<Vec<Tuple>> {
+        let mut it = self.into_drain();
+        let mut out = Vec::new();
+        while let Some(t) = it.next()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    /// Phase 2: emit the fully sorted stream as `≤ OUT_CHUNK`-row columnar
+    /// batches through `emit`. `emit` returns `false` to stop early (the
+    /// caller's cancellation hook). Consumes the sort; spilled runs delete
+    /// their temp files as the merge drops them.
+    pub fn finish(mut self, mut emit: impl FnMut(ColBatch) -> bool) -> QResult<()> {
+        if self.runs.is_empty() {
+            // Fully in-memory: one permutation sort, gathered chunk-wise.
+            let batch = self.builder.finish();
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let perm = batch.sort_perm(&self.keys);
+            for chunk in perm.chunks(OUT_CHUNK) {
+                if !emit(batch.take(chunk)) {
+                    return Ok(());
+                }
+            }
+            return Ok(());
+        }
+        if !self.builder.is_empty() {
+            self.spill_run()?;
+        }
+        let mut cursors = Vec::with_capacity(self.runs.len());
+        for run in &self.runs {
+            let mut c = Cursor { reader: run.reader(), batch: None, pos: 0 };
+            c.load_next()?;
+            cursors.push(c);
+        }
+        // Index min-heap over the cursors, ordered by (head-row keys, run
+        // index) — O(log k) per emitted row. Ties break on the lower run
+        // index, exactly the row-path merge heap's stability rule.
+        let mut heap: Vec<usize> =
+            (0..cursors.len()).filter(|&i| cursors[i].batch.is_some()).collect();
+        for i in (0..heap.len() / 2).rev() {
+            sift_down(&mut heap, &cursors, &self.keys, i);
+        }
+        let mut out = ColBatchBuilder::new();
+        while let Some(&top) = heap.first() {
+            let c = &mut cursors[top];
+            let appended = out.push_row_from(c.batch.as_ref().expect("cursor has a batch"), c.pos);
+            debug_assert!(appended, "runs share one width by construction");
+            c.advance()?;
+            if cursors[top].batch.is_none() {
+                // Run exhausted: drop it from the heap.
+                let last = heap.len() - 1;
+                heap.swap(0, last);
+                heap.pop();
+            }
+            sift_down(&mut heap, &cursors, &self.keys, 0);
+            if out.len() >= OUT_CHUNK && !emit(std::mem::take(&mut out).finish()) {
+                return Ok(());
+            }
+        }
+        if !out.is_empty() && !emit(out.finish()) {
+            return Ok(());
+        }
+        Ok(())
+    }
+}
+
+/// `cursors[a]`'s head row strictly before `cursors[b]`'s, tie-breaking on
+/// the run index. Both cursors must have a live batch.
+fn head_less(cursors: &[Cursor], keys: &[SortSpec], a: usize, b: usize) -> bool {
+    let (ba, bb) = (
+        cursors[a].batch.as_ref().expect("heap entries have batches"),
+        cursors[b].batch.as_ref().expect("heap entries have batches"),
+    );
+    match ba.cmp_rows(cursors[a].pos, bb, cursors[b].pos, keys) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a < b,
+    }
+}
+
+/// Restore the min-heap property downward from `i`.
+fn sift_down(heap: &mut [usize], cursors: &[Cursor], keys: &[SortSpec], mut i: usize) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut m = i;
+        if l < heap.len() && head_less(cursors, keys, heap[l], heap[m]) {
+            m = l;
+        }
+        if r < heap.len() && head_less(cursors, keys, heap[r], heap[m]) {
+            m = r;
+        }
+        if m == i {
+            return;
+        }
+        heap.swap(i, m);
+        i = m;
+    }
+}
+
+/// Streaming tuple drain over everything a [`VecSort`] accumulated: spilled
+/// runs chunk-by-chunk (each run's file deletes itself once drained past),
+/// then the buffered tail. Feeds the row-path fallback sort without ever
+/// holding more than one chunk of spilled data in memory.
+pub struct VecSortDrain {
+    runs: std::vec::IntoIter<ColRunHandle>,
+    reader: Option<ColRunReader>,
+    current: std::vec::IntoIter<Tuple>,
+    tail: Option<ColBatch>,
+}
+
+impl TupleIter for VecSortDrain {
+    fn next(&mut self) -> QResult<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.current.next() {
+                return Ok(Some(t));
+            }
+            if let Some(r) = &mut self.reader {
+                if let Some(b) = r.next_batch()? {
+                    self.current = b.to_rows().into_iter();
+                    continue;
+                }
+                self.reader = None;
+            }
+            if let Some(run) = self.runs.next() {
+                self.reader = Some(run.reader());
+                continue;
+            }
+            match self.tail.take() {
+                Some(b) => self.current = b.to_rows().into_iter(),
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Read position within one spilled run during the k-way merge.
+struct Cursor {
+    reader: ColRunReader,
+    /// Current chunk; `None` once the run is exhausted.
+    batch: Option<ColBatch>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn advance(&mut self) -> QResult<()> {
+        self.pos += 1;
+        if self.batch.as_ref().is_some_and(|b| self.pos >= b.len()) {
+            self.load_next()?;
+        }
+        Ok(())
+    }
+
+    fn load_next(&mut self) -> QResult<()> {
+        self.pos = 0;
+        loop {
+            self.batch = self.reader.next_batch()?;
+            // Skip empty chunks defensively (the writer never emits them).
+            if self.batch.as_ref().is_none_or(|b| !b.is_empty()) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::{ExecConfig, SortIter, TupleIter, VecIter};
+    use qpipe_common::{Metrics, Value};
+    use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
+
+    fn ctx_with_budget(budget: usize) -> ExecContext {
+        let disk = SimDisk::new(DiskConfig::instant(), Metrics::new());
+        let pool = BufferPool::new(disk.clone(), BufferPoolConfig::new(64, PolicyKind::Lru));
+        let catalog = Catalog::new(disk, pool);
+        ExecContext::with_config(
+            catalog,
+            ExecConfig { sort_budget: budget, ..ExecConfig::default() },
+        )
+    }
+
+    fn reference_sort(rows: Vec<Tuple>, keys: &[SortKey], ctx: &ExecContext) -> Vec<Tuple> {
+        let mut it = SortIter::new(Box::new(VecIter::new(rows)), keys.to_vec(), ctx.clone());
+        let mut out = Vec::new();
+        while let Some(t) = it.next().unwrap() {
+            out.push(t);
+        }
+        out
+    }
+
+    fn vec_sort(rows: &[Tuple], keys: &[SortKey], ctx: &ExecContext, chunk: usize) -> Vec<Tuple> {
+        let mut vs = VecSort::new(keys, ctx.clone());
+        for window in rows.chunks(chunk.max(1)) {
+            assert!(vs.push_cols(&ColBatch::from_rows(window)).unwrap());
+        }
+        let mut out = Vec::new();
+        vs.finish(|b| {
+            out.extend(b.to_rows());
+            true
+        })
+        .unwrap();
+        out
+    }
+
+    fn adversarial_rows(n: i64) -> Vec<Tuple> {
+        let big = 1i64 << 53;
+        (0..n)
+            .map(|i| {
+                let key = match i % 7 {
+                    0 => Value::Null,
+                    1 => Value::Int(i % 5),
+                    2 => Value::Float((i % 5) as f64),
+                    3 => Value::Int(big + (i % 3)),
+                    4 => Value::Float((big + (i % 3)) as f64),
+                    5 => Value::Date((i % 4) as i32),
+                    _ => Value::str(format!("s{}", i % 6)),
+                };
+                vec![key, Value::Int(i % 3), Value::Int(i)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_memory_sort_is_bit_identical_to_sort_iter() {
+        let ctx = ctx_with_budget(1 << 20);
+        let rows = adversarial_rows(500);
+        let keys = [SortKey::asc(0), SortKey::desc(1)];
+        assert_eq!(vec_sort(&rows, &keys, &ctx, 64), reference_sort(rows.clone(), &keys, &ctx));
+    }
+
+    #[test]
+    fn spilled_sort_is_bit_identical_to_sort_iter() {
+        // Budget of 37 forces many runs; duplicate keys make stability (and
+        // the run-index tie-break) observable through the payload column.
+        let ctx = ctx_with_budget(37);
+        let rows = adversarial_rows(600);
+        let keys = [SortKey::asc(0), SortKey::desc(1)];
+        let disk = ctx.catalog.disk().clone();
+        let baseline = disk.file_count();
+        assert_eq!(vec_sort(&rows, &keys, &ctx, 50), reference_sort(rows.clone(), &keys, &ctx));
+        assert_eq!(disk.file_count(), baseline, "all spill temps deleted");
+    }
+
+    #[test]
+    fn early_stop_drops_runs_and_their_files() {
+        let ctx = ctx_with_budget(16);
+        let disk = ctx.catalog.disk().clone();
+        let baseline = disk.file_count();
+        let mut vs = VecSort::new(&[SortKey::asc(0)], ctx.clone());
+        let rows: Vec<Tuple> = (0..200).map(|i| vec![Value::Int(i)]).collect();
+        assert!(vs.push_rows(&rows).unwrap());
+        assert!(disk.file_count() > baseline, "runs spilled");
+        let mut emitted = 0;
+        vs.finish(|_| {
+            emitted += 1;
+            false // cancelled after the first batch
+        })
+        .unwrap();
+        assert_eq!(emitted, 1);
+        assert_eq!(disk.file_count(), baseline, "cancelled merge deletes every run");
+    }
+
+    #[test]
+    fn ragged_width_is_rejected_and_into_rows_returns_everything() {
+        let ctx = ctx_with_budget(8);
+        let mut vs = VecSort::new(&[SortKey::asc(0)], ctx);
+        let wide: Vec<Tuple> = (0..20).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
+        assert!(vs.push_rows(&wide).unwrap());
+        assert!(!vs.push_rows(&[vec![Value::Int(1)]]).unwrap(), "width mismatch refused");
+        let rows = vs.into_rows().unwrap();
+        assert_eq!(rows.len(), 20, "spilled + buffered rows all recovered");
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let ctx = ctx_with_budget(8);
+        let vs = VecSort::new(&[SortKey::asc(0)], ctx);
+        let mut n = 0;
+        vs.finish(|_| {
+            n += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 0);
+    }
+}

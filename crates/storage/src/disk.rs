@@ -211,6 +211,32 @@ impl SimDisk {
         Ok(self.file(id)?.read().blocks.len() as u64)
     }
 
+    /// Delete a file, releasing its blocks and name. Temp-spill lifecycle:
+    /// external-sort runs and grace-join partitions delete their files when
+    /// the last handle drops, so spill storage returns to baseline after
+    /// every query (completed, cancelled, or failed).
+    pub fn delete_file(&self, id: FileId) -> QResult<()> {
+        let file = self
+            .files
+            .write()
+            .remove(&id)
+            .ok_or_else(|| QError::Storage(format!("no such file id {id:?}")))?;
+        self.names.lock().remove(&file.read().name);
+        self.last_read.lock().remove(&id);
+        Ok(())
+    }
+
+    /// Number of files currently on the disk (leak observability).
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Names of every file currently on the disk (leak observability —
+    /// spill temps are recognizable by their `__tmp.` prefix).
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.read().values().map(|f| f.read().name.clone()).collect()
+    }
+
     /// Read one block, charging latency and counting the I/O.
     pub fn read_block(&self, id: FileId, block_no: u64) -> QResult<Block> {
         let file = self.file(id)?;
@@ -351,6 +377,21 @@ mod tests {
         assert_eq!(s.disk_blocks_read, 4);
         assert_eq!(s.per_file_reads["lineitem"], 4);
         assert_eq!(s.disk_blocks_written, 3);
+    }
+
+    #[test]
+    fn delete_file_releases_blocks_and_name() {
+        let d = disk();
+        let f = d.create_file("t").unwrap();
+        d.append_block(f, Page::new()).unwrap();
+        assert_eq!(d.file_count(), 1);
+        d.delete_file(f).unwrap();
+        assert_eq!(d.file_count(), 0);
+        assert!(d.read_block(f, 0).is_err(), "deleted file is gone");
+        assert!(d.file_id("t").is_none(), "name released");
+        // The name can be reused after deletion.
+        d.create_file("t").unwrap();
+        assert!(d.delete_file(f).is_err(), "double delete errors");
     }
 
     #[test]

@@ -168,6 +168,100 @@ fn q12_shape_executes_columnar_end_to_end() {
     assert_eq!(delta.vec_fallbacks, 0, "nothing should fall back to the row path");
 }
 
+/// Acceptance bar (PR 4): a Q1-shaped scan→filter→project→agg→sort pipeline
+/// over columnar storage stays columnar through **every** µEngine boundary —
+/// the filter runs selection-vector kernels, the projection evaluates
+/// column-at-a-time, the aggregate folds columns, and not a single
+/// `ColBatch` is flattened back to `Vec<Tuple>` anywhere in the plan.
+#[test]
+fn q1_shape_executes_columnar_end_to_end() {
+    use qpipe::workloads::tpch::cols::*;
+    let catalog = quick_system(DiskConfig::instant(), 512);
+    build_tpch_with_layout(&catalog, TpchScale::tiny(), 11, StorageLayout::Columnar).unwrap();
+    let ctx = ExecContext::new(catalog.clone());
+    let engine = QPipe::new(catalog, QPipeConfig::default());
+
+    // Q1's body as explicit Filter/Project nodes (the scan carries neither,
+    // so the filter and projection µEngines do the work).
+    let disc_price = Expr::col(L_EXTENDEDPRICE).mul(Expr::lit(1.0).sub(Expr::col(L_DISCOUNT)));
+    let charge = disc_price.clone().mul(Expr::lit(1.0).add(Expr::col(L_TAX)));
+    let plan = PlanNode::scan("lineitem")
+        .filter(Expr::col(L_SHIPDATE).le(Expr::lit(Value::Date(600))))
+        .project(vec![
+            Expr::col(L_RETURNFLAG),
+            Expr::col(L_LINESTATUS),
+            Expr::col(L_QUANTITY),
+            Expr::col(L_EXTENDEDPRICE),
+            disc_price,
+            charge,
+            Expr::col(L_DISCOUNT),
+        ])
+        .aggregate(
+            vec![0, 1],
+            vec![
+                AggSpec::sum(Expr::col(2)),
+                AggSpec::sum(Expr::col(3)),
+                AggSpec::sum(Expr::col(4)),
+                AggSpec::sum(Expr::col(5)),
+                AggSpec::avg(Expr::col(2)),
+                AggSpec::avg(Expr::col(3)),
+                AggSpec::avg(Expr::col(6)),
+                AggSpec::count_star(),
+            ],
+        )
+        .sort(vec![SortKey::asc(0), SortKey::asc(1)]);
+    let reference = qpipe::exec::iter::run(&plan, &ctx).unwrap();
+    assert!(!reference.is_empty(), "Q1 shape must produce groups for the test to mean anything");
+
+    let before = engine.metrics().snapshot();
+    let got = engine.submit(plan).unwrap().collect();
+    assert_eq!(got, reference, "exact parity incl. ORDER BY output order");
+    let delta = engine.metrics().snapshot().delta_since(&before);
+    assert_eq!(
+        delta.col_rowified_batches, 0,
+        "no ColBatch may be flattened to rows anywhere in the plan"
+    );
+    assert!(delta.vec_filter_batches > 0, "filter must run selection-vector kernels");
+    assert!(delta.vec_project_batches > 0, "projection must run column-at-a-time");
+    assert!(delta.vec_agg_batches > 0, "agg update must run over ColBatches");
+    assert_eq!(delta.vec_fallbacks, 0, "nothing should fall back to the row path");
+}
+
+/// ORDER BY directly over columnar operator output (no aggregate in
+/// between): the sort µEngine must accumulate `ColBatch`es without
+/// flattening, spill columnar runs under a tiny budget, and still match the
+/// row-path engine's output bit-for-bit — order included.
+#[test]
+fn columnar_sort_spills_columnar_runs_and_matches_row_path() {
+    use qpipe::workloads::tpch::cols::*;
+    let catalog = quick_system(DiskConfig::instant(), 512);
+    build_tpch_with_layout(&catalog, TpchScale::tiny(), 23, StorageLayout::Columnar).unwrap();
+    let disk = catalog.disk().clone();
+    let plan = PlanNode::scan("lineitem")
+        .filter(Expr::col(L_QUANTITY).ge(Expr::lit(10)))
+        .sort(vec![SortKey::asc(L_RETURNFLAG), SortKey::desc(L_ORDERKEY)]);
+    // Tiny sort budget forces the external (spill + k-way merge) path.
+    let config = QPipeConfig {
+        exec: ExecConfig { sort_budget: 64, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let ctx = ExecContext::with_config(catalog.clone(), config.exec);
+    let reference = qpipe::exec::iter::run(&plan, &ctx).unwrap();
+    assert!(reference.len() > 256, "need multiple runs for the merge to mean anything");
+
+    let engine = QPipe::new(catalog, config);
+    let before = engine.metrics().snapshot();
+    let got = engine.submit(plan).unwrap().collect();
+    assert_eq!(got, reference, "spilled vectorized sort must be bit-identical");
+    let delta = engine.metrics().snapshot().delta_since(&before);
+    assert_eq!(delta.col_rowified_batches, 0, "sort must not flatten its columnar input");
+    assert!(delta.vec_sort_batches > 0, "sort must accumulate ColBatches");
+    assert_eq!(delta.vec_fallbacks, 0);
+    let leaked: Vec<String> =
+        disk.file_names().into_iter().filter(|n| n.starts_with("__tmp.")).collect();
+    assert!(leaked.is_empty(), "sort runs must delete their temp files: {leaked:?}");
+}
+
 /// The row fallback (hash budget overflow → grace join) still works and
 /// still agrees, end to end, when the build side blows the budget.
 #[test]

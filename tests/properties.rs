@@ -654,3 +654,97 @@ fn shared_scan_cardinalities_match_osp_on_and_off() {
     assert_eq!(on, expected, "OSP-on cardinalities");
     assert_eq!(off, expected, "OSP-off cardinalities");
 }
+
+// ---------------------------------------------------------------------------
+// Vectorized sort ≡ SortIter (bit-identical, spill path included)
+// ---------------------------------------------------------------------------
+
+/// Sortable adversarial value for one key column: NULL-dense, duplicate-rich,
+/// cross-type Int/Float/Date at the 2^53 exactness boundary and the i64
+/// extremes — everything that distinguishes an exact `total_cmp` from a
+/// lossy one.
+fn arb_sort_key(rng: &mut StdRng) -> Value {
+    const BIG: i64 = 1 << 53;
+    match rng.gen_range(0..9) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen_range(-3..3)),
+        2 => Value::Float(rng.gen_range(-3..3) as f64),
+        3 => Value::Int(BIG + rng.gen_range(-1..=1)),
+        4 => Value::Float((BIG + rng.gen_range(-1..=1)) as f64),
+        5 => Value::Int(*[i64::MIN, i64::MAX].get(rng.gen_range(0..2)).unwrap()),
+        6 => Value::Float(*[-0.0, 0.0, i64::MIN as f64].get(rng.gen_range(0..3)).unwrap()),
+        7 => Value::Date(rng.gen_range(-2..3)),
+        _ => Value::str(["a", "b", "ab", ""][rng.gen_range(0..4)]),
+    }
+}
+
+/// The vectorized sort must produce the row-path `SortIter`'s output
+/// **bit-identically** — same values, same order — over multi-key asc/desc
+/// mixes, NULLs, cross-type numeric extremes, duplicate keys (stability +
+/// run-index tie-break observable through the unique payload column), and a
+/// tiny `sort_budget` that forces the columnar spill/merge path.
+#[test]
+fn vectorized_sort_is_bit_identical_to_sort_iter() {
+    use qpipe::exec::iter::{SortIter, TupleIter, VecIter};
+    use qpipe::exec::vsort::VecSort;
+    for seed in [1u64, 7, 42, 0x50F7] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(150..400);
+        let rows: Vec<Tuple> = (0..n)
+            .map(|i| {
+                vec![
+                    arb_sort_key(&mut rng),
+                    arb_sort_key(&mut rng),
+                    Value::Int(i as i64), // unique payload exposes order
+                ]
+            })
+            .collect();
+        // 1–2 random keys, random directions, over the two key columns.
+        let mut keys: Vec<SortKey> = (0..rng.gen_range(1..=2))
+            .map(|c| if rng.gen_bool(0.5) { SortKey::asc(c) } else { SortKey::desc(c) })
+            .collect();
+        if rng.gen_bool(0.3) {
+            keys.reverse();
+        }
+        // usize::MAX/2 keeps the whole input in memory; 7 forces dozens of
+        // spilled columnar runs through the k-way merge.
+        for budget in [usize::MAX / 2, 7] {
+            let catalog = qpipe::quick_system(DiskConfig::instant(), 64);
+            let disk = catalog.disk().clone();
+            let ctx = ExecContext::with_config(
+                catalog,
+                ExecConfig { sort_budget: budget, ..ExecConfig::default() },
+            );
+            let mut reference = Vec::new();
+            let mut it =
+                SortIter::new(Box::new(VecIter::new(rows.clone())), keys.clone(), ctx.clone());
+            while let Some(t) = it.next().unwrap() {
+                reference.push(t);
+            }
+            drop(it);
+            let mut vs = VecSort::new(&keys, ctx);
+            // Random batch boundaries: run cuts land mid-batch and at batch
+            // edges across seeds.
+            let mut at = 0;
+            while at < rows.len() {
+                let take = rng.gen_range(1..=40).min(rows.len() - at);
+                use qpipe::common::colbatch::ColBatch;
+                assert!(vs.push_cols(&ColBatch::from_rows(&rows[at..at + take])).unwrap());
+                at += take;
+            }
+            let mut got = Vec::new();
+            vs.finish(|b| {
+                got.extend(b.to_rows());
+                true
+            })
+            .unwrap();
+            assert_eq!(
+                got, reference,
+                "seed {seed} budget {budget}: vectorized sort diverges from SortIter"
+            );
+            let leaked: Vec<String> =
+                disk.file_names().into_iter().filter(|f| f.starts_with("__tmp.")).collect();
+            assert!(leaked.is_empty(), "seed {seed}: leaked spill files {leaked:?}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Regression suite for the spill temp-file leak.
+//!
+//! `RunHandle` never deleted its `__tmp.*` file and `SimDisk` had no delete
+//! API, so every external sort and grace hash join leaked disk files for the
+//! life of the engine. Spill files are now owned by an `Arc`-backed RAII
+//! handle that deletes the file when the last holder (writer, run handle, or
+//! reader) drops — these tests pin the disk's file population back to
+//! baseline after completed, abandoned, and failed spilling queries.
+
+use qpipe::prelude::*;
+use qpipe::quick_system;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmp_files(disk: &SimDisk) -> Vec<String> {
+    let mut v: Vec<String> =
+        disk.file_names().into_iter().filter(|n| n.starts_with("__tmp.")).collect();
+    v.sort();
+    v
+}
+
+fn table(catalog: &Arc<Catalog>, name: &str, n: i64) {
+    let rows: Vec<Tuple> = (0..n)
+        .map(|i| vec![Value::Int(i % 97), Value::Int(i), Value::str(format!("pay{i}"))])
+        .collect();
+    let schema = Schema::of(&[("k", DataType::Int), ("id", DataType::Int), ("pay", DataType::Str)]);
+    catalog.create_table(name, schema, rows, None).unwrap();
+}
+
+#[test]
+fn external_sort_leaves_no_temp_files() {
+    let catalog = quick_system(DiskConfig::instant(), 256);
+    table(&catalog, "t", 2000);
+    let disk = catalog.disk().clone();
+    // Budget far below 2000 rows: many spilled runs, k-way merged.
+    let config = QPipeConfig {
+        exec: ExecConfig { sort_budget: 64, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    let plan = PlanNode::scan("t").sort(vec![SortKey::asc(0), SortKey::desc(1)]);
+    let rows = engine.submit(plan).unwrap().collect();
+    assert_eq!(rows.len(), 2000);
+    assert_eq!(tmp_files(&disk), Vec::<String>::new(), "sort runs must be deleted");
+}
+
+#[test]
+fn grace_hash_join_leaves_no_temp_files() {
+    let catalog = quick_system(DiskConfig::instant(), 256);
+    table(&catalog, "l", 1500);
+    table(&catalog, "r", 500);
+    let disk = catalog.disk().clone();
+    // Budget far below the 1500-row build side: grace partitions spill.
+    let config = QPipeConfig {
+        exec: ExecConfig { hash_budget: 64, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    let plan = PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0);
+    let before = engine.metrics().snapshot();
+    let rows = engine.submit(plan).unwrap().collect();
+    assert!(!rows.is_empty());
+    let delta = engine.metrics().snapshot().delta_since(&before);
+    assert!(delta.vec_fallbacks > 0, "budget overflow must take the grace path");
+    assert_eq!(tmp_files(&disk), Vec::<String>::new(), "grace partitions must be deleted");
+}
+
+/// A query abandoned mid-flight (its handle dropped before consuming any
+/// output — the engine-level analogue of a cancelled/failed query) must also
+/// release every spill file once its workers wind down.
+#[test]
+fn abandoned_spilling_query_releases_temp_files() {
+    let catalog = quick_system(DiskConfig::instant(), 256);
+    table(&catalog, "t", 4000);
+    let disk = catalog.disk().clone();
+    let config = QPipeConfig {
+        exec: ExecConfig { sort_budget: 32, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    let plan = PlanNode::scan("t").sort(vec![SortKey::asc(0)]);
+    let handle = engine.submit(plan).unwrap();
+    drop(handle); // nobody will ever read the result
+                  // Workers notice the abandoned output asynchronously; poll for cleanup.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if tmp_files(&disk).is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned sort still holds temp files: {:?}",
+            tmp_files(&disk)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Iterator-engine flavor of the same guarantee: dropping a partially
+/// consumed external sort / grace join (a failed query tears its operator
+/// tree down exactly like this) deletes every run immediately.
+#[test]
+fn partially_consumed_spilling_iterators_release_temp_files() {
+    use qpipe::exec::iter::{build, TupleIter};
+    let catalog = quick_system(DiskConfig::instant(), 256);
+    table(&catalog, "l", 1500);
+    table(&catalog, "r", 500);
+    let disk = catalog.disk().clone();
+    let ctx = ExecContext::with_config(
+        catalog,
+        ExecConfig { sort_budget: 32, hash_budget: 32, ..ExecConfig::default() },
+    );
+    let plans = [
+        PlanNode::scan("l").sort(vec![SortKey::asc(0)]),
+        PlanNode::scan("l").hash_join(PlanNode::scan("r"), 0, 0),
+    ];
+    for plan in plans {
+        let mut it = build(&plan, &ctx).unwrap();
+        for _ in 0..10 {
+            assert!(it.next().unwrap().is_some(), "pull a few rows mid-spill");
+        }
+        assert!(!tmp_files(&disk).is_empty(), "spill files exist while the operator lives");
+        drop(it);
+        assert_eq!(
+            tmp_files(&disk),
+            Vec::<String>::new(),
+            "dropping the operator mid-stream deletes every run"
+        );
+    }
+}
