@@ -1,0 +1,112 @@
+//! CI stress-smoke: an open-loop multi-client burst against a small TPC-H
+//! catalog under a deliberately tight admission + memory configuration.
+//!
+//! Run by the `stress-smoke` CI job under a wall-clock bound (`timeout`).
+//! Exits non-zero when any oversubscription invariant breaks:
+//!
+//! * every arrival settles (completed + rejected = submitted),
+//! * no µEngine ever runs more than `queue_depth` queries concurrently,
+//! * governor-granted memory never exceeds the global budget,
+//! * all admission slots and memory leases return to baseline.
+
+use qpipe_core::admit::AdmitConfig;
+use qpipe_core::engine::QPipeConfig;
+use qpipe_core::QueryClass;
+use qpipe_exec::iter::ExecConfig;
+use qpipe_workloads::harness::{open_loop, Driver, System, SystemProfile};
+use qpipe_workloads::tpch::{build_tpch, query, TpchScale, MIX};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let depth = 3;
+    let global_mem = 16 * 1024;
+    let queries = 48;
+    let config = QPipeConfig {
+        exec: ExecConfig {
+            sort_budget: 2048,
+            hash_budget: 2048,
+            global_budget: global_mem,
+            ..ExecConfig::default()
+        },
+        admit: AdmitConfig { queue_depth: depth, max_queued: 40, ..AdmitConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let profile = SystemProfile::instant();
+    let driver = Driver::build_with_config(System::QPipeOsp, profile, config, |c| {
+        build_tpch(c, TpchScale::tiny(), 1)
+    })
+    .expect("build driver");
+
+    let mut rng = StdRng::seed_from_u64(0x57E55);
+    let plans = (0..queries)
+        .map(|i| {
+            let class = if i % 4 == 0 { QueryClass::Batch } else { QueryClass::Interactive };
+            (query(MIX[i % MIX.len()], &mut rng), class)
+        })
+        .collect();
+    let r = open_loop(&driver, plans, 2.0, profile.time_scale);
+
+    let engine = driver.engine().expect("staged driver");
+    let gov = engine.governor();
+    let admit = engine.admission();
+    let mut failures = Vec::new();
+    if r.completed + r.rejected != queries as u64 {
+        failures.push(format!(
+            "unsettled arrivals: completed {} + rejected {} != {queries} ({:?})",
+            r.completed, r.rejected, r.outcomes
+        ));
+    }
+    if r.completed == 0 {
+        failures.push("no query completed".into());
+    }
+    for (name, peak) in admit.peaks() {
+        if peak > depth {
+            failures.push(format!("µEngine {name} ran {peak} > depth {depth} concurrently"));
+        }
+        if admit.in_flight(name) != 0 {
+            failures.push(format!("µEngine {name} slots not returned to baseline"));
+        }
+    }
+    if admit.queue_len() != 0 {
+        failures.push(format!("{} tickets left waiting", admit.queue_len()));
+    }
+    // Worker threads may outlive result delivery briefly.
+    for _ in 0..500 {
+        if gov.in_use() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if gov.in_use() != 0 {
+        failures.push(format!("{} memory units still leased", gov.in_use()));
+    }
+    if gov.peak() > global_mem as u64 {
+        failures
+            .push(format!("granted memory peaked at {} > global budget {global_mem}", gov.peak()));
+    }
+
+    println!(
+        "stress-smoke: {} submitted, {} completed, {} rejected, {} queued; \
+         governor peak {}/{} units, {} grants denied",
+        queries,
+        r.completed,
+        r.rejected,
+        r.delta.queued,
+        gov.peak(),
+        global_mem,
+        r.delta.mem_waited,
+    );
+    let mut peaks: Vec<_> = admit.peaks().into_iter().collect();
+    peaks.sort();
+    for (name, peak) in peaks {
+        println!("  µEngine {name:>10}: peak {peak}/{depth} concurrent queries");
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("stress-smoke: OK");
+}

@@ -16,6 +16,9 @@ pub enum QError {
     /// Query was cancelled (e.g. its subtree was replaced by a satellite
     /// attach and the cancellation raced with result consumption).
     Cancelled,
+    /// Refused by the admission controller (queue full or queue timeout) —
+    /// the query never executed; resubmit when load drops.
+    Admission(String),
 }
 
 impl fmt::Display for QError {
@@ -26,6 +29,7 @@ impl fmt::Display for QError {
             QError::Plan(s) => write!(f, "plan error: {s}"),
             QError::Exec(s) => write!(f, "execution error: {s}"),
             QError::Cancelled => write!(f, "query cancelled"),
+            QError::Admission(s) => write!(f, "admission refused: {s}"),
         }
     }
 }

@@ -5,11 +5,13 @@
 //! [`Value`]s, [`Schema`]s, [`Tuple`]s and [`Batch`]es, the columnar
 //! [`ColBatch`]/[`SelVec`] layout the vectorized scan path uses (see
 //! [`colbatch`] for the layout contract), error types, global [`metrics`],
-//! and the simulated-time facilities in [`sim`].
+//! the memory [`govern`]or that turns operator budgets into leases, and the
+//! simulated-time facilities in [`sim`].
 
 pub mod batch;
 pub mod colbatch;
 pub mod error;
+pub mod govern;
 pub mod metrics;
 pub mod schema;
 pub mod sim;
@@ -20,6 +22,7 @@ pub use colbatch::{
     ColBatch, ColBatchBuilder, Column, ColumnBuilder, ColumnData, NullBitmap, SelVec,
 };
 pub use error::{QError, QResult};
+pub use govern::{GovernorConfig, MemClass, MemLease, MemoryGovernor};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use value::{cmp_i64_f64, float_as_exact_i64, Value};

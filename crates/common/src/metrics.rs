@@ -35,6 +35,13 @@ struct MetricsInner {
     vec_fallbacks: AtomicU64,
     col_rowified_batches: AtomicU64,
     pruned_pages: AtomicU64,
+    admitted: AtomicU64,
+    queued: AtomicU64,
+    rejected: AtomicU64,
+    mem_granted: AtomicU64,
+    mem_waited: AtomicU64,
+    mem_peak: AtomicU64,
+    config_clamps: AtomicU64,
     queries_completed: AtomicU64,
     tuples_produced: AtomicU64,
     response_time_us_sum: AtomicU64,
@@ -75,6 +82,26 @@ pub struct MetricsSnapshot {
     /// Columnar pages materialized with column pruning (only the referenced
     /// columns decoded).
     pub pruned_pages: u64,
+    /// Queries admitted to execution by the admission controller.
+    pub admitted: u64,
+    /// Queries that had to wait in an admission queue before dispatch.
+    pub queued: u64,
+    /// Queries settled without running: refused outright (admission queue
+    /// full), timed out while queued, or cancelled by the client while
+    /// still queued.
+    pub rejected: u64,
+    /// Memory units (tuples) the governor granted to operator leases,
+    /// cumulative.
+    pub mem_granted: u64,
+    /// Grant requests the governor denied — the operator spilled, fell back,
+    /// or proceeded degraded instead.
+    pub mem_waited: u64,
+    /// High-water mark of concurrently granted memory units (gauge; its
+    /// delta is growth of the mark, not a count).
+    pub mem_peak: u64,
+    /// Misconfigured budgets/depths clamped to their minimum at validation
+    /// (warning-level: each one masks a configuration mistake).
+    pub config_clamps: u64,
     pub queries_completed: u64,
     pub tuples_produced: u64,
     pub response_time_us_sum: u64,
@@ -153,6 +180,35 @@ impl Metrics {
         self.inner.pruned_pages.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_admitted(&self) {
+        self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_queued(&self) {
+        self.inner.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_rejected(&self) {
+        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_mem_granted(&self, units: u64) {
+        self.inner.mem_granted.fetch_add(units, Ordering::Relaxed);
+    }
+
+    pub fn add_mem_waited(&self) {
+        self.inner.mem_waited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the granted-memory high-water mark to `units` if higher.
+    pub fn note_mem_peak(&self, units: u64) {
+        self.inner.mem_peak.fetch_max(units, Ordering::Relaxed);
+    }
+
+    pub fn add_config_clamp(&self) {
+        self.inner.config_clamps.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn add_tuples(&self, n: u64) {
         self.inner.tuples_produced.fetch_add(n, Ordering::Relaxed);
     }
@@ -194,6 +250,13 @@ impl Metrics {
             vec_fallbacks: i.vec_fallbacks.load(Ordering::Relaxed),
             col_rowified_batches: i.col_rowified_batches.load(Ordering::Relaxed),
             pruned_pages: i.pruned_pages.load(Ordering::Relaxed),
+            admitted: i.admitted.load(Ordering::Relaxed),
+            queued: i.queued.load(Ordering::Relaxed),
+            rejected: i.rejected.load(Ordering::Relaxed),
+            mem_granted: i.mem_granted.load(Ordering::Relaxed),
+            mem_waited: i.mem_waited.load(Ordering::Relaxed),
+            mem_peak: i.mem_peak.load(Ordering::Relaxed),
+            config_clamps: i.config_clamps.load(Ordering::Relaxed),
             queries_completed: i.queries_completed.load(Ordering::Relaxed),
             tuples_produced: i.tuples_produced.load(Ordering::Relaxed),
             response_time_us_sum: i.response_time_us_sum.load(Ordering::Relaxed),
@@ -253,6 +316,13 @@ impl MetricsSnapshot {
             vec_fallbacks: self.vec_fallbacks - earlier.vec_fallbacks,
             col_rowified_batches: self.col_rowified_batches - earlier.col_rowified_batches,
             pruned_pages: self.pruned_pages - earlier.pruned_pages,
+            admitted: self.admitted - earlier.admitted,
+            queued: self.queued - earlier.queued,
+            rejected: self.rejected - earlier.rejected,
+            mem_granted: self.mem_granted - earlier.mem_granted,
+            mem_waited: self.mem_waited - earlier.mem_waited,
+            mem_peak: self.mem_peak.saturating_sub(earlier.mem_peak),
+            config_clamps: self.config_clamps - earlier.config_clamps,
             queries_completed: self.queries_completed - earlier.queries_completed,
             tuples_produced: self.tuples_produced - earlier.tuples_produced,
             response_time_us_sum: self.response_time_us_sum - earlier.response_time_us_sum,

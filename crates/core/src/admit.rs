@@ -1,0 +1,703 @@
+//! Admission control: bounded per-µEngine concurrency for multi-query load.
+//!
+//! The engine used to dispatch every submitted plan immediately: a burst of
+//! clients claimed packets, pipes, and operator memory without bound,
+//! drowning the shared-scan benefit the paper measures. Every query now
+//! passes through the [`AdmissionController`] before dispatch:
+//!
+//! * **Bounded depth per µEngine** — at most [`AdmitConfig::queue_depth`]
+//!   queries may concurrently *use* any one µEngine. A query counts against
+//!   every µEngine its plan touches and is admitted atomically (all engines
+//!   or none), so partial admission can never deadlock two queries against
+//!   each other.
+//! * **Ticketed waiting, FIFO within class** — excess queries wait as
+//!   [`QueryTicket`]s in two queues: [`QueryClass::Interactive`] drains
+//!   ahead of [`QueryClass::Batch`], and within a class, queries contending
+//!   for the same µEngine are admitted strictly in arrival order. Queries
+//!   whose engine sets are disjoint from every earlier waiter may overtake
+//!   (no cross-engine head-of-line blocking).
+//! * **Backpressure & cancellation** — the waiting room itself is bounded
+//!   ([`AdmitConfig::max_queued`]; beyond it `submit` fails fast with
+//!   [`QError::Admission`]), queued queries are cancellable (the ticket is
+//!   withdrawn without ever dispatching a packet), and a configurable
+//!   [`AdmitConfig::queue_timeout`] rejects tickets that waited too long —
+//!   in every case the ticket's slots and the client's pipe are settled.
+//!
+//! A query's slots release when its handle is consumed or dropped
+//! (`QueryHandle` holds the ticket); the release pumps the queues, so
+//! admission needs no dedicated scheduler thread — only the small
+//! [`AdmitSweeper`] that enforces queue timeouts. Clients must drain their
+//! handles concurrently (every driver in this repo does): a handle left
+//! uncollected keeps its slots, which is admission's backpressure working
+//! as intended.
+//!
+//! The depth bound is *slot accounting*, enforced at admit/release points.
+//! Cancellation is cooperative (workers observe their tokens at batch and
+//! receive boundaries), so a cancelled or dropped query's packets may
+//! overlap briefly with a successor admitted into its freed slot; for
+//! normally completed queries the window is the moment between the root
+//! pipe's EOF and the worker thread unwinding. Tracking live worker exit
+//! per query would close the window at the cost of a join barrier on every
+//! release — out of proportion for a simulator whose workers yield at
+//! batch granularity.
+//!
+//! Lock order: the controller lock is always taken *before* any ticket's
+//! state lock, and neither is held across a dispatch, a pipe failure, or a
+//! cancel-token fire.
+
+use crate::packet::CancelToken;
+use crate::pipe::Pipe;
+use parking_lot::Mutex;
+use qpipe_common::{Metrics, QError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Admission knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmitConfig {
+    /// Queries that may concurrently use any one µEngine; excess waits.
+    pub queue_depth: usize,
+    /// Waiting-room bound across both classes; beyond it submissions are
+    /// rejected outright.
+    pub max_queued: usize,
+    /// A ticket queued longer than this is rejected (its slots were never
+    /// taken; its pipe fails with [`QError::Admission`]). `None` = wait
+    /// forever.
+    pub queue_timeout: Option<Duration>,
+    /// How often the sweeper enforces `queue_timeout`.
+    pub sweep_interval: Duration,
+}
+
+impl Default for AdmitConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            max_queued: 1024,
+            queue_timeout: None,
+            sweep_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+impl AdmitConfig {
+    /// Clamp degenerate values (a depth of 0 would admit nothing, ever);
+    /// each clamp counts against the warning-level `config_clamps` metric.
+    pub fn validated(mut self, metrics: &Metrics) -> Self {
+        if self.queue_depth == 0 {
+            self.queue_depth = 1;
+            metrics.add_config_clamp();
+        }
+        if self.max_queued == 0 {
+            self.max_queued = 1;
+            metrics.add_config_clamp();
+        }
+        if self.queue_timeout.is_some() && self.sweep_interval.is_zero() {
+            self.sweep_interval = Duration::from_millis(1);
+            metrics.add_config_clamp();
+        }
+        self
+    }
+}
+
+/// Scheduling class of a submitted query (FIFO within class; interactive
+/// drains ahead of batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryClass {
+    #[default]
+    Interactive,
+    Batch,
+}
+
+impl QueryClass {
+    fn index(self) -> usize {
+        match self {
+            QueryClass::Interactive => 0,
+            QueryClass::Batch => 1,
+        }
+    }
+}
+
+/// Runs the query's packet dispatch once admitted; returns the subtree's
+/// cancel tokens so a later [`QueryHandle::cancel`](crate::engine::QueryHandle::cancel)
+/// can terminate the running plan.
+pub type DispatchFn = Box<dyn FnOnce() -> Vec<CancelToken> + Send>;
+
+enum TicketState {
+    Queued {
+        since: Instant,
+        dispatch: DispatchFn,
+        /// Root pipe, failed on rejection/timeout so the client observes the
+        /// refusal instead of a clean-but-empty EOF.
+        pipe: Arc<Pipe>,
+    },
+    Running {
+        cancels: Vec<CancelToken>,
+    },
+    Finished,
+}
+
+/// One submitted query's admission state, shared between the controller's
+/// queues and the query handle.
+pub struct QueryTicket {
+    class: QueryClass,
+    /// Deduplicated µEngines the plan touches (its slot footprint).
+    engines: Vec<&'static str>,
+    state: Mutex<TicketState>,
+}
+
+impl QueryTicket {
+    pub fn new(
+        class: QueryClass,
+        engines: Vec<&'static str>,
+        dispatch: DispatchFn,
+        pipe: Arc<Pipe>,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            class,
+            engines,
+            state: Mutex::new(TicketState::Queued { since: Instant::now(), dispatch, pipe }),
+        })
+    }
+
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// Still waiting for admission?
+    pub fn is_queued(&self) -> bool {
+        matches!(*self.state.lock(), TicketState::Queued { .. })
+    }
+}
+
+#[derive(Default)]
+struct CtrlState {
+    /// Queries currently admitted, per µEngine.
+    in_flight: HashMap<&'static str, usize>,
+    /// High-water mark of `in_flight`, per µEngine.
+    peak: HashMap<&'static str, usize>,
+    /// Waiting rooms: `[interactive, batch]`.
+    queues: [VecDeque<Arc<QueryTicket>>; 2],
+}
+
+/// Deferred side effects collected under the locks, performed outside them.
+#[derive(Default)]
+struct Actions {
+    dispatch: Vec<(Arc<QueryTicket>, DispatchFn)>,
+    fail: Vec<(Arc<Pipe>, QError)>,
+    fire: Vec<CancelToken>,
+    /// Never-dispatched closures of withdrawn/rejected tickets. Dropping one
+    /// drops its root `PipeProducer`, which *closes* the pipe — so the drop
+    /// must happen strictly **after** `fail` poisons it, or a concurrently
+    /// blocked consumer could wake on the clean EOF and report a cancelled
+    /// query as a successful empty result.
+    discard: Vec<DispatchFn>,
+}
+
+impl Actions {
+    fn run(self) {
+        for (pipe, err) in self.fail {
+            pipe.fail(err);
+        }
+        drop(self.discard);
+        for token in self.fire {
+            token.cancel();
+        }
+        for (ticket, dispatch) in self.dispatch {
+            let cancels = dispatch();
+            let mut st = ticket.state.lock();
+            match &mut *st {
+                TicketState::Running { cancels: slot } => *slot = cancels,
+                // Cancelled while the dispatch ran: terminate the plan now.
+                TicketState::Finished => {
+                    drop(st);
+                    for t in cancels {
+                        t.cancel();
+                    }
+                }
+                TicketState::Queued { .. } => unreachable!("dispatched ticket cannot be queued"),
+            }
+        }
+    }
+}
+
+/// The admission controller. One per engine; shared with every handle.
+pub struct AdmissionController {
+    config: AdmitConfig,
+    metrics: Metrics,
+    state: Mutex<CtrlState>,
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmitConfig, metrics: Metrics) -> Arc<Self> {
+        let config = config.validated(&metrics);
+        Arc::new(Self { config, metrics, state: Mutex::new(CtrlState::default()) })
+    }
+
+    pub fn config(&self) -> AdmitConfig {
+        self.config
+    }
+
+    /// Queries currently admitted against `engine`.
+    pub fn in_flight(&self, engine: &str) -> usize {
+        self.state.lock().in_flight.get(engine).copied().unwrap_or(0)
+    }
+
+    /// High-water mark of concurrent queries against `engine` since boot.
+    pub fn peak(&self, engine: &str) -> usize {
+        self.state.lock().peak.get(engine).copied().unwrap_or(0)
+    }
+
+    /// All µEngine high-water marks observed so far.
+    pub fn peaks(&self) -> HashMap<&'static str, usize> {
+        self.state.lock().peak.clone()
+    }
+
+    /// Total admission slots currently held, summed over µEngines. A single
+    /// admitted query touching k µEngines contributes k — this is a
+    /// slot-occupancy gauge, not a query count (0 ⇔ fully idle).
+    pub fn running(&self) -> usize {
+        self.state.lock().in_flight.values().sum()
+    }
+
+    /// Tickets waiting in either class queue.
+    pub fn queue_len(&self) -> usize {
+        let st = self.state.lock();
+        st.queues[0].len() + st.queues[1].len()
+    }
+
+    /// Enqueue a ticket and pump. Fails fast when the ticket would have to
+    /// *wait* in a full waiting room — the bound is tested after the pump,
+    /// so a query whose µEngines are idle is admitted even when the room is
+    /// full (the no-cross-engine-head-of-line promise holds at the submit
+    /// boundary too).
+    pub fn submit(&self, ticket: Arc<QueryTicket>) -> Result<(), QError> {
+        let (actions, verdict) = {
+            let mut st = self.state.lock();
+            st.queues[ticket.class.index()].push_back(ticket.clone());
+            let mut actions = self.pump_locked(&mut st);
+            let waiting = st.queues[0].len() + st.queues[1].len();
+            let verdict = if waiting > self.config.max_queued && ticket.is_queued() {
+                for q in &mut st.queues {
+                    q.retain(|other| !Arc::ptr_eq(other, &ticket));
+                }
+                let mut t = ticket.state.lock();
+                if let TicketState::Queued { dispatch, .. } =
+                    std::mem::replace(&mut *t, TicketState::Finished)
+                {
+                    // Never dispatched; nobody holds the handle yet, so the
+                    // pipe just closes when the producer drops (after any
+                    // unrelated fails, per `Actions::discard`).
+                    actions.discard.push(dispatch);
+                }
+                drop(t);
+                self.metrics.add_rejected();
+                Err(QError::Admission(format!(
+                    "queue full: {} queries already waiting",
+                    waiting - 1
+                )))
+            } else {
+                Ok(())
+            };
+            (actions, verdict)
+        };
+        if verdict.is_ok() && ticket.is_queued() {
+            self.metrics.add_queued();
+        }
+        actions.run();
+        verdict
+    }
+
+    /// Settle a ticket when its handle is consumed, dropped, or cancelled.
+    /// `reason` poisons the pipe of a still-queued ticket (cancellation);
+    /// `fire` additionally terminates a running plan's packet subtree.
+    pub fn finish(&self, ticket: &Arc<QueryTicket>, reason: Option<QError>, fire: bool) {
+        let mut actions = Actions::default();
+        {
+            let mut st = self.state.lock();
+            let mut t = ticket.state.lock();
+            match std::mem::replace(&mut *t, TicketState::Finished) {
+                TicketState::Queued { pipe, dispatch, .. } => {
+                    drop(t);
+                    for q in &mut st.queues {
+                        q.retain(|other| !Arc::ptr_eq(other, ticket));
+                    }
+                    if let Some(err) = reason {
+                        self.metrics.add_rejected();
+                        actions.fail.push((pipe, err));
+                    }
+                    // Deferred: dropping the closure drops the root producer,
+                    // closing the pipe for a silently-withdrawn handle — and
+                    // only after `fail` poisoned a cancelled one (see
+                    // `Actions::discard`).
+                    actions.discard.push(dispatch);
+                }
+                TicketState::Running { cancels } => {
+                    drop(t);
+                    if fire {
+                        actions.fire.extend(cancels);
+                    }
+                    for e in &ticket.engines {
+                        if let Some(n) = st.in_flight.get_mut(e) {
+                            *n = n.saturating_sub(1);
+                        }
+                    }
+                    let mut pumped = self.pump_locked(&mut st);
+                    actions.dispatch.append(&mut pumped.dispatch);
+                }
+                TicketState::Finished => {}
+            }
+        }
+        actions.run();
+    }
+
+    /// Reject every ticket that outstayed `queue_timeout` (sweeper body).
+    pub fn sweep(&self) {
+        let Some(timeout) = self.config.queue_timeout else { return };
+        let mut actions = Actions::default();
+        {
+            let mut st = self.state.lock();
+            let now = Instant::now();
+            for q in &mut st.queues {
+                let mut keep = VecDeque::with_capacity(q.len());
+                for ticket in q.drain(..) {
+                    let mut t = ticket.state.lock();
+                    let expired = match &*t {
+                        TicketState::Queued { since, .. } => now.duration_since(*since) > timeout,
+                        _ => true, // settled elsewhere; drop from the queue
+                    };
+                    if !expired {
+                        drop(t);
+                        keep.push_back(ticket);
+                        continue;
+                    }
+                    if let TicketState::Queued { pipe, since, dispatch } =
+                        std::mem::replace(&mut *t, TicketState::Finished)
+                    {
+                        self.metrics.add_rejected();
+                        actions.fail.push((
+                            pipe,
+                            QError::Admission(format!(
+                                "queued {:?} > timeout {timeout:?}",
+                                now.duration_since(since)
+                            )),
+                        ));
+                        actions.discard.push(dispatch);
+                    }
+                }
+                *q = keep;
+            }
+        }
+        actions.run();
+    }
+
+    /// Admit every eligible waiter. Interactive scans first; within a class,
+    /// a ticket blocked on capacity shadows its engines so later same-class
+    /// (and any batch) tickets cannot overtake it on a shared µEngine.
+    fn pump_locked(&self, st: &mut CtrlState) -> Actions {
+        let mut actions = Actions::default();
+        let mut blocked: HashSet<&'static str> = HashSet::new();
+        let mut queues = std::mem::take(&mut st.queues);
+        for q in &mut queues {
+            let mut keep = VecDeque::with_capacity(q.len());
+            for ticket in q.drain(..) {
+                let mut t = ticket.state.lock();
+                let eligible = match &*t {
+                    TicketState::Queued { .. } => ticket.engines.iter().all(|e| {
+                        !blocked.contains(e)
+                            && st.in_flight.get(e).copied().unwrap_or(0) < self.config.queue_depth
+                    }),
+                    // Settled elsewhere (cancelled/timed out): drop it.
+                    _ => {
+                        continue;
+                    }
+                };
+                if !eligible {
+                    for e in &ticket.engines {
+                        blocked.insert(e);
+                    }
+                    drop(t);
+                    keep.push_back(ticket);
+                    continue;
+                }
+                let TicketState::Queued { dispatch, .. } =
+                    std::mem::replace(&mut *t, TicketState::Running { cancels: Vec::new() })
+                else {
+                    unreachable!("eligibility checked above");
+                };
+                drop(t);
+                for e in &ticket.engines {
+                    let n = st.in_flight.entry(e).or_insert(0);
+                    *n += 1;
+                    let p = st.peak.entry(e).or_insert(0);
+                    *p = (*p).max(*n);
+                }
+                self.metrics.add_admitted();
+                actions.dispatch.push((ticket, dispatch));
+            }
+            *q = keep;
+        }
+        st.queues = queues;
+        actions
+    }
+}
+
+/// Background thread enforcing [`AdmitConfig::queue_timeout`]; stops when
+/// dropped (mirrors the deadlock detector's lifecycle).
+pub struct AdmitSweeper {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdmitSweeper {
+    pub fn spawn(ctrl: Arc<AdmissionController>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        // No timeout to enforce ⇒ nothing to sweep, ever: skip the thread
+        // instead of waking it every interval to do nothing.
+        if ctrl.config.queue_timeout.is_none() {
+            return Self { stop, handle: None };
+        }
+        let stop2 = stop.clone();
+        let interval = ctrl.config.sweep_interval;
+        let handle = std::thread::Builder::new()
+            .name("qpipe-admit-sweep".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    ctrl.sweep();
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn admission sweeper");
+        Self { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for AdmitSweeper {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::{NodeId, WaitRegistry};
+    use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
+    use std::sync::atomic::AtomicUsize;
+
+    fn metrics() -> Metrics {
+        Metrics::new()
+    }
+
+    fn pipe_pair() -> (Arc<Pipe>, PipeConsumer) {
+        let reg = Arc::new(WaitRegistry::new());
+        let pipe = Pipe::new(PipeConfig { capacity: 8, backfill: 0 }, NodeId(1), reg);
+        let c = pipe.attach_consumer(NodeId(2), false);
+        (pipe, c)
+    }
+
+    /// A ticket whose "dispatch" just bumps a counter and closes the pipe.
+    fn counting_ticket(
+        class: QueryClass,
+        engines: &[&'static str],
+        dispatched: &Arc<AtomicUsize>,
+    ) -> (Arc<QueryTicket>, PipeConsumer) {
+        let (pipe, consumer) = pipe_pair();
+        let d = dispatched.clone();
+        let p = pipe.clone();
+        let dispatch: DispatchFn = Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+            p.producer().finish();
+            vec![]
+        });
+        (QueryTicket::new(class, engines.to_vec(), dispatch, pipe), consumer)
+    }
+
+    #[test]
+    fn admits_up_to_depth_then_queues_fifo() {
+        let ctrl = AdmissionController::new(
+            AdmitConfig { queue_depth: 2, ..AdmitConfig::default() },
+            metrics(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<_> = (0..5)
+            .map(|_| counting_ticket(QueryClass::Interactive, &["sort"], &dispatched))
+            .collect();
+        for (t, _) in &tickets {
+            ctrl.submit(t.clone()).unwrap();
+        }
+        assert_eq!(dispatched.load(Ordering::SeqCst), 2, "depth 2 admits exactly 2");
+        assert_eq!(ctrl.in_flight("sort"), 2);
+        assert_eq!(ctrl.queue_len(), 3);
+        // Releasing one admits exactly the FIFO head.
+        ctrl.finish(&tickets[0].0, None, false);
+        assert_eq!(dispatched.load(Ordering::SeqCst), 3);
+        assert_eq!(ctrl.peak("sort"), 2, "never more than depth concurrently");
+        for (t, _) in &tickets[1..] {
+            ctrl.finish(t, None, false);
+        }
+        assert_eq!(ctrl.in_flight("sort"), 0, "all slots returned");
+        assert_eq!(ctrl.queue_len(), 0);
+        assert_eq!(dispatched.load(Ordering::SeqCst), 5, "every query eventually ran");
+    }
+
+    #[test]
+    fn interactive_overtakes_batch_but_not_same_class() {
+        let ctrl = AdmissionController::new(
+            AdmitConfig { queue_depth: 1, ..AdmitConfig::default() },
+            metrics(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let (running, _c0) = counting_ticket(QueryClass::Batch, &["scan"], &dispatched);
+        ctrl.submit(running.clone()).unwrap();
+        let (batch, _c1) = counting_ticket(QueryClass::Batch, &["scan"], &dispatched);
+        ctrl.submit(batch.clone()).unwrap();
+        let (inter, _c2) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+        ctrl.submit(inter.clone()).unwrap();
+        assert_eq!(dispatched.load(Ordering::SeqCst), 1);
+        // Release: the interactive newcomer beats the earlier batch waiter.
+        ctrl.finish(&running, None, false);
+        assert!(!inter.is_queued(), "interactive admitted first");
+        assert!(batch.is_queued(), "batch still waiting");
+        ctrl.finish(&inter, None, false);
+        assert!(!batch.is_queued());
+        ctrl.finish(&batch, None, false);
+        assert_eq!(ctrl.in_flight("scan"), 0);
+    }
+
+    #[test]
+    fn disjoint_engines_overtake_blocked_head() {
+        let ctrl = AdmissionController::new(
+            AdmitConfig { queue_depth: 1, ..AdmitConfig::default() },
+            metrics(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let (a, _ca) = counting_ticket(QueryClass::Interactive, &["sort"], &dispatched);
+        ctrl.submit(a.clone()).unwrap();
+        let (b, _cb) = counting_ticket(QueryClass::Interactive, &["sort"], &dispatched);
+        ctrl.submit(b.clone()).unwrap();
+        // A scan-only query must not wait behind the sort-blocked head.
+        let (c, _cc) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+        ctrl.submit(c.clone()).unwrap();
+        assert!(b.is_queued(), "same-engine waiter blocked");
+        assert!(!c.is_queued(), "disjoint engine set admitted immediately");
+        ctrl.finish(&a, None, false);
+        ctrl.finish(&b, None, false);
+        ctrl.finish(&c, None, false);
+    }
+
+    #[test]
+    fn queue_bound_rejects_and_cancel_while_queued_settles() {
+        let m = metrics();
+        let ctrl = AdmissionController::new(
+            AdmitConfig { queue_depth: 1, max_queued: 1, ..AdmitConfig::default() },
+            m.clone(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let (running, _c0) = counting_ticket(QueryClass::Interactive, &["agg"], &dispatched);
+        ctrl.submit(running.clone()).unwrap();
+        let (waiting, wc) = counting_ticket(QueryClass::Interactive, &["agg"], &dispatched);
+        ctrl.submit(waiting.clone()).unwrap();
+        let (overflow, _c2) = counting_ticket(QueryClass::Interactive, &["agg"], &dispatched);
+        let err = ctrl.submit(overflow).expect_err("waiting room bound");
+        assert!(matches!(err, QError::Admission(_)));
+        // Cancel the waiter while queued: slots never taken, pipe poisoned.
+        ctrl.finish(&waiting, Some(QError::Cancelled), false);
+        assert_eq!(ctrl.queue_len(), 0);
+        assert_eq!(wc.collect_tuples().expect_err("cancelled"), QError::Cancelled);
+        ctrl.finish(&running, None, false);
+        assert_eq!(ctrl.in_flight("agg"), 0);
+        assert_eq!(dispatched.load(Ordering::SeqCst), 1, "cancelled ticket never dispatched");
+        let s = m.snapshot();
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.rejected, 2, "queue-full + cancelled-while-queued");
+    }
+
+    /// Regression: the waiting-room bound must not reintroduce cross-engine
+    /// head-of-line blocking — a query whose µEngines are idle is admitted
+    /// straight through a full waiting room (it never waits in it).
+    #[test]
+    fn full_waiting_room_still_admits_idle_engine_query() {
+        let m = metrics();
+        let ctrl = AdmissionController::new(
+            AdmitConfig { queue_depth: 1, max_queued: 1, ..AdmitConfig::default() },
+            m.clone(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let (running, _c0) = counting_ticket(QueryClass::Interactive, &["sort"], &dispatched);
+        ctrl.submit(running.clone()).unwrap();
+        let (waiting, _c1) = counting_ticket(QueryClass::Interactive, &["sort"], &dispatched);
+        ctrl.submit(waiting.clone()).unwrap();
+        assert!(waiting.is_queued(), "waiting room is now full");
+        // Idle engine set ⇒ admitted despite the full room.
+        let (scan, _c2) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+        ctrl.submit(scan.clone()).expect("idle-engine query must not be bounced");
+        assert!(!scan.is_queued());
+        // A query that would actually wait is still bounced.
+        let (bounced, _c3) = counting_ticket(QueryClass::Interactive, &["sort"], &dispatched);
+        let err = ctrl.submit(bounced).expect_err("sort waiter exceeds the room");
+        assert!(matches!(err, QError::Admission(_)));
+        for t in [&running, &waiting, &scan] {
+            ctrl.finish(t, None, false);
+        }
+        assert_eq!(ctrl.queue_len(), 0);
+        assert_eq!(m.snapshot().rejected, 1);
+    }
+
+    /// Regression: cancelling a queued ticket while its consumer is already
+    /// blocked in `recv` must surface the error, never a clean EOF — the
+    /// ticket's producer closes the pipe when the dispatch closure drops, so
+    /// the poison has to land first (see `Actions::discard`).
+    #[test]
+    fn cancel_while_consumer_blocked_surfaces_error_not_eof() {
+        for _ in 0..50 {
+            let ctrl = AdmissionController::new(
+                AdmitConfig { queue_depth: 1, ..AdmitConfig::default() },
+                metrics(),
+            );
+            let dispatched = Arc::new(AtomicUsize::new(0));
+            let (running, _c0) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+            ctrl.submit(running.clone()).unwrap();
+            let (waiting, wc) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+            ctrl.submit(waiting.clone()).unwrap();
+            let collector = std::thread::spawn(move || wc.collect_tuples());
+            // Let the collector reach the blocking recv, then cancel.
+            std::thread::sleep(Duration::from_micros(200));
+            ctrl.finish(&waiting, Some(QError::Cancelled), false);
+            assert_eq!(
+                collector.join().unwrap().expect_err("cancellation must not look like EOF"),
+                QError::Cancelled
+            );
+            ctrl.finish(&running, None, false);
+        }
+    }
+
+    #[test]
+    fn queue_timeout_rejects_with_admission_error() {
+        let m = metrics();
+        let ctrl = AdmissionController::new(
+            AdmitConfig {
+                queue_depth: 1,
+                queue_timeout: Some(Duration::from_millis(5)),
+                ..AdmitConfig::default()
+            },
+            m.clone(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let (running, _c0) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+        ctrl.submit(running.clone()).unwrap();
+        let (waiting, wc) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+        ctrl.submit(waiting.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        ctrl.sweep();
+        let err = wc.collect_tuples().expect_err("timed out while queued");
+        assert!(matches!(err, QError::Admission(_)), "got {err:?}");
+        assert_eq!(ctrl.queue_len(), 0);
+        ctrl.finish(&running, None, false);
+        assert_eq!(m.snapshot().rejected, 1);
+    }
+}

@@ -8,6 +8,9 @@
 //! the existing packets to check for overlapping work" (§4.3) — attaching
 //! satellites or spawning a worker for new hosts.
 
+use crate::admit::{
+    AdmissionController, AdmitConfig, AdmitSweeper, DispatchFn, QueryClass, QueryTicket,
+};
 use crate::cache::{CacheConfig, QueryCache};
 use crate::deadlock::{DeadlockDetector, WaitRegistry};
 use crate::host::ShareRegistry;
@@ -21,7 +24,7 @@ use qpipe_exec::iter::{ExecConfig, ExecContext};
 use qpipe_exec::plan::PlanNode;
 use qpipe_storage::Catalog;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Engine-wide configuration.
@@ -40,6 +43,9 @@ pub struct QPipeConfig {
     /// Optional query-result cache (§2.3): `Some` caches completed results
     /// keyed by plan signature and serves exact repeats without execution.
     pub result_cache: Option<CacheConfig>,
+    /// Admission control: per-µEngine concurrency bound, waiting-room size,
+    /// and queue timeout. Every submitted query passes through it.
+    pub admit: AdmitConfig,
 }
 
 impl Default for QPipeConfig {
@@ -51,6 +57,7 @@ impl Default for QPipeConfig {
             host_backfill: 8,
             deadlock_interval: Duration::from_millis(20),
             result_cache: None,
+            admit: AdmitConfig::default(),
         }
     }
 }
@@ -90,6 +97,10 @@ pub struct QPipe {
     engines: HashMap<&'static str, MicroEngine>,
     metrics: Metrics,
     cache: Option<Arc<QueryCache>>,
+    admit: Arc<AdmissionController>,
+    _sweeper: AdmitSweeper,
+    /// Self-reference for deferred dispatch closures (admission tickets).
+    self_weak: Weak<QPipe>,
     /// Debug map: waits-for node → "query/op" label.
     node_labels: parking_lot::Mutex<HashMap<u64, String>>,
 }
@@ -98,6 +109,14 @@ impl QPipe {
     /// Boot the engine over a catalog.
     pub fn new(catalog: Arc<Catalog>, config: QPipeConfig) -> Arc<Self> {
         let metrics = catalog.disk().metrics().clone();
+        // Validate once up front so the stored config reports the *effective*
+        // limits (the nested constructors re-validate idempotently: already
+        // clamped values clamp — and count — no further).
+        let config = QPipeConfig {
+            exec: config.exec.validated(&metrics),
+            admit: config.admit.validated(&metrics),
+            ..config
+        };
         let ctx = ExecContext::with_config(catalog, config.exec);
         let registry = Arc::new(WaitRegistry::new());
         let detector =
@@ -128,7 +147,9 @@ impl QPipe {
                 .expect("spawn µEngine");
             engines.insert(name, MicroEngine { queue: tx });
         }
-        Arc::new(Self {
+        let admit = AdmissionController::new(config.admit, metrics.clone());
+        let sweeper = AdmitSweeper::spawn(admit.clone());
+        Arc::new_cyclic(|self_weak| Self {
             ctx,
             config,
             registry,
@@ -137,6 +158,9 @@ impl QPipe {
             engines,
             metrics,
             cache: config.result_cache.map(QueryCache::new),
+            admit,
+            _sweeper: sweeper,
+            self_weak: self_weak.clone(),
             node_labels: parking_lot::Mutex::new(HashMap::new()),
         })
     }
@@ -172,12 +196,36 @@ impl QPipe {
         self.cache.as_ref()
     }
 
-    /// Submit a query plan; returns a handle streaming the root's output.
+    /// The admission controller (observability / tests).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admit
+    }
+
+    /// The memory governor every operator of this engine leases from.
+    pub fn governor(&self) -> &qpipe_common::MemoryGovernor {
+        &self.ctx.governor
+    }
+
+    /// Submit an interactive query plan; returns a handle streaming the
+    /// root's output. Equivalent to [`submit_with`](Self::submit_with) with
+    /// [`QueryClass::Interactive`].
     pub fn submit(&self, plan: PlanNode) -> QResult<QueryHandle> {
+        self.submit_with(plan, QueryClass::Interactive)
+    }
+
+    /// Submit a query plan in a scheduling class. The query passes through
+    /// the admission controller: it dispatches immediately when every
+    /// µEngine it touches has headroom, otherwise it waits in the ticketed
+    /// queue (the returned handle blocks transparently). `Err(Admission)`
+    /// when the waiting room is full. Dropping the handle withdraws a
+    /// queued query; [`QueryHandle::cancel`] does so explicitly and also
+    /// terminates an already-running plan.
+    pub fn submit_with(&self, plan: PlanNode, class: QueryClass) -> QResult<QueryHandle> {
         self.validate(&plan)?;
         let query = QueryId::fresh();
         // Result-cache fast path (§2.3): an exact repeat of a completed
-        // query is served from the cache without touching the engine.
+        // query is served from the cache without touching the engine (or
+        // occupying admission slots).
         let signature = plan.signature();
         if let Some(cache) = &self.cache {
             if let Some(rows) = cache.lookup(signature) {
@@ -196,12 +244,33 @@ impl QPipe {
         let consumer = root_pipe.attach_consumer(client_node, false);
         let producer = root_pipe.producer();
         let tables = plan.tables();
-        self.dispatch(Arc::new(plan), query, producer, None, root_node)?;
+        let plan = Arc::new(plan);
+        let engines = plan_engines(&plan);
+        // Deferred dispatch: runs on whichever thread frees the admitting
+        // slot (or inline below when capacity is available right now).
+        let weak = self.self_weak.clone();
+        let fail_pipe = root_pipe.clone();
+        let dispatch: DispatchFn = Box::new(move || {
+            let Some(engine) = weak.upgrade() else {
+                fail_pipe.fail(QError::Exec("engine shut down".into()));
+                return Vec::new();
+            };
+            match engine.dispatch(plan, query, producer, None, root_node) {
+                Ok(tokens) => tokens,
+                Err(e) => {
+                    fail_pipe.fail(e);
+                    Vec::new()
+                }
+            }
+        });
+        let ticket = QueryTicket::new(class, engines, dispatch, root_pipe);
+        self.admit.submit(ticket.clone())?;
         Ok(QueryHandle {
             query,
             inner: HandleInner::Live {
                 consumer,
                 fill: self.cache.as_ref().map(|c| (c.clone(), signature, tables)),
+                ticket: Some(TicketGuard { ctrl: self.admit.clone(), ticket }),
             },
             submitted: Instant::now(),
             metrics: self.metrics.clone(),
@@ -387,6 +456,23 @@ impl QPipe {
     }
 }
 
+/// The deduplicated set of µEngines `plan` touches — the query's admission
+/// footprint (a query counts once per engine, however many packets it has
+/// there).
+fn plan_engines(plan: &PlanNode) -> Vec<&'static str> {
+    fn walk(p: &PlanNode, out: &mut Vec<&'static str>) {
+        out.push(p.op_name());
+        for c in p.children() {
+            walk(c, out);
+        }
+    }
+    let mut v = Vec::new();
+    walk(plan, &mut v);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
 /// Is `parent_op` indifferent to its input order?
 fn parent_order_insensitive(parent_op: Option<&'static str>) -> bool {
     matches!(
@@ -481,9 +567,26 @@ pub struct QueryHandle {
     metrics: Metrics,
 }
 
+/// Releases the query's admission slots when the handle settles (consumed,
+/// dropped, or cancelled) — the release pumps the waiting queues.
+struct TicketGuard {
+    ctrl: Arc<AdmissionController>,
+    ticket: Arc<QueryTicket>,
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        self.ctrl.finish(&self.ticket, None, false);
+    }
+}
+
 enum HandleInner {
     /// Streaming from the engine; optionally feeds the result cache.
-    Live { consumer: PipeConsumer, fill: Option<(Arc<QueryCache>, u64, Vec<String>)> },
+    Live {
+        consumer: PipeConsumer,
+        fill: Option<(Arc<QueryCache>, u64, Vec<String>)>,
+        ticket: Option<TicketGuard>,
+    },
     /// Served from the result cache.
     Cached(Arc<Vec<Tuple>>),
 }
@@ -496,6 +599,27 @@ impl QueryHandle {
     /// True if this handle is served from the result cache.
     pub fn is_cached(&self) -> bool {
         matches!(self.inner, HandleInner::Cached(_))
+    }
+
+    /// True while the query is still waiting for admission.
+    pub fn is_queued(&self) -> bool {
+        match &self.inner {
+            HandleInner::Live { ticket: Some(g), .. } => g.ticket.is_queued(),
+            _ => false,
+        }
+    }
+
+    /// Cancel the query. A still-queued query is withdrawn without ever
+    /// dispatching a packet (its ticket settles and its slots were never
+    /// taken); a running query's packet subtree is terminated via its cancel
+    /// tokens and winds down as soon as no shared host still wants its
+    /// output. Either way the admission slots and the root pipe are settled.
+    pub fn cancel(self) {
+        if let HandleInner::Live { ticket: Some(g), .. } = &self.inner {
+            g.ctrl.finish(&g.ticket, Some(QError::Cancelled), true);
+        }
+        // Dropping `self` detaches the consumer (a running plan stops once
+        // no one wants its output) and settles the ticket guard (no-op).
     }
 
     /// Block until the query finishes; returns all result tuples and records
@@ -512,8 +636,12 @@ impl QueryHandle {
     pub fn try_collect(self) -> QResult<Vec<Tuple>> {
         let rows = match self.inner {
             HandleInner::Cached(rows) => rows.as_ref().clone(),
-            HandleInner::Live { consumer, fill } => {
-                let rows = consumer.collect_tuples()?;
+            HandleInner::Live { consumer, fill, ticket } => {
+                // Hold the admission slots until the stream is drained, then
+                // release them (pumping waiters) before the cache admit.
+                let rows = consumer.collect_tuples();
+                drop(ticket);
+                let rows = rows?;
                 if let Some((cache, signature, tables)) = fill {
                     cache.admit(
                         signature,

@@ -26,6 +26,11 @@
 //! Module map (paper section in parentheses):
 //! * [`pipe`] — bounded 1-producer-N-consumer tuple buffers (§4.2).
 //! * [`packet`] — query packets and cancellation (§4.2).
+//! * [`admit`] — admission control: bounded per-µEngine concurrency,
+//!   interactive/batch classes, ticketed queueing with cancellation and
+//!   timeouts. Every query passes through it before dispatch; together with
+//!   the memory governor (`qpipe_common::govern`, leased through
+//!   `ExecContext`) it bounds what a multi-query burst can claim.
 //! * [`engine`] — µEngines, packet dispatcher, query handles (§4.2–4.3).
 //! * [`host`] — OSP host/satellite attach machinery (§4.3, Figure 6b).
 //! * [`scan`] — circular scans with dynamic termination points (§4.3.1).
@@ -34,6 +39,7 @@
 //! * [`cache`] — query result cache for exact sequential repeats (§2.3).
 //! * [`wop`] — Window-of-Opportunity taxonomy and savings model (§3.2).
 
+pub mod admit;
 pub mod cache;
 pub mod deadlock;
 pub mod engine;
@@ -44,5 +50,6 @@ pub mod pipe;
 pub mod scan;
 pub mod wop;
 
+pub use admit::{AdmissionController, AdmitConfig, QueryClass};
 pub use engine::{QPipe, QPipeConfig, QueryHandle};
 pub use packet::{CancelToken, Packet, QueryId};

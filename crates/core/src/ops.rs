@@ -10,7 +10,7 @@ use crate::host::{AttachWindow, ShareRegistry, SharedHost};
 use crate::packet::Packet;
 use crate::pipe::{PipeConsumer, PipeIter};
 use qpipe_common::colbatch::SelVec;
-use qpipe_common::{AnyBatch, Batch, ColBatch, Metrics, QResult, Tuple, Value};
+use qpipe_common::{AnyBatch, Batch, ColBatch, MemClass, Metrics, QResult, Tuple, Value};
 use qpipe_exec::expr::Expr;
 use qpipe_exec::iter::{
     build, HashJoinIter, MergeJoinIter, NestedLoopJoinIter, SortIter, TupleIter, VecIter,
@@ -236,9 +236,10 @@ fn flush_rows(host: &SharedHost, rows_out: &mut Batch) {
 /// Hash join over `Arc<AnyBatch>` streams: build accumulates columnar
 /// batches without materializing a single `Tuple`, probe matches whole
 /// batches through the `viter` kernels. Row batches interleaved in either
-/// stream are handled in place; a build side that exceeds the hash budget
-/// (or arrives ragged) falls back to the row-path [`HashJoinIter`], whose
-/// grace partitioning is unchanged.
+/// stream are handled in place; a build side the governor refuses to cover
+/// (hash budget reached, or the global budget exhausted by concurrent
+/// queries — or ragged input widths) falls back to the row-path
+/// [`HashJoinIter`], whose grace partitioning is unchanged.
 fn run_hash_join(
     mut children: Vec<PipeConsumer>,
     left_key: usize,
@@ -249,7 +250,7 @@ fn run_hash_join(
 ) -> QResult<()> {
     let left = children.remove(0);
     let right = children.remove(0);
-    let budget = env.ctx.config.hash_budget.max(2);
+    let mut lease = env.ctx.governor.lease(MemClass::Hash);
     let mut build = HashJoinBuild::new(left_key);
     loop {
         if cancel.is_cancelled() && !host.wanted() {
@@ -260,8 +261,11 @@ fn run_hash_join(
             AnyBatch::Cols(c) => build.add(c),
             AnyBatch::Rows(b) => build.add(&ColBatch::from_rows(b.rows())),
         };
-        if !accepted || build.rows() > budget {
+        if !accepted || !lease.covers(build.rows()) {
             env.metrics.add_vec_fallback();
+            // The grace fallback acquires its own lease; hand ours back
+            // first so the partition loads see the released headroom.
+            drop(lease);
             let mut prefix = build.into_rows();
             if !accepted {
                 prefix.extend(batch.to_rows());
@@ -307,7 +311,11 @@ fn run_hash_join(
 
 /// Hash aggregation over `Arc<AnyBatch>` streams: columnar batches fold
 /// through [`HashAgg`]'s column-run update, row batches update the same
-/// group states in place — one operator, no fallback seam.
+/// group states in place — one operator, no fallback seam. The group table
+/// grows under a governor lease (aggregation has no spill path, so a denied
+/// grant is counted as `mem_waited` and the update proceeds — overshoot is
+/// visible rather than silent). Output is built as a `ColBatch` and emitted
+/// in pipe-granularity slices, so agg → sort plans stay columnar.
 fn run_aggregate(
     input: PipeConsumer,
     group_by: &[usize],
@@ -316,6 +324,7 @@ fn run_aggregate(
     cancel: &crate::packet::CancelToken,
     env: &OpEnv,
 ) -> QResult<()> {
+    let mut lease = env.ctx.governor.lease(MemClass::Agg);
     let mut agg = HashAgg::new(group_by.to_vec(), aggs.to_vec());
     while let Some(batch) = input.recv()? {
         if cancel.is_cancelled() && !host.wanted() {
@@ -332,16 +341,14 @@ fn run_aggregate(
                 }
             }
         }
+        let _ = lease.covers(agg.num_groups());
     }
-    let mut out = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
-    for row in agg.finish() {
-        out.push(row);
-        if out.is_full() {
-            host.push(std::mem::replace(&mut out, Batch::with_capacity(Batch::DEFAULT_CAPACITY)));
-        }
-    }
-    if !out.is_empty() {
-        host.push(out);
+    let out = agg.finish_cols();
+    let mut at = 0;
+    while at < out.len() {
+        let n = (out.len() - at).min(Batch::DEFAULT_CAPACITY);
+        host.push_cols(out.slice(at, n));
+        at += n;
     }
     Ok(())
 }

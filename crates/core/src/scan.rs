@@ -75,6 +75,14 @@ struct PrunedScan {
 struct ScanConsumer {
     predicate: Option<Expr>,
     projection: Option<Vec<usize>>,
+    /// Referenced-column set (predicate ∪ projection) when this consumer is
+    /// prunable: it has a projection (otherwise all columns escape) and its
+    /// request's column set covers every expression column. `None` keeps the
+    /// full-width path for the whole group.
+    refs: Option<Vec<usize>>,
+    /// `predicate`/`projection` re-indexed onto the column set last
+    /// delivered pruned (the *union* across consumers, recomputed lazily
+    /// whenever the group's membership changes it).
     pruned: Option<PrunedScan>,
     output: PipeProducer,
     pages_seen: u64,
@@ -82,31 +90,53 @@ struct ScanConsumer {
 
 impl ScanConsumer {
     fn new(req: ScanRequest) -> Self {
-        let pruned = req.columns.as_ref().and_then(|cols| {
-            // Pruning needs a projection (otherwise all columns escape) and
-            // a referenced set that covers every expression column; anything
-            // else quietly keeps the full-width path.
-            let proj = req.projection.as_ref()?;
+        let refs = req.columns.as_ref().and_then(|cols| {
+            req.projection.as_ref()?;
             let refs =
                 ScanRequest::referenced_columns(req.predicate.as_ref(), req.projection.as_ref())?;
-            let pos = |c: usize| cols.binary_search(&c);
-            if refs.iter().any(|&c| pos(c).is_err()) {
+            if refs.iter().any(|c| cols.binary_search(c).is_err()) {
                 return None;
             }
-            Some(PrunedScan {
-                cols: cols.clone(),
-                predicate: req.predicate.as_ref().map(|p| p.map_cols(&|c| pos(c).unwrap())),
-                projection: proj.iter().map(|&c| pos(c).unwrap()).collect(),
-            })
+            Some(refs)
         });
         Self {
             predicate: req.predicate,
             projection: req.projection,
-            pruned,
+            refs,
+            pruned: None,
             output: req.output,
             pages_seen: 0,
         }
     }
+
+    /// Re-index the consumer's expressions onto `union` (a superset of its
+    /// own `refs` by construction) into `self.pruned`, memoized until the
+    /// union changes.
+    fn refresh_pruned(&mut self, union: &[usize]) {
+        if self.pruned.as_ref().is_some_and(|p| p.cols == union) {
+            return;
+        }
+        let pos = |c: usize| union.binary_search(&c).expect("union covers refs");
+        let proj = self.projection.as_ref().expect("prunable consumers project");
+        self.pruned = Some(PrunedScan {
+            cols: union.to_vec(),
+            predicate: self.predicate.as_ref().map(|p| p.map_cols(&pos)),
+            projection: proj.iter().map(|&c| pos(c)).collect(),
+        });
+    }
+}
+
+/// The union of every consumer's referenced columns — the set a *shared*
+/// columnar scan decodes per page. `None` (full width) as soon as any
+/// consumer is unprunable.
+fn union_refs(consumers: &[ScanConsumer]) -> Option<Vec<usize>> {
+    let mut union: Vec<usize> = Vec::new();
+    for c in consumers {
+        union.extend(c.refs.as_ref()?);
+    }
+    union.sort_unstable();
+    union.dedup();
+    Some(union)
 }
 
 struct GroupInner {
@@ -118,6 +148,12 @@ struct GroupInner {
     inbox: Vec<ScanConsumer>,
     /// Set when the scanner thread has exited; no further attaches.
     finished: bool,
+    /// A consumer attached after the scan started (`pages_read > 0`): the
+    /// scan will wrap and re-visit pages. Disables union pruning — a pruned
+    /// decode is not cached on the page handle, so re-visited pages would
+    /// re-decode per visit, while the full materialization is decoded once
+    /// and shared by every later visit.
+    staggered: bool,
     /// Live consumers (scanner-owned count, for visibility).
     active: usize,
 }
@@ -141,6 +177,7 @@ impl ScanGroup {
             // out of order for this newcomer.
             return Err(req);
         }
+        g.staggered |= g.pages_read > 0;
         g.inbox.push(ScanConsumer::new(req));
         g.active += 1;
         Ok(())
@@ -213,6 +250,7 @@ impl ScanManager {
                 pages_read: 0,
                 inbox: vec![ScanConsumer::new(req)],
                 finished: false,
+                staggered: false,
                 active: 1,
             }),
         });
@@ -267,6 +305,13 @@ impl ScanManager {
         let file = info.file_id();
         let scanner_node = crate::packet::fresh_node();
         let mut consumers: Vec<ScanConsumer> = Vec::new();
+        // The union of all consumers' referenced columns, recomputed only
+        // when group membership changes (attach/finish) — not per page. A
+        // staggered group (late attacher ⇒ wrap ⇒ pages visited more than
+        // once) stops pruning: see `GroupInner::staggered`.
+        let mut union: Option<Vec<usize>> = None;
+        let mut union_stale = true;
+        let mut staggered = false;
         loop {
             // Adopt newcomers and decide termination under the lock.
             {
@@ -275,6 +320,8 @@ impl ScanManager {
                     // One graph identity per scanner thread (§4.3.3 model).
                     c.output.pipe().set_producer_node(scanner_node);
                 }
+                union_stale |= !g.inbox.is_empty() || staggered != g.staggered;
+                staggered = g.staggered;
                 consumers.append(&mut g.inbox);
                 if consumers.is_empty() || num_pages == 0 {
                     g.finished = true;
@@ -296,27 +343,36 @@ impl ScanManager {
             // * Columnar tables materialize the page's shared batch straight
             //   from the PAX byte regions (zero row decode, and cached in the
             //   pool-resident page handle — later visits are refcount bumps).
-            //   While the scan has a **single** consumer with a known
-            //   referenced-column set, only those columns are decoded
-            //   (page-level column pruning); the consumer's expressions are
-            //   re-indexed onto the pruned batch, so output is identical.
+            //   While **every** attached consumer has a known
+            //   referenced-column set, only the *union* of those sets is
+            //   decoded (page-level column pruning — shared scans included);
+            //   each consumer's expressions are re-indexed onto the pruned
+            //   batch, so output is identical.
             // * Row tables still pay the slotted codec: decode to tuples,
             //   then column-ify.
             //
             // Either fetch or decode failing fails every attached packet —
             // consumers observe the error, never a silently-empty page.
-            let prune = if consumers.len() == 1 { consumers[0].pruned.as_ref() } else { None };
+            if union_stale {
+                union = if staggered { None } else { union_refs(&consumers) };
+                union_stale = false;
+            }
             let decoded: QResult<(Arc<AnyBatch>, bool)> =
                 pool.get(file, position).and_then(|block| match block {
                     // A referenced set pointing past the page width (plan
                     // names a column the table lacks) keeps the full-width
                     // path, so such plans behave exactly as unpruned ones
                     // (predicate eval errors filter the page out) instead of
-                    // failing the scan.
+                    // failing the scan. A union covering the whole page also
+                    // keeps it: full materialization is cached on the page
+                    // handle, so decoding "all columns, uncached" would cost
+                    // more than it saves.
                     Block::Columnar(cp) => {
-                        match prune.filter(|p| p.cols.last().is_none_or(|&c| c < cp.num_cols())) {
-                            Some(p) => {
-                                let batch = cp.decode_cols(&p.cols)?;
+                        match union.as_ref().filter(|u| {
+                            u.len() < cp.num_cols() && u.last().is_none_or(|&c| c < cp.num_cols())
+                        }) {
+                            Some(u) => {
+                                let batch = cp.decode_cols(u)?;
                                 self.metrics.add_pruned_page();
                                 Ok((Arc::new(AnyBatch::Cols(batch)), true))
                             }
@@ -361,10 +417,12 @@ impl ScanManager {
                     done_indices.push(i);
                     continue;
                 }
-                // Pruned pages carry re-indexed columns; use the consumer's
+                // Pruned pages carry the union's columns; use the consumer's
                 // re-indexed expressions (same output, smaller decode).
                 let (predicate, projection) = if pruned_delivery {
-                    let p = c.pruned.as_ref().expect("pruned delivery implies pruned consumer");
+                    let u = union.as_ref().expect("pruned delivery implies a union");
+                    c.refresh_pruned(u);
+                    let p = c.pruned.as_ref().expect("refreshed above");
                     (&p.predicate, Some(&p.projection))
                 } else {
                     (&c.predicate, c.projection.as_ref())
@@ -397,6 +455,7 @@ impl ScanManager {
                 let c = consumers.remove(i);
                 c.output.finish();
             }
+            union_stale |= !done_indices.is_empty();
             // Advance (circularly) and track wraps.
             {
                 let mut g = group.inner.lock();
@@ -714,10 +773,13 @@ mod tests {
     }
 
     #[test]
-    fn shared_scan_with_two_consumers_does_not_prune() {
+    fn shared_scan_with_full_width_union_does_not_prune() {
         let (ctx, m) = ctx_with_wide_table(3000, qpipe_storage::StorageLayout::Columnar);
         let mgr = manager(&ctx, &m, true);
         let reg = Arc::new(WaitRegistry::new());
+        // Referenced sets {0,2} ∪ {0,1} = {0,1,2} = every column: the shared
+        // scan must take the cached full materialization, not an uncached
+        // "pruned" decode of the whole page.
         let (r1, c1) = pruned_request(&reg, 0, vec![2]);
         let (r2, c2) = pruned_request(&reg, 1500, vec![1]);
         mgr.submit(r1).unwrap();
@@ -727,7 +789,55 @@ mod tests {
         assert_eq!(h1.join().unwrap(), 3000);
         assert_eq!(h2.join().unwrap(), 1500);
         assert_eq!(m.snapshot().osp_attaches, 1, "second request must share the scan");
-        assert_eq!(m.snapshot().pruned_pages, 0, "sharing wins over pruning");
+        assert_eq!(m.snapshot().pruned_pages, 0, "full-width union keeps the cached path");
+    }
+
+    /// Satellite acceptance: a *shared* columnar scan decodes the union of
+    /// all attached consumers' referenced columns — each consumer still gets
+    /// exactly its own predicate/projection output.
+    #[test]
+    fn shared_scan_decodes_union_of_referenced_columns() {
+        let (ctx, m) = ctx_with_wide_table(3000, qpipe_storage::StorageLayout::Columnar);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        // Consumer 1 references {0}; consumer 2 references {0, 1}; the union
+        // {0, 1} is a strict subset of the 3-column page.
+        let (r1, c1) = pruned_request(&reg, 2900, vec![0]);
+        let (r2, c2) = pruned_request(&reg, 1500, vec![1]);
+        mgr.submit(r1).unwrap();
+        mgr.submit(r2).unwrap();
+        let h1 = std::thread::spawn(move || c1.collect_tuples().unwrap());
+        let h2 = std::thread::spawn(move || c2.collect_tuples().unwrap());
+        let rows1 = h1.join().unwrap();
+        let rows2 = h2.join().unwrap();
+        assert_eq!(rows1.len(), 100);
+        assert!(rows1.iter().all(|r| r.len() == 1 && r[0].as_int().unwrap() >= 2900));
+        assert_eq!(rows2.len(), 1500);
+        assert!(rows2.iter().all(|r| r.len() == 1 && r[0].as_int().unwrap() >= 3000), "v = 2k");
+        let snap = m.snapshot();
+        assert_eq!(snap.osp_attaches, 1, "second request must share the scan");
+        assert!(snap.pruned_pages > 0, "shared scan must decode the union, pruned");
+        assert_eq!(snap.disk_blocks_read, snap.pruned_pages, "every page pruned, read once");
+    }
+
+    /// One unprunable consumer (no projection) keeps the whole shared scan
+    /// full-width — correctness over savings.
+    #[test]
+    fn unprunable_consumer_disables_union_pruning() {
+        let (ctx, m) = ctx_with_wide_table(2000, qpipe_storage::StorageLayout::Columnar);
+        let mgr = manager(&ctx, &m, true);
+        let reg = Arc::new(WaitRegistry::new());
+        let (r1, c1) = pruned_request(&reg, 1000, vec![0]);
+        let (r2, c2) = request(&reg, false, false); // full-width consumer
+        let mut r2 = r2;
+        r2.table = "w".into();
+        mgr.submit(r1).unwrap();
+        mgr.submit(r2).unwrap();
+        let h1 = std::thread::spawn(move || c1.collect_tuples().unwrap().len());
+        let h2 = std::thread::spawn(move || c2.collect_tuples().unwrap().len());
+        assert_eq!(h1.join().unwrap(), 1000);
+        assert_eq!(h2.join().unwrap(), 2000);
+        assert_eq!(m.snapshot().pruned_pages, 0, "an unprunable consumer disables pruning");
     }
 
     #[test]

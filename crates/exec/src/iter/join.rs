@@ -4,7 +4,7 @@
 use super::spill::{RunHandle, RunWriter};
 use super::{ExecContext, TupleIter};
 use crate::expr::Expr;
-use qpipe_common::{QResult, Tuple, Value};
+use qpipe_common::{MemClass, MemLease, QResult, Tuple, Value};
 use std::collections::HashMap;
 
 fn concat(left: &Tuple, right: &Tuple) -> Tuple {
@@ -42,6 +42,8 @@ enum HjState {
         right: Box<dyn TupleIter>,
         /// Matches pending for the current right tuple.
         pending: Vec<Tuple>,
+        /// Lease covering the build table for the probe's duration.
+        _lease: MemLease,
     },
     /// Grace: per-partition joining.
     Grace {
@@ -50,6 +52,11 @@ enum HjState {
         table: HashMap<u64, Vec<Tuple>>,
         right_rows: std::vec::IntoIter<Tuple>,
         pending: Vec<Tuple>,
+        /// Lease re-acquired per partition pair as it loads. A denial here
+        /// has no further fallback (partitions are already the fallback) —
+        /// it is counted as `mem_waited` and the load proceeds, making
+        /// partition-sized overshoot visible instead of silent.
+        lease: MemLease,
     },
     Done,
 }
@@ -80,14 +87,20 @@ impl HashJoinIter {
     fn build(&mut self) -> QResult<HjState> {
         let mut left = self.left.take().expect("left input");
         let right = self.right.take().expect("right input");
-        let budget = self.ctx.config.hash_budget.max(2);
+        // `ExecConfig::validated` guarantees ≥ 2 on every construction path;
+        // the floor here only defends a hand-built `ExecContext` literal
+        // against `key_hash % 0`.
         let nparts = self.ctx.config.partitions.max(2);
 
+        // The build side grows under a governor lease: a denied grant (hash
+        // budget reached, or the global budget exhausted by concurrent
+        // queries) is the overflow-to-grace decision.
+        let mut lease = self.ctx.governor.lease(MemClass::Hash);
         let mut buffered: Vec<Tuple> = Vec::new();
         let mut overflow = false;
         while let Some(t) = left.next()? {
             buffered.push(t);
-            if buffered.len() > budget {
+            if !lease.covers(buffered.len()) {
                 overflow = true;
                 break;
             }
@@ -101,7 +114,7 @@ impl HashJoinIter {
                 }
                 table.entry(Self::key_hash(&t[self.left_key])).or_default().push(t);
             }
-            return Ok(HjState::Probing { table, right, pending: Vec::new() });
+            return Ok(HjState::Probing { table, right, pending: Vec::new(), _lease: lease });
         }
 
         // Grace: partition build side (buffered prefix + remainder)...
@@ -138,12 +151,14 @@ impl HashJoinIter {
         for (l, r) in lw.into_iter().zip(rw) {
             parts.push((l.finish()?, r.finish()?));
         }
+        lease.shrink_to(0);
         Ok(HjState::Grace {
             parts,
             current: 0,
             table: HashMap::new(),
             right_rows: Vec::new().into_iter(),
             pending: Vec::new(),
+            lease,
         })
     }
 }
@@ -155,7 +170,7 @@ impl TupleIter for HashJoinIter {
                 HjState::Pending => {
                     self.state = self.build()?;
                 }
-                HjState::Probing { table, right, pending } => {
+                HjState::Probing { table, right, pending, _lease } => {
                     if let Some(out) = pending.pop() {
                         return Ok(Some(out));
                     }
@@ -176,7 +191,7 @@ impl TupleIter for HashJoinIter {
                         }
                     }
                 }
-                HjState::Grace { parts, current, table, right_rows, pending } => {
+                HjState::Grace { parts, current, table, right_rows, pending, lease } => {
                     if let Some(out) = pending.pop() {
                         return Ok(Some(out));
                     }
@@ -200,16 +215,23 @@ impl TupleIter for HashJoinIter {
                     let (lrun, rrun) = &parts[*current];
                     *current += 1;
                     table.clear();
+                    lease.shrink_to(0);
+                    let mut loaded = 0usize;
                     let mut lr = lrun.reader();
                     let lk = self.left_key;
                     while let Some(t) = lr.next()? {
                         table.entry(Self::key_hash(&t[lk])).or_default().push(t);
+                        loaded += 1;
                     }
                     let mut rows = Vec::new();
                     let mut rr = rrun.reader();
                     while let Some(t) = rr.next()? {
                         rows.push(t);
+                        loaded += 1;
                     }
+                    // Account the partition pair against the governor; see
+                    // the `lease` field docs for the denial semantics.
+                    let _ = lease.covers(loaded);
                     *right_rows = rows.into_iter();
                 }
                 HjState::Done => return Ok(None),

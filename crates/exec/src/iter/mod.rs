@@ -20,7 +20,7 @@ pub use sort::{cmp_keys, SortIter};
 
 use crate::expr::Expr;
 use crate::plan::PlanNode;
-use qpipe_common::{QError, QResult, Tuple};
+use qpipe_common::{GovernorConfig, MemoryGovernor, Metrics, QError, QResult, Tuple};
 use qpipe_storage::Catalog;
 use std::sync::Arc;
 
@@ -29,17 +29,57 @@ use std::sync::Arc;
 pub struct ExecConfig {
     /// Tuples a sort may hold in memory before spilling a run
     /// (the paper gives each client 128 MB of sort heap; this is the scaled
-    /// equivalent).
+    /// equivalent). Enforced per operator instance by the memory governor.
     pub sort_budget: usize,
     /// Tuples a hash-join build side may hold before going grace (partitioned).
+    /// Enforced per operator instance by the memory governor.
     pub hash_budget: usize,
     /// Number of grace hash-join partitions.
     pub partitions: usize,
+    /// Tuples all concurrently running operators may hold *in total*; the
+    /// governor denies growth past it regardless of per-operator budgets.
+    /// Effectively unbounded by default (single-query behavior unchanged).
+    pub global_budget: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { sort_budget: 64 * 1024, hash_budget: 64 * 1024, partitions: 8 }
+        Self {
+            sort_budget: 64 * 1024,
+            hash_budget: 64 * 1024,
+            partitions: 8,
+            global_budget: usize::MAX >> 2,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Validate the budgets, clamping degenerate values to their minimum
+    /// (a sort/hash budget of 0 or 1 cannot hold a comparison's worth of
+    /// state). Each clamp counts against `config_clamps` — a warning-level
+    /// signal that a misconfigured budget is being masked, replacing the
+    /// silent `.max(2)` the operators used to apply inline.
+    pub fn validated(mut self, metrics: &Metrics) -> Self {
+        let clamp = |v: &mut usize, min: usize| {
+            if *v < min {
+                *v = min;
+                metrics.add_config_clamp();
+            }
+        };
+        clamp(&mut self.sort_budget, 2);
+        clamp(&mut self.hash_budget, 2);
+        clamp(&mut self.partitions, 2);
+        let floor = self.sort_budget.max(self.hash_budget);
+        clamp(&mut self.global_budget, floor);
+        self
+    }
+
+    fn governor_config(&self) -> GovernorConfig {
+        GovernorConfig {
+            global_units: self.global_budget as u64,
+            sort_units: self.sort_budget as u64,
+            hash_units: self.hash_budget as u64,
+        }
     }
 }
 
@@ -48,17 +88,32 @@ impl Default for ExecConfig {
 pub struct ExecContext {
     pub catalog: Arc<Catalog>,
     pub config: ExecConfig,
+    /// Memory governor shared by every operator running under this context
+    /// (clones share it): sort/hash budgets are acquired as leases, and the
+    /// global budget bounds their sum.
+    pub governor: MemoryGovernor,
 }
 
 impl ExecContext {
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        Self { catalog, config: ExecConfig::default() }
+        Self::with_config(catalog, ExecConfig::default())
     }
 
     pub fn with_config(catalog: Arc<Catalog>, config: ExecConfig) -> Self {
-        Self { catalog, config }
+        let metrics = catalog.disk().metrics().clone();
+        let config = config.validated(&metrics);
+        let governor = MemoryGovernor::new(config.governor_config(), metrics);
+        Self { catalog, config, governor }
     }
 }
+
+/// Minimum rows a sort buffers before a governor denial may spill a run
+/// (clamped to the sort budget so tiny configured budgets keep their exact
+/// spill points). Under sustained global-budget starvation a denial can
+/// arrive at every row; without this floor each tuple would become its own
+/// run file and the k-way merge fan-in would explode. The floor bounds the
+/// overshoot at one small run per sort operator.
+pub(crate) const MIN_SPILL_ROWS: usize = 64;
 
 /// A pull-based tuple iterator (Volcano's `next()`).
 pub trait TupleIter: Send {
@@ -227,5 +282,30 @@ impl VecIter {
 impl TupleIter for VecIter {
     fn next(&mut self) -> QResult<Option<Tuple>> {
         Ok(self.rows.next())
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_budgets_clamp_with_warning_metric() {
+        let m = Metrics::new();
+        let cfg = ExecConfig { sort_budget: 0, hash_budget: 1, partitions: 0, global_budget: 1 }
+            .validated(&m);
+        assert_eq!(cfg.sort_budget, 2);
+        assert_eq!(cfg.hash_budget, 2);
+        assert_eq!(cfg.partitions, 2);
+        assert_eq!(cfg.global_budget, 2, "global floor = max per-operator budget");
+        assert_eq!(m.snapshot().config_clamps, 4, "each masked misconfiguration is counted");
+    }
+
+    #[test]
+    fn valid_config_passes_through_untouched() {
+        let m = Metrics::new();
+        let cfg = ExecConfig::default().validated(&m);
+        assert_eq!(cfg.sort_budget, ExecConfig::default().sort_budget);
+        assert_eq!(m.snapshot().config_clamps, 0);
     }
 }

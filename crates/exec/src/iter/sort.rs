@@ -9,7 +9,7 @@
 use super::spill::{RunHandle, RunReader, RunWriter};
 use super::{ExecContext, TupleIter};
 use crate::plan::SortKey;
-use qpipe_common::{QResult, Tuple};
+use qpipe_common::{MemClass, MemLease, QResult, Tuple};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -38,29 +38,36 @@ enum SortState {
 pub struct SortIter {
     keys: Vec<SortKey>,
     ctx: ExecContext,
+    /// Governor lease covering the in-memory buffer; released when the
+    /// operator drops (or shrunk after each spilled run).
+    lease: MemLease,
     state: SortState,
 }
 
 impl SortIter {
     pub fn new(input: Box<dyn TupleIter>, keys: Vec<SortKey>, ctx: ExecContext) -> Self {
-        Self { keys, ctx, state: SortState::Pending(Some(input)) }
+        let lease = ctx.governor.lease(MemClass::Sort);
+        Self { keys, ctx, lease, state: SortState::Pending(Some(input)) }
     }
 
     /// Phase 1: consume the input, producing either an in-memory sorted
-    /// vector or a set of spilled runs.
+    /// vector or a set of spilled runs. The run buffer grows under a
+    /// governor lease; a denied grant (sort budget reached, or no global
+    /// headroom left under concurrent queries) spills the run.
     fn run_phase1(&mut self, mut input: Box<dyn TupleIter>) -> QResult<SortState> {
-        let budget = self.ctx.config.sort_budget.max(2);
+        let floor = self.ctx.config.sort_budget.min(super::MIN_SPILL_ROWS);
         let mut buf: Vec<Tuple> = Vec::new();
         let mut runs: Vec<RunHandle> = Vec::new();
         while let Some(t) = input.next()? {
             buf.push(t);
-            if buf.len() >= budget {
+            if buf.len() >= floor && !self.lease.covers(buf.len()) {
                 buf.sort_by(|a, b| cmp_keys(a, b, &self.keys));
                 let mut w = RunWriter::create(self.ctx.catalog.disk().clone(), "sortrun")?;
                 for t in buf.drain(..) {
                     w.push(&t)?;
                 }
                 runs.push(w.finish()?);
+                self.lease.shrink_to(0);
             }
         }
         buf.sort_by(|a, b| cmp_keys(a, b, &self.keys));

@@ -315,30 +315,44 @@ impl HashAgg {
         self.states.len()
     }
 
-    /// Finish: one row per group (key columns then aggregates), sorted by
-    /// group key ascending — the same deterministic order `AggregateIter`
-    /// produces.
-    pub fn finish(self) -> Vec<Tuple> {
+    /// Finish into a columnar batch: key columns then aggregate columns,
+    /// groups sorted by key ascending — the same deterministic order
+    /// [`AggregateIter`](crate::iter::AggregateIter) produces. Columns are
+    /// built straight from the per-group key slots and aggregate states
+    /// (typed representation when a column is uniform), so agg → sort plans
+    /// stay columnar on the output side too; no row `Tuple` is materialized.
+    pub fn finish_cols(self) -> ColBatch {
         let width = self.group_by.len();
-        let mut rows: Vec<Tuple> = self
-            .keys
-            .into_iter()
-            .zip(self.states)
-            .map(|(key, states)| {
-                let mut row = key;
-                row.extend(states.iter().map(|st| st.finish()));
-                row
-            })
-            .collect();
-        rows.sort_by(|a, b| {
-            a[..width]
+        let n = self.keys.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by(|&a, &b| {
+            self.keys[a as usize]
                 .iter()
-                .zip(&b[..width])
+                .zip(&self.keys[b as usize])
                 .map(|(x, y)| x.cmp(y))
                 .find(|o| !o.is_eq())
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        rows
+        let mut cols = Vec::with_capacity(width + self.aggs.len());
+        for c in 0..width {
+            let vals: Vec<Value> = perm.iter().map(|&g| self.keys[g as usize][c].clone()).collect();
+            cols.push(Column::from_values(&vals));
+        }
+        for s in 0..self.aggs.len() {
+            let vals: Vec<Value> =
+                perm.iter().map(|&g| self.states[g as usize][s].finish()).collect();
+            cols.push(Column::from_values(&vals));
+        }
+        if cols.is_empty() {
+            return ColBatch::empty_rows(n);
+        }
+        ColBatch::from_columns(cols)
+    }
+
+    /// Finish: one row per group, in [`finish_cols`](Self::finish_cols)
+    /// order (the typed column round-trip is value-exact).
+    pub fn finish(self) -> Vec<Tuple> {
+        self.finish_cols().to_rows()
     }
 }
 

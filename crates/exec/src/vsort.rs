@@ -38,7 +38,7 @@ use crate::iter::spill::{ColRunHandle, ColRunReader, ColRunWriter};
 use crate::iter::{ExecContext, TupleIter};
 use crate::plan::SortKey;
 use qpipe_common::colbatch::{ColBatch, ColBatchBuilder, SortSpec};
-use qpipe_common::{Batch, QResult, Tuple};
+use qpipe_common::{Batch, MemClass, MemLease, QResult, Tuple};
 use std::cmp::Ordering;
 
 /// Rows per emitted output batch (the pipe-granularity chunk size).
@@ -52,6 +52,8 @@ pub struct VecSort {
     ctx: ExecContext,
     builder: ColBatchBuilder,
     runs: Vec<ColRunHandle>,
+    /// Governor lease covering the accumulator; a denied grant spills a run.
+    lease: MemLease,
     /// Width established by the first non-empty batch. Tracked here (not
     /// just in `builder`, which resets after every spill) so a ragged batch
     /// arriving between runs is still refused.
@@ -61,7 +63,8 @@ pub struct VecSort {
 impl VecSort {
     pub fn new(keys: &[SortKey], ctx: ExecContext) -> Self {
         let keys = keys.iter().map(|k| SortSpec { col: k.col, asc: k.asc }).collect();
-        Self { keys, ctx, builder: ColBatchBuilder::new(), runs: Vec::new(), width: None }
+        let lease = ctx.governor.lease(MemClass::Sort);
+        Self { keys, ctx, builder: ColBatchBuilder::new(), runs: Vec::new(), lease, width: None }
     }
 
     /// Rows accumulated so far (buffered + spilled).
@@ -96,12 +99,20 @@ impl VecSort {
         self.push_cols(&ColBatch::from_rows(rows))
     }
 
+    /// Spill when the governor refuses to cover the accumulator — either
+    /// this sort reached its own budget, or concurrent queries exhausted the
+    /// global memory budget (overflow-to-spill is a governor decision). A
+    /// denied accumulator below the minimum-run floor keeps growing instead
+    /// of spilling (see `iter::MIN_SPILL_ROWS` — bounds run fan-out under
+    /// sustained starvation).
     fn maybe_spill(&mut self) -> QResult<()> {
-        let budget = self.ctx.config.sort_budget.max(2);
-        if self.builder.len() < budget {
+        let floor = self.ctx.config.sort_budget.min(crate::iter::MIN_SPILL_ROWS);
+        if self.builder.len() < floor || self.lease.covers(self.builder.len()) {
             return Ok(());
         }
-        self.spill_run()
+        self.spill_run()?;
+        self.lease.shrink_to(0);
+        Ok(())
     }
 
     /// Sort the accumulator into a columnar run on disk.

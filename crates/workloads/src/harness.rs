@@ -14,8 +14,9 @@
 //! in *paper seconds*, converted through a [`TimeScale`].
 
 use qpipe_common::sim::TimeScale;
-use qpipe_common::{Metrics, MetricsSnapshot, QResult};
-use qpipe_core::engine::{QPipe, QPipeConfig};
+use qpipe_common::{Metrics, MetricsSnapshot, QError, QResult};
+use qpipe_core::engine::{QPipe, QPipeConfig, QueryHandle};
+use qpipe_core::QueryClass;
 use qpipe_exec::iter::{run as exec_run, ExecContext};
 use qpipe_exec::plan::PlanNode;
 use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
@@ -97,6 +98,18 @@ impl Driver {
         profile: SystemProfile,
         load: impl FnOnce(&Arc<Catalog>) -> QResult<()>,
     ) -> QResult<Driver> {
+        Self::build_with_config(system, profile, QPipeConfig::default(), load)
+    }
+
+    /// [`build`](Self::build) with explicit engine knobs (admission depth,
+    /// memory budgets, ...). `config.osp` is overridden to match `system`;
+    /// DBMS X takes only `config.exec`.
+    pub fn build_with_config(
+        system: System,
+        profile: SystemProfile,
+        config: QPipeConfig,
+        load: impl FnOnce(&Arc<Catalog>) -> QResult<()>,
+    ) -> QResult<Driver> {
         let metrics = Metrics::new();
         let disk = SimDisk::new(profile.disk, metrics.clone());
         // DBMS X gets the scan-resistant pool (its better buffer manager is
@@ -111,12 +124,15 @@ impl Driver {
         load(&catalog)?;
         let inner = match system {
             System::QPipeOsp => {
-                DriverImpl::Staged(QPipe::new(catalog.clone(), QPipeConfig::default()))
+                DriverImpl::Staged(QPipe::new(catalog.clone(), QPipeConfig { osp: true, ..config }))
             }
-            System::Baseline => {
-                DriverImpl::Staged(QPipe::new(catalog.clone(), QPipeConfig::baseline()))
+            System::Baseline => DriverImpl::Staged(QPipe::new(
+                catalog.clone(),
+                QPipeConfig { osp: false, ..config },
+            )),
+            System::DbmsX => {
+                DriverImpl::Iterator(ExecContext::with_config(catalog.clone(), config.exec))
             }
-            System::DbmsX => DriverImpl::Iterator(ExecContext::new(catalog.clone())),
         };
         Ok(Driver { system, metrics, catalog, inner })
     }
@@ -127,6 +143,25 @@ impl Driver {
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// The staged engine, when this driver wraps one (QPipe/Baseline).
+    pub fn engine(&self) -> Option<&Arc<QPipe>> {
+        match &self.inner {
+            DriverImpl::Staged(e) => Some(e),
+            DriverImpl::Iterator(_) => None,
+        }
+    }
+
+    /// Submit without waiting for completion (staged engines only): the
+    /// query passes through admission and the returned handle blocks until
+    /// its results stream. `None` for the iterator engine, which has no
+    /// asynchronous submission path.
+    pub fn submit_with(&self, plan: PlanNode, class: QueryClass) -> Option<QResult<QueryHandle>> {
+        match &self.inner {
+            DriverImpl::Staged(e) => Some(e.submit_with(plan, class)),
+            DriverImpl::Iterator(_) => None,
+        }
     }
 
     /// Run one query to completion on the calling thread; returns row count.
@@ -262,6 +297,110 @@ pub fn closed_loop(
     }
 }
 
+/// Per-query outcome of an [`open_loop`] run, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenLoopOutcome {
+    /// Completed with this many result rows.
+    Completed(usize),
+    /// Refused by admission (queue full / queue timeout).
+    Rejected(String),
+    /// Failed during execution.
+    Failed(QError),
+}
+
+/// Result of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopResult {
+    pub outcomes: Vec<OpenLoopOutcome>,
+    pub completed: u64,
+    pub rejected: u64,
+    /// Queries per hour of paper time (completed only).
+    pub qph: f64,
+    pub delta: MetricsSnapshot,
+}
+
+impl OpenLoopResult {
+    /// Completed-query row counts, `None` where rejected/failed.
+    pub fn row_counts(&self) -> Vec<Option<usize>> {
+        self.outcomes
+            .iter()
+            .map(|o| match o {
+                OpenLoopOutcome::Completed(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Open-loop (arrival-driven) multi-client run: `plans[i]` *arrives* at time
+/// `i × interarrival` regardless of completions — the traffic shape that
+/// oversubscribes an unprotected engine and that the admission controller
+/// exists for. Staged engines submit asynchronously (the admission queue
+/// absorbs the burst, rejects overflow, and bounds per-µEngine concurrency);
+/// every accepted query is drained by its own collector thread — the client
+/// model admission assumes. The iterator engine (DBMS X) spawns one thread
+/// per arrival, unbounded: it has no admission layer, which is exactly the
+/// comparison point.
+pub fn open_loop(
+    driver: &Driver,
+    plans: Vec<(PlanNode, QueryClass)>,
+    interarrival_paper: f64,
+    scale: TimeScale,
+) -> OpenLoopResult {
+    let before = driver.metrics().snapshot();
+    let start = Instant::now();
+    let n = plans.len();
+    let outcomes: Vec<OpenLoopOutcome> = std::thread::scope(|s| {
+        // A collector thread per *accepted* query; arrivals settled at
+        // submission (rejections, submit errors) resolve without one.
+        let mut pending: Vec<Result<_, OpenLoopOutcome>> = Vec::with_capacity(n);
+        for (i, (plan, class)) in plans.into_iter().enumerate() {
+            let due = scale.to_real(interarrival_paper * i as f64);
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            if driver.engine().is_some() {
+                match driver.submit_with(plan, class).expect("staged engine") {
+                    Ok(handle) => pending.push(Ok(s.spawn(move || match handle.try_collect() {
+                        Ok(rows) => OpenLoopOutcome::Completed(rows.len()),
+                        Err(QError::Admission(msg)) => OpenLoopOutcome::Rejected(msg),
+                        Err(e) => OpenLoopOutcome::Failed(e),
+                    }))),
+                    Err(QError::Admission(msg)) => {
+                        pending.push(Err(OpenLoopOutcome::Rejected(msg)))
+                    }
+                    Err(e) => pending.push(Err(OpenLoopOutcome::Failed(e))),
+                }
+            } else {
+                // Iterator engine: run the whole query on its own thread.
+                pending.push(Ok(s.spawn(move || match driver.run(plan) {
+                    Ok(rows) => OpenLoopOutcome::Completed(rows),
+                    Err(e) => OpenLoopOutcome::Failed(e),
+                })));
+            }
+        }
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Ok(h) => h.join().expect("client thread"),
+                Err(settled) => settled,
+            })
+            .collect()
+    });
+    let elapsed_paper = scale.to_paper(start.elapsed());
+    let completed =
+        outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Completed(_))).count() as u64;
+    let rejected =
+        outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Rejected(_))).count() as u64;
+    OpenLoopResult {
+        outcomes,
+        completed,
+        rejected,
+        qph: completed as f64 / (elapsed_paper / 3600.0),
+        delta: driver.metrics().snapshot().delta_since(&before),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +431,55 @@ mod tests {
         assert_eq!(r.row_counts.len(), 2);
         assert!(r.delta.disk_blocks_read > 0);
         assert!(r.total_paper_secs > 0.0);
+    }
+
+    #[test]
+    fn open_loop_bounds_engine_concurrency_and_completes_everything() {
+        use qpipe_core::admit::AdmitConfig;
+        let depth = 2;
+        let config = QPipeConfig {
+            admit: AdmitConfig { queue_depth: depth, ..AdmitConfig::default() },
+            ..QPipeConfig::default()
+        };
+        let d =
+            Driver::build_with_config(System::QPipeOsp, SystemProfile::instant(), config, |c| {
+                build_tpch(c, TpchScale::tiny(), 42)
+            })
+            .unwrap();
+        let plans: Vec<(PlanNode, QueryClass)> = (0..10)
+            .map(|i| {
+                let class = if i % 3 == 0 { QueryClass::Batch } else { QueryClass::Interactive };
+                (q6((i % 5) * 100, 0.05, 30), class)
+            })
+            .collect();
+        let r = open_loop(&d, plans, 0.0, SystemProfile::instant().time_scale);
+        assert_eq!(r.completed, 10, "everything admitted eventually completes: {:?}", r.outcomes);
+        assert_eq!(r.rejected, 0);
+        let engine = d.engine().unwrap();
+        for (name, peak) in engine.admission().peaks() {
+            assert!(peak <= depth, "µEngine {name} ran {peak} > depth {depth} concurrently");
+        }
+        assert!(r.delta.admitted == 10 && r.delta.queued > 0, "burst must queue: {:?}", r.delta);
+    }
+
+    #[test]
+    fn open_loop_queue_bound_rejects_overflow() {
+        use qpipe_core::admit::AdmitConfig;
+        let config = QPipeConfig {
+            admit: AdmitConfig { queue_depth: 1, max_queued: 2, ..AdmitConfig::default() },
+            ..QPipeConfig::default()
+        };
+        let d =
+            Driver::build_with_config(System::QPipeOsp, SystemProfile::instant(), config, |c| {
+                build_tpch(c, TpchScale::tiny(), 7)
+            })
+            .unwrap();
+        let plans: Vec<(PlanNode, QueryClass)> =
+            (0..8).map(|i| (q6(i * 50, 0.05, 30), QueryClass::Interactive)).collect();
+        let r = open_loop(&d, plans, 0.0, SystemProfile::instant().time_scale);
+        assert_eq!(r.completed + r.rejected, 8, "every arrival is settled: {:?}", r.outcomes);
+        assert!(r.rejected > 0, "a 2-deep waiting room must reject an 8-query burst");
+        assert_eq!(r.delta.rejected, r.rejected);
     }
 
     #[test]

@@ -224,6 +224,9 @@ fn q1_shape_executes_columnar_end_to_end() {
     assert!(delta.vec_filter_batches > 0, "filter must run selection-vector kernels");
     assert!(delta.vec_project_batches > 0, "projection must run column-at-a-time");
     assert!(delta.vec_agg_batches > 0, "agg update must run over ColBatches");
+    // The aggregate's *output* side is columnar too: the downstream sort
+    // must have accumulated the agg result as ColBatches, not rows.
+    assert!(delta.vec_sort_batches > 0, "agg output must reach the sort as ColBatches");
     assert_eq!(delta.vec_fallbacks, 0, "nothing should fall back to the row path");
 }
 

@@ -127,6 +127,113 @@ fn cache_and_osp_compose() {
     assert_eq!(h.collect().len(), first[0]);
 }
 
+/// Acceptance bar for the admission/governor subsystem: with per-µEngine
+/// depth D and M ≫ D submitted queries —
+/// * at most D queries ever run concurrently against any µEngine,
+/// * queries cancelled *while queued* never dispatch and settle cleanly,
+/// * every surviving query completes with results identical to the serial
+///   iterator engine,
+/// * all tickets and memory leases return to baseline, and the governor
+///   never granted more than the configured global memory budget.
+#[test]
+fn admission_under_churn_bounds_engines_and_returns_to_baseline() {
+    use qpipe::core::admit::AdmitConfig;
+    use qpipe::core::QueryClass;
+
+    let catalog = fresh_catalog(404);
+    let depth = 2;
+    let global_mem = 8 * 1024;
+    let config = QPipeConfig {
+        exec: ExecConfig {
+            sort_budget: 2048,
+            hash_budget: 2048,
+            global_budget: global_mem,
+            ..ExecConfig::default()
+        },
+        admit: AdmitConfig { queue_depth: depth, max_queued: 256, ..AdmitConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let ctx = ExecContext::with_config(catalog.clone(), config.exec);
+    let engine = QPipe::new(catalog, config);
+
+    let mut rng = StdRng::seed_from_u64(0xAD417);
+    let m = 18usize; // M ≫ D
+    let plans: Vec<PlanNode> = (0..m).map(|i| query(MIX[i % MIX.len()], &mut rng)).collect();
+    let expected: Vec<usize> =
+        plans.iter().map(|p| qpipe::exec::iter::run(p, &ctx).unwrap().len()).collect();
+
+    let before = engine.metrics().snapshot();
+    // Submit the whole burst up front (admission absorbs it), mixing classes.
+    let handles: Vec<_> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let class = if i % 3 == 0 { QueryClass::Batch } else { QueryClass::Interactive };
+            engine.submit_with(p.clone(), class).unwrap()
+        })
+        .collect();
+    // Churn: cancel a handful of queries that are still *queued*.
+    let mut cancelled = Vec::new();
+    let mut live = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        if cancelled.len() < 4 && h.is_queued() {
+            cancelled.push(i);
+            h.cancel();
+        } else {
+            live.push((i, h));
+        }
+    }
+    assert!(!cancelled.is_empty(), "depth 2 vs 18 submissions must leave queued queries");
+    // Every surviving query drains on its own thread (the client model
+    // admission assumes) and must match the serial reference.
+    std::thread::scope(|s| {
+        for (i, h) in live {
+            let expected = expected[i];
+            s.spawn(move || {
+                assert_eq!(h.collect().len(), expected, "query {i} diverged under churn");
+            });
+        }
+    });
+
+    // Everything settles back to baseline.
+    let admit = engine.admission();
+    assert_eq!(admit.queue_len(), 0, "no tickets left waiting");
+    for name in qpipe::core::engine::ENGINE_NAMES {
+        assert_eq!(admit.in_flight(name), 0, "{name} slots must return to baseline");
+        assert!(
+            admit.peak(name) <= depth,
+            "{name} ran {} > depth {depth} queries concurrently",
+            admit.peak(name)
+        );
+    }
+    // Operator worker threads may outlive result delivery briefly; poll the
+    // governor back to zero.
+    let gov = engine.governor();
+    for _ in 0..500 {
+        if gov.in_use() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(gov.in_use(), 0, "all memory leases must return to baseline");
+    assert!(
+        gov.peak() <= global_mem as u64,
+        "granted memory peaked at {} > global budget {global_mem}",
+        gov.peak()
+    );
+
+    let delta = engine.metrics().snapshot().delta_since(&before);
+    assert_eq!(delta.admitted, (m - cancelled.len()) as u64, "cancelled tickets never admit");
+    assert_eq!(delta.rejected, cancelled.len() as u64, "queued cancellations count as rejected");
+    assert!(delta.queued > 0, "an 18-query burst at depth 2 must queue");
+    // The metric covers every governor sharing these metrics (the engine's
+    // and the serial reference context's) — none may exceed the budget.
+    assert!(
+        engine.metrics().snapshot().mem_peak <= global_mem as u64,
+        "mem_peak metric exceeded the global budget"
+    );
+}
+
 #[test]
 fn interleaved_updates_and_queries_stay_consistent() {
     let catalog = fresh_catalog(99);
