@@ -85,6 +85,14 @@ fn main() {
         failures
             .push(format!("granted memory peaked at {} > global budget {global_mem}", gov.peak()));
     }
+    // No faults are injected here, so any caught panic is a genuine operator
+    // bug that containment masked into a query failure — fail loudly.
+    if r.delta.worker_panics != 0 {
+        failures.push(format!(
+            "{} worker panic(s) caught during a fault-free run",
+            r.delta.worker_panics
+        ));
+    }
 
     println!(
         "stress-smoke: {} submitted, {} completed, {} rejected, {} queued; \

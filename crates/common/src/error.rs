@@ -19,6 +19,9 @@ pub enum QError {
     /// Refused by the admission controller (queue full or queue timeout) —
     /// the query never executed; resubmit when load drops.
     Admission(String),
+    /// Query exceeded its execution deadline and was cancelled by the
+    /// sweeper; partial output (if any) must be discarded.
+    Timeout,
 }
 
 impl fmt::Display for QError {
@@ -30,6 +33,7 @@ impl fmt::Display for QError {
             QError::Exec(s) => write!(f, "execution error: {s}"),
             QError::Cancelled => write!(f, "query cancelled"),
             QError::Admission(s) => write!(f, "admission refused: {s}"),
+            QError::Timeout => write!(f, "query deadline exceeded"),
         }
     }
 }

@@ -25,4 +25,5 @@ pub use error::{QError, QResult};
 pub use govern::{GovernorConfig, MemClass, MemLease, MemoryGovernor};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};
+pub use sim::{FaultAction, FaultInjector, FaultKind, FaultOp, FaultRule};
 pub use value::{cmp_i64_f64, float_as_exact_i64, Value};

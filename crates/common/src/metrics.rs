@@ -45,6 +45,11 @@ struct MetricsInner {
     queries_completed: AtomicU64,
     tuples_produced: AtomicU64,
     response_time_us_sum: AtomicU64,
+    io_retries: AtomicU64,
+    checksum_failures: AtomicU64,
+    worker_panics: AtomicU64,
+    query_timeouts: AtomicU64,
+    faults_injected: AtomicU64,
     per_file_reads: Mutex<HashMap<String, u64>>,
     per_engine_attaches: Mutex<HashMap<String, u64>>,
 }
@@ -105,6 +110,20 @@ pub struct MetricsSnapshot {
     pub queries_completed: u64,
     pub tuples_produced: u64,
     pub response_time_us_sum: u64,
+    /// Disk reads retried by the buffer pool's retry policy (transient I/O
+    /// faults and checksum failures that healed on a later attempt).
+    pub io_retries: u64,
+    /// Pages whose checksum verification failed on fetch (corruption was
+    /// detected and surfaced as an error, never served as data).
+    pub checksum_failures: u64,
+    /// Operator worker / dispatcher / scanner panics contained by
+    /// `catch_unwind` and converted to packet failures.
+    pub worker_panics: u64,
+    /// Queries cancelled by the sweeper for exceeding their execution
+    /// deadline (`QError::Timeout`).
+    pub query_timeouts: u64,
+    /// Faults the injector delivered (errors, corruptions, delays, panics).
+    pub faults_injected: u64,
     pub per_file_reads: HashMap<String, u64>,
     pub per_engine_attaches: HashMap<String, u64>,
 }
@@ -213,6 +232,30 @@ impl Metrics {
         self.inner.tuples_produced.fetch_add(n, Ordering::Relaxed);
     }
 
+    pub fn add_io_retry(&self) {
+        self.inner.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_checksum_failure(&self) {
+        self.inner.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_worker_panic(&self) {
+        self.inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_query_timeout(&self) {
+        self.inner.query_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_fault_injected(&self) {
+        self.inner.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn worker_panics(&self) -> u64 {
+        self.inner.worker_panics.load(Ordering::Relaxed)
+    }
+
     /// Record a completed query with its wall response time in microseconds.
     pub fn add_query_completion(&self, response_us: u64) {
         self.inner.queries_completed.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +303,11 @@ impl Metrics {
             queries_completed: i.queries_completed.load(Ordering::Relaxed),
             tuples_produced: i.tuples_produced.load(Ordering::Relaxed),
             response_time_us_sum: i.response_time_us_sum.load(Ordering::Relaxed),
+            io_retries: i.io_retries.load(Ordering::Relaxed),
+            checksum_failures: i.checksum_failures.load(Ordering::Relaxed),
+            worker_panics: i.worker_panics.load(Ordering::Relaxed),
+            query_timeouts: i.query_timeouts.load(Ordering::Relaxed),
+            faults_injected: i.faults_injected.load(Ordering::Relaxed),
             per_file_reads: i.per_file_reads.lock().clone(),
             per_engine_attaches: i.per_engine_attaches.lock().clone(),
         }
@@ -326,6 +374,11 @@ impl MetricsSnapshot {
             queries_completed: self.queries_completed - earlier.queries_completed,
             tuples_produced: self.tuples_produced - earlier.tuples_produced,
             response_time_us_sum: self.response_time_us_sum - earlier.response_time_us_sum,
+            io_retries: self.io_retries - earlier.io_retries,
+            checksum_failures: self.checksum_failures - earlier.checksum_failures,
+            worker_panics: self.worker_panics - earlier.worker_panics,
+            query_timeouts: self.query_timeouts - earlier.query_timeouts,
+            faults_injected: self.faults_injected - earlier.faults_injected,
             per_file_reads: per_file,
             per_engine_attaches: per_engine,
         }

@@ -134,6 +134,11 @@ enum TicketState {
     },
     Running {
         cancels: Vec<CancelToken>,
+        /// When the query was admitted (execution-deadline clock).
+        since: Instant,
+        /// Root pipe, failed with [`QError::Timeout`] when the deadline
+        /// sweeper terminates an overdue query.
+        pipe: Arc<Pipe>,
     },
     Finished,
 }
@@ -179,6 +184,9 @@ struct CtrlState {
     peak: HashMap<&'static str, usize>,
     /// Waiting rooms: `[interactive, batch]`.
     queues: [VecDeque<Arc<QueryTicket>>; 2],
+    /// Tickets currently in `Running` state, scanned by the deadline
+    /// sweeper. Maintained only when a deadline is configured.
+    running: Vec<Arc<QueryTicket>>,
 }
 
 /// Deferred side effects collected under the locks, performed outside them.
@@ -208,7 +216,7 @@ impl Actions {
             let cancels = dispatch();
             let mut st = ticket.state.lock();
             match &mut *st {
-                TicketState::Running { cancels: slot } => *slot = cancels,
+                TicketState::Running { cancels: slot, .. } => *slot = cancels,
                 // Cancelled while the dispatch ran: terminate the plan now.
                 TicketState::Finished => {
                     drop(st);
@@ -225,14 +233,37 @@ impl Actions {
 /// The admission controller. One per engine; shared with every handle.
 pub struct AdmissionController {
     config: AdmitConfig,
+    /// Per-query execution deadline; running queries that exceed it are
+    /// terminated by the sweeper with [`QError::Timeout`].
+    deadline: Option<Duration>,
     metrics: Metrics,
     state: Mutex<CtrlState>,
 }
 
 impl AdmissionController {
     pub fn new(config: AdmitConfig, metrics: Metrics) -> Arc<Self> {
-        let config = config.validated(&metrics);
-        Arc::new(Self { config, metrics, state: Mutex::new(CtrlState::default()) })
+        Self::with_deadline(config, None, metrics)
+    }
+
+    /// Controller with an execution deadline: the sweeper fires the plan's
+    /// cancel tokens and fails the root pipe with [`QError::Timeout`] once a
+    /// running query exceeds `deadline`.
+    pub fn with_deadline(
+        config: AdmitConfig,
+        deadline: Option<Duration>,
+        metrics: Metrics,
+    ) -> Arc<Self> {
+        let mut config = config.validated(&metrics);
+        if deadline.is_some() && config.sweep_interval.is_zero() {
+            config.sweep_interval = Duration::from_millis(1);
+            metrics.add_config_clamp();
+        }
+        Arc::new(Self { config, deadline, metrics, state: Mutex::new(CtrlState::default()) })
+    }
+
+    /// The configured execution deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     pub fn config(&self) -> AdmitConfig {
@@ -333,8 +364,11 @@ impl AdmissionController {
                     // `Actions::discard`).
                     actions.discard.push(dispatch);
                 }
-                TicketState::Running { cancels } => {
+                TicketState::Running { cancels, pipe, .. } => {
                     drop(t);
+                    if let Some(err) = reason {
+                        actions.fail.push((pipe, err));
+                    }
                     if fire {
                         actions.fire.extend(cancels);
                     }
@@ -343,6 +377,7 @@ impl AdmissionController {
                             *n = n.saturating_sub(1);
                         }
                     }
+                    st.running.retain(|other| !Arc::ptr_eq(other, ticket));
                     let mut pumped = self.pump_locked(&mut st);
                     actions.dispatch.append(&mut pumped.dispatch);
                 }
@@ -352,8 +387,50 @@ impl AdmissionController {
         actions.run();
     }
 
-    /// Reject every ticket that outstayed `queue_timeout` (sweeper body).
+    /// Sweeper body: reject tickets that outstayed `queue_timeout`, then
+    /// terminate running queries that exceeded the execution deadline.
     pub fn sweep(&self) {
+        self.sweep_queue_timeouts();
+        self.sweep_deadlines();
+    }
+
+    /// Terminate every running query older than the execution deadline: its
+    /// cancel tokens fire (workers observe them cooperatively) and its root
+    /// pipe fails with [`QError::Timeout`]. Slot release still happens when
+    /// the client's handle settles, exactly as for any failed query.
+    fn sweep_deadlines(&self) {
+        let Some(deadline) = self.deadline else { return };
+        let mut actions = Actions::default();
+        {
+            let mut st = self.state.lock();
+            let now = Instant::now();
+            let mut keep = Vec::with_capacity(st.running.len());
+            for ticket in std::mem::take(&mut st.running) {
+                let mut t = ticket.state.lock();
+                match &mut *t {
+                    TicketState::Running { since, cancels, pipe } => {
+                        if now.duration_since(*since) <= deadline {
+                            drop(t);
+                            keep.push(ticket);
+                            continue;
+                        }
+                        // Overdue: poison + cancel, but leave the ticket
+                        // Running — the handle's guard releases the slots.
+                        self.metrics.add_query_timeout();
+                        actions.fail.push((pipe.clone(), QError::Timeout));
+                        actions.fire.append(&mut std::mem::take(cancels));
+                    }
+                    // Settled elsewhere; drop from the running list.
+                    _ => continue,
+                }
+            }
+            st.running = keep;
+        }
+        actions.run();
+    }
+
+    /// Reject every ticket that outstayed `queue_timeout`.
+    fn sweep_queue_timeouts(&self) {
         let Some(timeout) = self.config.queue_timeout else { return };
         let mut actions = Actions::default();
         {
@@ -421,9 +498,14 @@ impl AdmissionController {
                     keep.push_back(ticket);
                     continue;
                 }
-                let TicketState::Queued { dispatch, .. } =
-                    std::mem::replace(&mut *t, TicketState::Running { cancels: Vec::new() })
-                else {
+                let pipe = match &*t {
+                    TicketState::Queued { pipe, .. } => pipe.clone(),
+                    _ => unreachable!("eligibility checked above"),
+                };
+                let TicketState::Queued { dispatch, .. } = std::mem::replace(
+                    &mut *t,
+                    TicketState::Running { cancels: Vec::new(), since: Instant::now(), pipe },
+                ) else {
                     unreachable!("eligibility checked above");
                 };
                 drop(t);
@@ -432,6 +514,9 @@ impl AdmissionController {
                     *n += 1;
                     let p = st.peak.entry(e).or_insert(0);
                     *p = (*p).max(*n);
+                }
+                if self.deadline.is_some() {
+                    st.running.push(ticket.clone());
                 }
                 self.metrics.add_admitted();
                 actions.dispatch.push((ticket, dispatch));
@@ -453,9 +538,10 @@ pub struct AdmitSweeper {
 impl AdmitSweeper {
     pub fn spawn(ctrl: Arc<AdmissionController>) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
-        // No timeout to enforce ⇒ nothing to sweep, ever: skip the thread
-        // instead of waking it every interval to do nothing.
-        if ctrl.config.queue_timeout.is_none() {
+        // Neither a queue timeout nor an execution deadline to enforce ⇒
+        // nothing to sweep, ever: skip the thread instead of waking it every
+        // interval to do nothing.
+        if ctrl.config.queue_timeout.is_none() && ctrl.deadline.is_none() {
             return Self { stop, handle: None };
         }
         let stop2 = stop.clone();
@@ -674,6 +760,48 @@ mod tests {
             );
             ctrl.finish(&running, None, false);
         }
+    }
+
+    #[test]
+    fn execution_deadline_times_out_running_query() {
+        let m = metrics();
+        let ctrl = AdmissionController::with_deadline(
+            AdmitConfig::default(),
+            Some(Duration::from_millis(5)),
+            m.clone(),
+        );
+        let (pipe, consumer) = pipe_pair();
+        let cancel = CancelToken::new();
+        let c2 = cancel.clone();
+        // A "stuck" plan: admitted, never produces, never finishes its pipe.
+        let dispatch: DispatchFn = Box::new(move || vec![c2]);
+        let ticket = QueryTicket::new(QueryClass::Interactive, vec!["scan"], dispatch, pipe);
+        ctrl.submit(ticket.clone()).unwrap();
+        assert!(!ticket.is_queued(), "admitted immediately");
+        std::thread::sleep(Duration::from_millis(10));
+        ctrl.sweep();
+        assert!(cancel.is_cancelled(), "deadline fires the plan's cancel tokens");
+        assert_eq!(consumer.collect_tuples().expect_err("timed out"), QError::Timeout);
+        ctrl.finish(&ticket, None, false);
+        assert_eq!(ctrl.in_flight("scan"), 0, "slots released on settle");
+        assert_eq!(m.snapshot().query_timeouts, 1);
+    }
+
+    #[test]
+    fn deadline_spares_queries_within_budget() {
+        let m = metrics();
+        let ctrl = AdmissionController::with_deadline(
+            AdmitConfig::default(),
+            Some(Duration::from_secs(3600)),
+            m.clone(),
+        );
+        let dispatched = Arc::new(AtomicUsize::new(0));
+        let (t, c) = counting_ticket(QueryClass::Interactive, &["scan"], &dispatched);
+        ctrl.submit(t.clone()).unwrap();
+        ctrl.sweep();
+        assert!(c.collect_tuples().is_ok(), "young query untouched by the sweeper");
+        ctrl.finish(&t, None, false);
+        assert_eq!(m.snapshot().query_timeouts, 0);
     }
 
     #[test]

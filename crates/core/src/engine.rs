@@ -106,8 +106,18 @@ pub struct QPipe {
 }
 
 impl QPipe {
-    /// Boot the engine over a catalog.
+    /// Boot the engine over a catalog. Panics only when the OS refuses to
+    /// spawn the µEngine dispatcher threads — use
+    /// [`try_new`](Self::try_new) to handle that as an error instead.
     pub fn new(catalog: Arc<Catalog>, config: QPipeConfig) -> Arc<Self> {
+        Self::try_new(catalog, config).unwrap_or_else(|e| panic!("QPipe boot failed: {e}"))
+    }
+
+    /// Fallible boot: `Err(QError::Exec)` when a dispatcher thread cannot be
+    /// spawned (thread exhaustion). Threads spawned before the failure wind
+    /// down on their own: dropping the partially built engine map closes
+    /// their queues.
+    pub fn try_new(catalog: Arc<Catalog>, config: QPipeConfig) -> QResult<Arc<Self>> {
         let metrics = catalog.disk().metrics().clone();
         // Validate once up front so the stored config reports the *effective*
         // limits (the nested constructors re-validate idempotently: already
@@ -141,15 +151,35 @@ impl QPipe {
                 .name(format!("qpipe-ueng-{name}"))
                 .spawn(move || {
                     while let Ok(packet) = rx.recv() {
-                        dispatch_packet(name, packet, &share, &env, &scan_mgr2);
+                        // Containment: a panic escaping the dispatch path
+                        // (OSP attach, host setup, scan routing) must not
+                        // kill this dispatcher thread — every later packet
+                        // routed to this µEngine would hang on a dead queue.
+                        // Fail the packet's output and keep serving.
+                        let out = packet.output.as_ref().map(|p| p.pipe().clone());
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            dispatch_packet(name, packet, &share, &env, &scan_mgr2)
+                        }));
+                        if caught.is_err() {
+                            env.metrics.add_worker_panic();
+                            if let Some(pipe) = out {
+                                pipe.fail(QError::Exec(format!(
+                                    "{name} µEngine dispatcher panicked"
+                                )));
+                            }
+                        }
                     }
                 })
-                .expect("spawn µEngine");
+                .map_err(|e| QError::Exec(format!("spawn {name} µEngine: {e}")))?;
             engines.insert(name, MicroEngine { queue: tx });
         }
-        let admit = AdmissionController::new(config.admit, metrics.clone());
+        let admit = AdmissionController::with_deadline(
+            config.admit,
+            config.exec.query_deadline,
+            metrics.clone(),
+        );
         let sweeper = AdmitSweeper::spawn(admit.clone());
-        Arc::new_cyclic(|self_weak| Self {
+        Ok(Arc::new_cyclic(|self_weak| Self {
             ctx,
             config,
             registry,
@@ -162,7 +192,7 @@ impl QPipe {
             _sweeper: sweeper,
             self_weak: self_weak.clone(),
             node_labels: parking_lot::Mutex::new(HashMap::new()),
-        })
+        }))
     }
 
     pub fn metrics(&self) -> &Metrics {
@@ -540,13 +570,30 @@ fn dispatch_packet(
     }
     let (packet, host, guard) = ops::prepare(packet, share, env);
     let env = env.clone();
-    std::thread::Builder::new()
-        .name(format!("qpipe-{name}-w"))
-        .spawn(move || {
+    // Extra handles so both failure paths — spawn refusal and an operator
+    // panic — can poison the host's outputs. A truncated stream must read
+    // as an error, never as a complete result.
+    let host_panic = host.clone();
+    let host_spawn = host.clone();
+    let spawned = std::thread::Builder::new().name(format!("qpipe-{name}-w")).spawn(move || {
+        // Containment: an operator panic (a bug, or an injected fault)
+        // must not unwind across the host — it would strand attached
+        // satellites mid-stream. Poison every output instead, then let
+        // the registry guard deregister the host as usual.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             ops::execute(packet, host, &env);
-            drop(guard);
-        })
-        .expect("spawn worker");
+        }));
+        if caught.is_err() {
+            env.metrics.add_worker_panic();
+            host_panic.fail(&QError::Exec(format!("operator worker panicked in {name} µEngine")));
+        }
+        drop(guard);
+    });
+    if let Err(e) = spawned {
+        // The closure (packet, host, guard) was consumed and dropped by the
+        // failed spawn; the surviving clone fails the attached queries.
+        host_spawn.fail(&QError::Exec(format!("spawn {name} worker: {e}")));
+    }
 }
 
 /// Scans served by the circular scan manager: all table scans, and clustered

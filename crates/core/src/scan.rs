@@ -256,10 +256,25 @@ impl ScanManager {
         });
         self.groups.lock().entry(table.clone()).or_default().push(group.clone());
         let mgr = self.clone();
-        std::thread::Builder::new()
-            .name(format!("qpipe-scan-{table}"))
-            .spawn(move || {
-                mgr.run_scanner(&group, num_pages);
+        let group_outer = group.clone();
+        let spawned =
+            std::thread::Builder::new().name(format!("qpipe-scan-{table}")).spawn(move || {
+                // Backstop containment: the page-fetch path inside
+                // `run_scanner` already converts panics to errors while the
+                // consumer list is intact; this outer catch only covers
+                // panics elsewhere, so the group still leaves the index and
+                // refuses attaches instead of accepting them forever.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    mgr.run_scanner(&group, num_pages);
+                }));
+                if caught.is_err() {
+                    mgr.metrics.add_worker_panic();
+                    mgr.fail_group(
+                        &group,
+                        &mut Vec::new(),
+                        QError::Exec(format!("scanner thread for {} panicked", group.table)),
+                    );
+                }
                 // Remove the group from the index.
                 let mut groups = mgr.groups.lock();
                 if let Some(v) = groups.get_mut(&group.table) {
@@ -268,8 +283,23 @@ impl ScanManager {
                         groups.remove(&group.table);
                     }
                 }
-            })
-            .expect("spawn scanner thread");
+            });
+        if let Err(e) = spawned {
+            // The closure (and its group/mgr handles) was dropped by the
+            // failed spawn; unindex the group and fail its inbox so the
+            // requesting packet observes the error instead of hanging.
+            let mut groups = self.groups.lock();
+            if let Some(v) = groups.get_mut(&table) {
+                v.retain(|g| !Arc::ptr_eq(g, &group_outer));
+                if v.is_empty() {
+                    groups.remove(&table);
+                }
+            }
+            drop(groups);
+            let err = QError::Exec(format!("spawn scanner for {table}: {e}"));
+            self.fail_group(&group_outer, &mut Vec::new(), err.clone());
+            return Err(err);
+        }
         Ok(())
     }
 
@@ -287,6 +317,43 @@ impl ScanManager {
         for c in consumers.drain(..).chain(stragglers) {
             c.output.fail(e.clone());
         }
+    }
+
+    /// Fetch + decode one page for the scanner. Returns the shared batch and
+    /// whether it carries only the pruned column union.
+    ///
+    /// A referenced set pointing past the page width (plan names a column
+    /// the table lacks) keeps the full-width path, so such plans behave
+    /// exactly as unpruned ones (predicate eval errors filter the page out)
+    /// instead of failing the scan. A union covering the whole page also
+    /// keeps it: full materialization is cached on the page handle, so
+    /// decoding "all columns, uncached" would cost more than it saves.
+    fn fetch_page(
+        &self,
+        pool: &Arc<qpipe_storage::BufferPool>,
+        file: qpipe_storage::FileId,
+        position: u64,
+        union: Option<&[usize]>,
+    ) -> QResult<(Arc<AnyBatch>, bool)> {
+        pool.get(file, position).and_then(|block| match block {
+            Block::Columnar(cp) => {
+                match union.filter(|u| {
+                    u.len() < cp.num_cols() && u.last().is_none_or(|&c| c < cp.num_cols())
+                }) {
+                    Some(u) => {
+                        let batch = cp.decode_cols(u)?;
+                        self.metrics.add_pruned_page();
+                        Ok((Arc::new(AnyBatch::Cols(batch)), true))
+                    }
+                    None => {
+                        Ok((Arc::new(AnyBatch::Cols(cp.materialize()?.as_ref().clone())), false))
+                    }
+                }
+            }
+            Block::Slotted(p) => {
+                Ok((Arc::new(AnyBatch::Cols(ColBatch::from_rows(&p.decode_tuples()?))), false))
+            }
+        })
     }
 
     /// The scanner thread body: circular page delivery to all consumers.
@@ -357,35 +424,22 @@ impl ScanManager {
                 union = if staggered { None } else { union_refs(&consumers) };
                 union_stale = false;
             }
+            // A panic out of the fetch/decode path (e.g. an injected Panic
+            // fault surfacing through the buffer pool) is converted to an
+            // error *here*, while the consumer list is still intact, so
+            // `fail_group` below poisons every attached packet. Letting it
+            // unwind would drop the producers, which close their pipes
+            // cleanly — truncated output would read as complete results.
             let decoded: QResult<(Arc<AnyBatch>, bool)> =
-                pool.get(file, position).and_then(|block| match block {
-                    // A referenced set pointing past the page width (plan
-                    // names a column the table lacks) keeps the full-width
-                    // path, so such plans behave exactly as unpruned ones
-                    // (predicate eval errors filter the page out) instead of
-                    // failing the scan. A union covering the whole page also
-                    // keeps it: full materialization is cached on the page
-                    // handle, so decoding "all columns, uncached" would cost
-                    // more than it saves.
-                    Block::Columnar(cp) => {
-                        match union.as_ref().filter(|u| {
-                            u.len() < cp.num_cols() && u.last().is_none_or(|&c| c < cp.num_cols())
-                        }) {
-                            Some(u) => {
-                                let batch = cp.decode_cols(u)?;
-                                self.metrics.add_pruned_page();
-                                Ok((Arc::new(AnyBatch::Cols(batch)), true))
-                            }
-                            None => Ok((
-                                Arc::new(AnyBatch::Cols(cp.materialize()?.as_ref().clone())),
-                                false,
-                            )),
-                        }
-                    }
-                    Block::Slotted(p) => Ok((
-                        Arc::new(AnyBatch::Cols(ColBatch::from_rows(&p.decode_tuples()?))),
-                        false,
-                    )),
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.fetch_page(&pool, file, position, union.as_deref())
+                }))
+                .unwrap_or_else(|_| {
+                    self.metrics.add_worker_panic();
+                    Err(QError::Exec(format!(
+                        "scanner for {} panicked reading page {position}",
+                        group.table
+                    )))
                 });
             let (shared, pruned_delivery) = match decoded {
                 Ok(s) => s,

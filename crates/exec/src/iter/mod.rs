@@ -40,6 +40,11 @@ pub struct ExecConfig {
     /// governor denies growth past it regardless of per-operator budgets.
     /// Effectively unbounded by default (single-query behavior unchanged).
     pub global_budget: usize,
+    /// Wall-clock execution deadline per query. In the staged engine the
+    /// admission sweeper fires the plan's cancel tokens and fails the output
+    /// with `QError::Timeout` once a running query exceeds it. `None`
+    /// (default) disables deadline enforcement.
+    pub query_deadline: Option<std::time::Duration>,
 }
 
 impl Default for ExecConfig {
@@ -49,6 +54,7 @@ impl Default for ExecConfig {
             hash_budget: 64 * 1024,
             partitions: 8,
             global_budget: usize::MAX >> 2,
+            query_deadline: None,
         }
     }
 }
@@ -292,8 +298,14 @@ mod config_tests {
     #[test]
     fn degenerate_budgets_clamp_with_warning_metric() {
         let m = Metrics::new();
-        let cfg = ExecConfig { sort_budget: 0, hash_budget: 1, partitions: 0, global_budget: 1 }
-            .validated(&m);
+        let cfg = ExecConfig {
+            sort_budget: 0,
+            hash_budget: 1,
+            partitions: 0,
+            global_budget: 1,
+            ..Default::default()
+        }
+        .validated(&m);
         assert_eq!(cfg.sort_budget, 2);
         assert_eq!(cfg.hash_budget, 2);
         assert_eq!(cfg.partitions, 2);

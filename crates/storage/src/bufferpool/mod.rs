@@ -18,9 +18,10 @@ pub mod policy;
 use crate::disk::{Block, FileId, SimDisk};
 use parking_lot::{Condvar, Mutex};
 use policy::{new_policy, PageKey, ReplacementPolicy};
-use qpipe_common::{Metrics, QResult};
+use qpipe_common::{Metrics, QError, QResult};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which replacement policy a pool instance uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,23 +38,47 @@ pub enum PolicyKind {
     Arc,
 }
 
+/// Bounded retry with exponential backoff for disk reads. Every read error —
+/// injected transient fault or checksum mismatch — is retried up to
+/// `max_attempts` times; transient faults heal invisibly (`io_retries`
+/// metric), permanent ones propagate to the caller after the last attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per read (1 = no retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, backoff: Duration::from_micros(500) }
+    }
+}
+
 /// Buffer pool configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct BufferPoolConfig {
     /// Capacity in pages.
     pub capacity: usize,
     pub policy: PolicyKind,
+    pub retry: RetryPolicy,
 }
 
 impl BufferPoolConfig {
     pub fn new(capacity: usize, policy: PolicyKind) -> Self {
-        Self { capacity, policy }
+        Self { capacity, policy, retry: RetryPolicy::default() }
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
 impl Default for BufferPoolConfig {
     fn default() -> Self {
-        Self { capacity: 1024, policy: PolicyKind::Lru }
+        Self::new(1024, PolicyKind::Lru)
     }
 }
 
@@ -67,9 +92,26 @@ struct PoolState {
 pub struct BufferPool {
     disk: Arc<SimDisk>,
     capacity: usize,
+    retry: RetryPolicy,
     state: Mutex<PoolState>,
     pending_cv: Condvar,
     metrics: Metrics,
+}
+
+/// Removes a key from the single-flight pending set when the owning read
+/// finishes — including by panic (an injected fault can panic the reading
+/// thread; waiters must not wedge on a pending entry nobody will clear).
+struct PendingGuard<'a> {
+    pool: &'a BufferPool,
+    key: PageKey,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock();
+        st.pending.remove(&self.key);
+        self.pool.pending_cv.notify_all();
+    }
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -84,6 +126,7 @@ impl BufferPool {
         Arc::new(Self {
             disk,
             capacity: config.capacity.max(1),
+            retry: config.retry,
             state: Mutex::new(PoolState {
                 resident: HashMap::new(),
                 pending: HashSet::new(),
@@ -130,12 +173,13 @@ impl BufferPool {
             }
         }
         // Perform the disk read outside the lock so other pages stream in
-        // parallel (the RAID-0 substitute).
-        let read = self.disk.read_block(file, block);
-        let mut st = self.state.lock();
-        st.pending.remove(&key);
-        self.pending_cv.notify_all();
+        // parallel (the RAID-0 substitute). The guard clears the pending
+        // entry even if the read panics.
+        let guard = PendingGuard { pool: self, key };
+        let read = self.read_verified(file, block);
+        drop(guard);
         let page = read?;
+        let mut st = self.state.lock();
         // Make room and insert.
         while st.resident.len() >= self.capacity {
             match st.policy.victim() {
@@ -148,6 +192,36 @@ impl BufferPool {
         st.resident.insert(key, page.clone());
         st.policy.on_insert(key);
         Ok(page)
+    }
+
+    /// One disk read with checksum verification, retried per the pool's
+    /// [`RetryPolicy`]. A corrupt page is *never* returned: verification
+    /// failure counts as a read error (`checksum_failures` metric) and is
+    /// retried like any other — transient corruption heals, persistent
+    /// corruption surfaces as `QError::Storage`.
+    fn read_verified(&self, file: FileId, block: u64) -> QResult<Block> {
+        let mut backoff = self.retry.backoff;
+        let mut last_err = None;
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                self.metrics.add_io_retry();
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+            match self.disk.read_block(file, block) {
+                Ok(page) if page.verify_checksum() => return Ok(page),
+                Ok(_) => {
+                    self.metrics.add_checksum_failure();
+                    last_err = Some(QError::Storage(format!(
+                        "checksum mismatch on block {block} of file {file:?}"
+                    )));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| QError::Storage("disk read failed".into())))
     }
 
     /// True if the page is currently cached (no policy side effects).
@@ -363,6 +437,78 @@ mod tests {
         }
         assert!(!pool.contains(f, 0) || blocks == 1);
         assert_eq!(held.len(), first.num_records(), "held batch unaffected by eviction");
+    }
+
+    #[test]
+    fn transient_fault_heals_via_retry() {
+        use qpipe_common::{FaultInjector, FaultKind, FaultOp, FaultRule};
+        let (disk, pool, f) = setup(10, PolicyKind::Lru, 3);
+        disk.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            5,
+            vec![FaultRule::new(FaultKind::Transient).on_op(FaultOp::Read).times(2)],
+        ))));
+        let block = pool.get(f, 0).unwrap();
+        assert!(block.verify_checksum());
+        let s = disk.metrics().snapshot();
+        assert_eq!(s.io_retries, 2, "two failed attempts retried, third healed");
+    }
+
+    #[test]
+    fn transient_corruption_heals_and_permanent_corruption_errors() {
+        use qpipe_common::{FaultInjector, FaultKind, FaultOp, FaultRule};
+        let (disk, pool, f) = setup(10, PolicyKind::Lru, 3);
+        // Corruption that heals after one serve: retry gets the clean block.
+        disk.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            6,
+            vec![FaultRule::new(FaultKind::Corrupt).on_op(FaultOp::Read).times(1)],
+        ))));
+        let block = pool.get(f, 0).unwrap();
+        assert!(block.verify_checksum(), "retry must serve the clean block");
+        let s = disk.metrics().snapshot();
+        assert_eq!(s.checksum_failures, 1);
+        assert_eq!(s.io_retries, 1);
+        // Corruption that outlasts every attempt: surfaced as an error, the
+        // corrupt block is never returned as data.
+        disk.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            7,
+            vec![FaultRule::new(FaultKind::Corrupt).on_op(FaultOp::Read).times(100)],
+        ))));
+        let err = pool.get(f, 1).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "got: {err}");
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retries_then_errors() {
+        use qpipe_common::{FaultInjector, FaultKind, FaultOp, FaultRule};
+        let (disk, pool, f) = setup(10, PolicyKind::Lru, 3);
+        disk.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            8,
+            vec![FaultRule::new(FaultKind::Permanent).on_op(FaultOp::Read)],
+        ))));
+        let err = pool.get(f, 0).unwrap_err();
+        assert!(err.to_string().contains("injected I/O error"), "got: {err}");
+        assert_eq!(disk.metrics().snapshot().io_retries, 2, "3 attempts = 2 retries");
+        // The failed key must not be stuck pending: a later fault-free get
+        // succeeds (single-flight entry was cleared).
+        disk.set_fault_injector(None);
+        assert!(pool.get(f, 0).is_ok());
+    }
+
+    #[test]
+    fn panic_during_read_does_not_wedge_single_flight() {
+        use qpipe_common::{FaultInjector, FaultKind, FaultOp, FaultRule};
+        let (disk, pool, f) = setup(10, PolicyKind::Lru, 3);
+        disk.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            9,
+            vec![FaultRule::new(FaultKind::Panic).on_op(FaultOp::Read).on_blocks(0..1)],
+        ))));
+        let p2 = pool.clone();
+        let r = std::thread::spawn(move || p2.get(f, 0)).join();
+        assert!(r.is_err(), "injected panic propagates out of the reading thread");
+        // The pending guard must have cleared the entry: another reader of
+        // the same key proceeds instead of waiting forever.
+        disk.set_fault_injector(None);
+        assert!(pool.get(f, 0).is_ok());
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct ColPage {
     data: Arc<Vec<u8>>,
     rows: u16,
     cols: u16,
+    /// Checksum of `data`, sealed at construction (columnar pages are
+    /// immutable, so the seal never goes stale).
+    sum: u64,
     decoded: Arc<OnceLock<Arc<ColBatch>>>,
 }
 
@@ -91,7 +94,30 @@ impl ColPage {
         if HEADER_BYTES + cols as usize * DIR_ENTRY_BYTES > PAGE_SIZE {
             return Err(corrupt("directory exceeds page"));
         }
-        Ok(Self { data, rows, cols, decoded: Arc::new(OnceLock::new()) })
+        let sum = qpipe_common::sim::fnv1a(&data);
+        Ok(Self { data, rows, cols, sum, decoded: Arc::new(OnceLock::new()) })
+    }
+
+    /// Verify the sealed checksum against the page bytes.
+    pub fn verify_checksum(&self) -> bool {
+        self.sum == qpipe_common::sim::fnv1a(&self.data)
+    }
+
+    /// Return a clone with one bit of the page bytes flipped and the seal
+    /// left intact — a detectably corrupt page for fault injection. The
+    /// clone gets a fresh decode cache so the clean page's cached batch is
+    /// never served for the corrupted bytes.
+    pub fn corrupted_copy(&self, bit: u64) -> Self {
+        let bit = bit % (PAGE_SIZE as u64 * 8);
+        let mut data = (*self.data).clone();
+        data[(bit / 8) as usize] ^= 1 << (bit % 8);
+        Self {
+            data: Arc::new(data),
+            rows: self.rows,
+            cols: self.cols,
+            sum: self.sum,
+            decoded: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Number of rows stored on the page.
@@ -508,10 +534,12 @@ impl ColPageBuilder {
         self.nulls = vec![Vec::new(); self.types.len()];
         self.any_null = vec![false; self.types.len()];
         self.rows = 0;
+        let sum = qpipe_common::sim::fnv1a(&data);
         ColPage {
             data: Arc::new(data),
             rows: rows as u16,
             cols: ncols,
+            sum,
             decoded: Arc::new(OnceLock::new()),
         }
     }
@@ -655,6 +683,24 @@ mod tests {
         data[10..12].copy_from_slice(&8000u16.to_le_bytes()); // int region past EOF
         let page = ColPage::from_bytes(Arc::new(data)).unwrap();
         assert!(page.decode().is_err());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_corruption() {
+        let mut b = ColPageBuilder::new(&schema());
+        for r in sample_rows(50) {
+            b.append(&r).unwrap();
+        }
+        let page = b.finish();
+        assert!(page.verify_checksum());
+        page.materialize().unwrap(); // warm the clean page's decode cache
+        let bad = page.corrupted_copy(12345);
+        assert!(!bad.verify_checksum(), "flipped bit must fail verification");
+        assert!(page.verify_checksum(), "clean page unaffected");
+        assert!(
+            bad.decoded.get().is_none(),
+            "corrupt copy must not inherit the clean decode cache"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::colpage::ColPage;
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::{Mutex, RwLock};
-use qpipe_common::{Metrics, QError, QResult, Tuple};
+use qpipe_common::{FaultAction, FaultInjector, FaultOp, Metrics, QError, QResult, Tuple};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,6 +76,35 @@ impl Block {
         match self {
             Block::Slotted(p) => p.decode_tuples(),
             Block::Columnar(p) => p.rows(),
+        }
+    }
+
+    /// Seal the block's checksum; the disk calls this the moment a block
+    /// becomes durable (columnar pages are already sealed at build time).
+    pub fn seal(&mut self) {
+        if let Block::Slotted(p) = self {
+            p.seal();
+        }
+    }
+
+    /// Verify the sealed checksum against the block's current contents.
+    pub fn verify_checksum(&self) -> bool {
+        match self {
+            Block::Slotted(p) => p.verify_checksum(),
+            Block::Columnar(p) => p.verify_checksum(),
+        }
+    }
+
+    /// A copy with one payload bit flipped under an intact seal — the
+    /// fault injector's corruption primitive.
+    pub fn corrupted_copy(&self, bit: u64) -> Self {
+        match self {
+            Block::Slotted(p) => {
+                let mut p = p.clone();
+                p.corrupt_bit(bit);
+                Block::Slotted(p)
+            }
+            Block::Columnar(p) => Block::Columnar(p.corrupted_copy(bit)),
         }
     }
 }
@@ -151,6 +180,8 @@ pub struct SimDisk {
     /// Last block read per file, to classify sequential vs random access.
     last_read: Mutex<HashMap<FileId, u64>>,
     metrics: Metrics,
+    /// Optional fault schedule consulted on every block access.
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl SimDisk {
@@ -162,11 +193,41 @@ impl SimDisk {
             next_id: AtomicU64::new(1),
             last_read: Mutex::new(HashMap::new()),
             metrics,
+            injector: Mutex::new(None),
         })
     }
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Install (or clear) a fault injector; all subsequent block accesses
+    /// consult its schedule.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.lock() = injector;
+    }
+
+    /// Consult the installed fault injector for this access. Delays are
+    /// charged here; injected errors return `Err`; corruption returns the
+    /// bit to flip in the served block; injected panics propagate.
+    fn check_fault(&self, name: &str, block_no: u64, op: FaultOp) -> QResult<Option<u64>> {
+        let inj = self.injector.lock().clone();
+        let Some(inj) = inj else { return Ok(None) };
+        let Some(action) = inj.decide(name, block_no, op) else { return Ok(None) };
+        self.metrics.add_fault_injected();
+        match action {
+            FaultAction::Delay(d) => {
+                spin_sleep(d);
+                Ok(None)
+            }
+            FaultAction::CorruptBit { bit } => Ok(Some(bit)),
+            FaultAction::Error => Err(QError::Storage(format!(
+                "injected I/O error: {op:?} block {block_no} of {name:?}"
+            ))),
+            FaultAction::Panic => {
+                panic!("injected fault: panic on {op:?} block {block_no} of {name:?}")
+            }
+        }
     }
 
     pub fn config(&self) -> DiskConfig {
@@ -240,7 +301,7 @@ impl SimDisk {
     /// Read one block, charging latency and counting the I/O.
     pub fn read_block(&self, id: FileId, block_no: u64) -> QResult<Block> {
         let file = self.file(id)?;
-        let (page, name) = {
+        let (mut page, name) = {
             let f = file.read();
             let page = f.blocks.get(block_no as usize).cloned().ok_or_else(|| {
                 QError::Storage(format!(
@@ -251,6 +312,9 @@ impl SimDisk {
             })?;
             (page, f.name.clone())
         };
+        if let Some(bit) = self.check_fault(&name, block_no, FaultOp::Read)? {
+            page = page.corrupted_copy(bit);
+        }
         let sequential = {
             let mut last = self.last_read.lock();
             let seq = last.get(&id).is_some_and(|&prev| prev + 1 == block_no);
@@ -270,11 +334,22 @@ impl SimDisk {
     }
 
     /// Append a block to the end of the file; returns its block number.
+    /// The block's checksum is sealed here, the moment it becomes durable.
     pub fn append_block(&self, id: FileId, page: impl Into<Block>) -> QResult<u64> {
         let file = self.file(id)?;
+        let mut block = page.into();
+        block.seal();
+        let name = file.read().name.clone();
+        // Write faults target the block number about to be assigned; corrupt
+        // after sealing so the damage is detectable on a later read.
+        if let Some(bit) =
+            self.check_fault(&name, file.read().blocks.len() as u64, FaultOp::Write)?
+        {
+            block = block.corrupted_copy(bit);
+        }
         let block_no = {
             let mut f = file.write();
-            f.blocks.push(page.into());
+            f.blocks.push(block);
             (f.blocks.len() - 1) as u64
         };
         self.metrics.add_disk_write(1);
@@ -284,16 +359,22 @@ impl SimDisk {
         Ok(block_no)
     }
 
-    /// Overwrite an existing block in place.
+    /// Overwrite an existing block in place (checksum sealed like append).
     pub fn write_block(&self, id: FileId, block_no: u64, page: impl Into<Block>) -> QResult<()> {
         let file = self.file(id)?;
+        let mut block = page.into();
+        block.seal();
+        let name = file.read().name.clone();
+        if let Some(bit) = self.check_fault(&name, block_no, FaultOp::Write)? {
+            block = block.corrupted_copy(bit);
+        }
         {
             let mut f = file.write();
             let len = f.blocks.len();
             let slot = f.blocks.get_mut(block_no as usize).ok_or_else(|| {
                 QError::Storage(format!("write past EOF: block {block_no} of {len} blocks"))
             })?;
-            *slot = page.into();
+            *slot = block;
         }
         self.metrics.add_disk_write(1);
         if self.config.charge_latency {
@@ -392,6 +473,60 @@ mod tests {
         // The name can be reused after deletion.
         d.create_file("t").unwrap();
         assert!(d.delete_file(f).is_err(), "double delete errors");
+    }
+
+    #[test]
+    fn injected_transient_read_error_heals() {
+        use qpipe_common::{FaultInjector, FaultKind, FaultRule};
+        let d = disk();
+        let f = d.create_file("t").unwrap();
+        let mut p = Page::new();
+        p.append_record(b"hello").unwrap();
+        d.append_block(f, p).unwrap();
+        d.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            1,
+            vec![FaultRule::new(FaultKind::Transient).on_op(qpipe_common::FaultOp::Read).times(2)],
+        ))));
+        assert!(d.read_block(f, 0).is_err());
+        assert!(d.read_block(f, 0).is_err());
+        let back = d.read_block(f, 0).unwrap();
+        assert!(back.verify_checksum(), "healed read serves the clean block");
+        assert_eq!(d.metrics().snapshot().faults_injected, 2);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_checksum() {
+        use qpipe_common::{FaultInjector, FaultKind, FaultRule};
+        let d = disk();
+        let f = d.create_file("t").unwrap();
+        let mut p = Page::new();
+        p.append_record(b"payload").unwrap();
+        d.append_block(f, p).unwrap();
+        d.set_fault_injector(Some(Arc::new(FaultInjector::new(
+            2,
+            vec![FaultRule::new(FaultKind::Corrupt).on_op(qpipe_common::FaultOp::Read).times(1)],
+        ))));
+        let bad = d.read_block(f, 0).unwrap();
+        assert!(!bad.verify_checksum(), "corrupted serve must fail verification");
+        let good = d.read_block(f, 0).unwrap();
+        assert!(good.verify_checksum(), "corruption heals after one serve");
+        d.set_fault_injector(None);
+        assert!(d.read_block(f, 0).unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn blocks_are_sealed_on_write() {
+        let d = disk();
+        let f = d.create_file("t").unwrap();
+        let mut p = Page::new();
+        p.append_record(b"x").unwrap();
+        assert!(p.verify_checksum(), "unsealed page trivially passes");
+        d.append_block(f, p).unwrap();
+        let back = d.read_block(f, 0).unwrap();
+        let Block::Slotted(page) = back else { panic!("slotted") };
+        let mut tampered = page.clone();
+        tampered.corrupt_bit(0);
+        assert!(!tampered.verify_checksum(), "disk write sealed the page");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! * [`harness`] — closed-loop multi-client drivers over both engines, with
 //!   interarrival/think-time control and paper-time scaling.
 
+pub mod chaos;
 pub mod harness;
 pub mod tpch;
 pub mod wisconsin;

@@ -1,0 +1,122 @@
+//! Engine lifecycle: shutdown must join every service thread, and the
+//! per-query deadline must terminate overdue work.
+//!
+//! `QPipe` owns a deadlock-detector thread, an admission-sweeper thread
+//! (when a queue timeout or execution deadline is configured), one
+//! dispatcher thread per µEngine, and transient worker/scanner threads.
+//! Dropping the engine must wind all of them down — an engine-per-request
+//! embedding would otherwise accumulate threads until exhaustion (and a
+//! leaked sweeper would keep failing queries of a dead engine).
+
+use qpipe::prelude::*;
+use qpipe::quick_system;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task").expect("linux procfs").count()
+}
+
+fn demo_catalog(rows: i64) -> Arc<Catalog> {
+    let catalog = quick_system(DiskConfig::instant(), 256);
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    catalog
+        .create_table(
+            "t",
+            schema,
+            (0..rows).map(|i| vec![Value::Int(i % 97), Value::Int(i)]).collect(),
+            None,
+        )
+        .unwrap();
+    catalog
+}
+
+/// Build + query + drop an engine repeatedly: the thread count must return
+/// to baseline each time (detector, sweeper, µEngine dispatchers, workers —
+/// all joined or wound down, none accumulated).
+#[test]
+fn repeated_engine_lifecycles_do_not_leak_threads() {
+    let catalog = demo_catalog(500);
+    // Deadline + queue timeout force the admission sweeper thread to exist,
+    // so this exercises every service thread the engine can own.
+    let config = QPipeConfig {
+        exec: ExecConfig { query_deadline: Some(Duration::from_secs(30)), ..ExecConfig::default() },
+        admit: AdmitConfig {
+            queue_timeout: Some(Duration::from_secs(30)),
+            ..AdmitConfig::default()
+        },
+        ..QPipeConfig::default()
+    };
+    let cycle = |catalog: &Arc<Catalog>| {
+        let engine = QPipe::new(catalog.clone(), config);
+        let rows = engine.submit(PlanNode::scan("t")).unwrap().collect();
+        assert_eq!(rows.len(), 500);
+        drop(engine);
+    };
+    // Warm-up reaches the runtime's steady state (test harness threads,
+    // lazily initialized pools) before the baseline is taken.
+    cycle(&catalog);
+    let settle = |bound: usize, what: &str| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let n = live_threads();
+            if n <= bound {
+                return n;
+            }
+            assert!(Instant::now() < deadline, "{what}: {n} threads alive, want <= {bound}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    let baseline = settle(usize::MAX, "unreachable");
+    for i in 0..5 {
+        cycle(&catalog);
+        settle(baseline, &format!("cycle {i} leaked threads"));
+    }
+}
+
+/// End-to-end deadline: a query that outlives `query_deadline` is failed by
+/// the admission sweeper with `QError::Timeout`, its admission slots are
+/// released, and the engine stays usable for the next query.
+#[test]
+fn query_deadline_times_out_slow_queries_end_to_end() {
+    // A latency-charging disk makes the multi-pass sort take real time.
+    let catalog = quick_system(DiskConfig::experiment(), 64);
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    catalog
+        .create_table(
+            "big",
+            schema,
+            (0..30_000).map(|i| vec![Value::Int(i % 1009), Value::Int(i)]).collect(),
+            None,
+        )
+        .unwrap();
+    let config = QPipeConfig {
+        exec: ExecConfig {
+            query_deadline: Some(Duration::from_millis(5)),
+            sort_budget: 256,
+            ..ExecConfig::default()
+        },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    let plan = PlanNode::scan("big").sort(vec![SortKey::asc(0)]);
+    let err = engine
+        .submit(plan)
+        .unwrap()
+        .try_collect()
+        .expect_err("a 5 ms deadline must fire on a multi-second sort");
+    assert_eq!(err, QError::Timeout, "deadline failure surfaces as Timeout");
+    assert_eq!(engine.metrics().snapshot().query_timeouts, 1);
+    // Slots released: a fast follow-up query runs to completion.
+    let engine2 = engine.clone();
+    let rows = engine2
+        .submit(PlanNode::scan("big").aggregate(vec![], vec![AggSpec::count_star()]))
+        .unwrap()
+        .try_collect();
+    // The count query is itself subject to the 5 ms deadline on the slow
+    // disk, so accept either outcome — what matters is a settled result.
+    match rows {
+        Ok(r) => assert_eq!(r[0][0], Value::Int(30_000)),
+        Err(e) => assert_eq!(e, QError::Timeout),
+    }
+}

@@ -96,6 +96,47 @@ fn abandoned_spilling_query_releases_temp_files() {
     }
 }
 
+/// Fault-injection flavor: an I/O error injected *mid-spill* (every write to
+/// a `__tmp.*` run file fails permanently) must fail the query with a clean
+/// error, and the RAII run handles must still return the disk to zero temp
+/// files — a failed spill is exactly the torn-down-operator path.
+#[test]
+fn injected_spill_write_failure_still_cleans_temp_files() {
+    let catalog = quick_system(DiskConfig::instant(), 256);
+    table(&catalog, "t", 2000);
+    let disk = catalog.disk().clone();
+    let config = QPipeConfig {
+        exec: ExecConfig { sort_budget: 64, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog, config);
+    disk.set_fault_injector(Some(Arc::new(FaultInjector::new(
+        13,
+        vec![FaultRule::new(FaultKind::Permanent).on_file("__tmp.").on_op(FaultOp::Write)],
+    ))));
+    let plan = PlanNode::scan("t").sort(vec![SortKey::asc(0)]);
+    let err = engine
+        .submit(plan)
+        .unwrap()
+        .try_collect()
+        .expect_err("a failed spill must fail the query, not truncate it");
+    assert!(matches!(err, QError::Storage(_)), "got {err:?}");
+    disk.set_fault_injector(None);
+    // Workers wind down asynchronously after the failure; poll for cleanup.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if tmp_files(&disk).is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "failed spill still holds temp files: {:?}",
+            tmp_files(&disk)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 /// Iterator-engine flavor of the same guarantee: dropping a partially
 /// consumed external sort / grace join (a failed query tears its operator
 /// tree down exactly like this) deletes every run immediately.
