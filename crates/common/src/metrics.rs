@@ -50,6 +50,7 @@ struct MetricsInner {
     worker_panics: AtomicU64,
     query_timeouts: AtomicU64,
     faults_injected: AtomicU64,
+    plan_canonical_hits: AtomicU64,
     per_file_reads: Mutex<HashMap<String, u64>>,
     per_engine_attaches: Mutex<HashMap<String, u64>>,
 }
@@ -124,6 +125,11 @@ pub struct MetricsSnapshot {
     pub query_timeouts: u64,
     /// Faults the injector delivered (errors, corruptions, delays, panics).
     pub faults_injected: u64,
+    /// SQL submissions whose canonicalized plan signature matched a plan
+    /// previously planned from *different* query text — syntactic variants
+    /// recognized as the same work by the planner (the precondition for OSP
+    /// and result-cache sharing across differently-phrased clients).
+    pub plan_canonical_hits: u64,
     pub per_file_reads: HashMap<String, u64>,
     pub per_engine_attaches: HashMap<String, u64>,
 }
@@ -252,6 +258,14 @@ impl Metrics {
         self.inner.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_plan_canonical_hit(&self) {
+        self.inner.plan_canonical_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn plan_canonical_hits(&self) -> u64 {
+        self.inner.plan_canonical_hits.load(Ordering::Relaxed)
+    }
+
     pub fn worker_panics(&self) -> u64 {
         self.inner.worker_panics.load(Ordering::Relaxed)
     }
@@ -308,6 +322,7 @@ impl Metrics {
             worker_panics: i.worker_panics.load(Ordering::Relaxed),
             query_timeouts: i.query_timeouts.load(Ordering::Relaxed),
             faults_injected: i.faults_injected.load(Ordering::Relaxed),
+            plan_canonical_hits: i.plan_canonical_hits.load(Ordering::Relaxed),
             per_file_reads: i.per_file_reads.lock().clone(),
             per_engine_attaches: i.per_engine_attaches.lock().clone(),
         }
@@ -379,6 +394,7 @@ impl MetricsSnapshot {
             worker_panics: self.worker_panics - earlier.worker_panics,
             query_timeouts: self.query_timeouts - earlier.query_timeouts,
             faults_injected: self.faults_injected - earlier.faults_injected,
+            plan_canonical_hits: self.plan_canonical_hits - earlier.plan_canonical_hits,
             per_file_reads: per_file,
             per_engine_attaches: per_engine,
         }

@@ -22,6 +22,7 @@ use crossbeam::channel::{unbounded, Sender};
 use qpipe_common::{Metrics, QError, QResult, Tuple};
 use qpipe_exec::iter::{ExecConfig, ExecContext};
 use qpipe_exec::plan::PlanNode;
+use qpipe_planner::{PlannedQuery, PlannerOptions};
 use qpipe_storage::Catalog;
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
@@ -103,6 +104,11 @@ pub struct QPipe {
     self_weak: Weak<QPipe>,
     /// Debug map: waits-for node → "query/op" label.
     node_labels: parking_lot::Mutex<HashMap<u64, String>>,
+    /// Canonical plan signature → hash of the first SQL text that produced
+    /// it. A later submission with the same signature but different text is a
+    /// `plan_canonical_hits` event: canonicalization recognized a syntactic
+    /// variant as the same work.
+    sql_sigs: parking_lot::Mutex<HashMap<u64, u64>>,
 }
 
 impl QPipe {
@@ -192,6 +198,7 @@ impl QPipe {
             _sweeper: sweeper,
             self_weak: self_weak.clone(),
             node_labels: parking_lot::Mutex::new(HashMap::new()),
+            sql_sigs: parking_lot::Mutex::new(HashMap::new()),
         }))
     }
 
@@ -305,6 +312,61 @@ impl QPipe {
             submitted: Instant::now(),
             metrics: self.metrics.clone(),
         })
+    }
+
+    /// Plan SQL text with the canonicalizing planner, without submitting —
+    /// for `EXPLAIN`-style inspection ([`PlannedQuery::explain`]).
+    pub fn plan_sql(&self, sql: &str) -> QResult<PlannedQuery> {
+        qpipe_planner::plan_sql(self.ctx.catalog.as_ref(), sql, &PlannerOptions::default())
+    }
+
+    /// Submit SQL text as an interactive query. The text is parsed, bound
+    /// against the catalog, and planned by the statistics-free greedy
+    /// planner; because the planner canonicalizes, differently-phrased
+    /// variants of one logical query share a plan signature and therefore
+    /// OSP windows and result-cache entries.
+    pub fn submit_sql(&self, sql: &str) -> QResult<QueryHandle> {
+        self.submit_sql_with(sql, QueryClass::Interactive)
+    }
+
+    /// [`submit_sql`](Self::submit_sql) with an explicit scheduling class.
+    pub fn submit_sql_with(&self, sql: &str, class: QueryClass) -> QResult<QueryHandle> {
+        self.submit_sql_opts(sql, class, &PlannerOptions::default())
+    }
+
+    /// SQL submission with explicit planner options — `canonicalize: false`
+    /// is the A/B baseline the mixed-phrasing harness compares against.
+    pub fn submit_sql_opts(
+        &self,
+        sql: &str,
+        class: QueryClass,
+        opts: &PlannerOptions,
+    ) -> QResult<QueryHandle> {
+        let planned = qpipe_planner::plan_sql(self.ctx.catalog.as_ref(), sql, opts)?;
+        self.note_sql_signature(planned.signature, sql);
+        self.submit_with((*planned.plan).clone(), class)
+    }
+
+    /// Track which SQL texts land on which plan signatures; a repeat
+    /// signature from different text counts as a canonicalization hit.
+    fn note_sql_signature(&self, signature: u64, sql: &str) {
+        let text_hash = fnv1a(sql.trim().as_bytes());
+        let mut sigs = self.sql_sigs.lock();
+        // Bounded memory: an ad-hoc workload could mint unbounded distinct
+        // signatures; reset the map rather than grow without limit.
+        if sigs.len() >= 4096 && !sigs.contains_key(&signature) {
+            sigs.clear();
+        }
+        match sigs.entry(signature) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(text_hash);
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                if *o.get() != text_hash {
+                    self.metrics.add_plan_canonical_hit();
+                }
+            }
+        }
     }
 
     /// Cheap plan validation at submit time (tables/columns exist).
@@ -484,6 +546,16 @@ impl QPipe {
         }
         Ok(())
     }
+}
+
+/// FNV-1a over raw bytes (same scheme as `PlanNode::signature`), used to
+/// fingerprint submitted SQL text.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// The deduplicated set of µEngines `plan` touches — the query's admission

@@ -7,6 +7,7 @@
 //! encoded argument list for each packet").
 
 use qpipe_common::{QResult, Tuple, Value};
+use std::fmt;
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -315,6 +316,103 @@ impl Expr {
     }
 }
 
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+/// SQL-ish rendering for EXPLAIN output: columns print positionally (`#2`),
+/// strings are quoted, compound operands parenthesized.
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn atom(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+            match e {
+                Expr::Col(_) | Expr::Lit(_) | Expr::IsNull(_) | Expr::In(..) => write!(f, "{e}"),
+                _ => write!(f, "({e})"),
+            }
+        }
+        fn lit(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+            match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                _ => write!(f, "{v}"),
+            }
+        }
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => lit(f, v),
+            Expr::Cmp(op, a, b) => {
+                atom(f, a)?;
+                write!(f, " {op} ")?;
+                atom(f, b)
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                let sep = if matches!(self, Expr::And(_)) { " AND " } else { " OR " };
+                if parts.is_empty() {
+                    return f.write_str(if matches!(self, Expr::And(_)) {
+                        "TRUE"
+                    } else {
+                        "FALSE"
+                    });
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(sep)?;
+                    }
+                    atom(f, p)?;
+                }
+                Ok(())
+            }
+            Expr::Not(e) => {
+                f.write_str("NOT ")?;
+                atom(f, e)
+            }
+            Expr::Arith(op, a, b) => {
+                atom(f, a)?;
+                write!(f, " {op} ")?;
+                atom(f, b)
+            }
+            Expr::In(e, list) => {
+                atom(f, e)?;
+                f.write_str(" IN (")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    lit(f, v)?;
+                }
+                f.write_str(")")
+            }
+            Expr::IsNull(e) => {
+                atom(f, e)?;
+                f.write_str(" IS NULL")
+            }
+            Expr::StartsWith(e, p) => {
+                atom(f, e)?;
+                write!(f, " LIKE '{p}%'")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +475,20 @@ mod tests {
     #[test]
     fn out_of_range_column_errors() {
         assert!(Expr::col(9).eval(&t()).is_err());
+    }
+
+    #[test]
+    fn display_is_sql_ish() {
+        let e = Expr::and([
+            Expr::col(0).ge(Expr::lit(10)),
+            Expr::col(2).eq(Expr::lit(Value::str("widget"))),
+        ]);
+        assert_eq!(e.to_string(), "(#0 >= 10) AND (#2 = 'widget')");
+        let i = Expr::In(Box::new(Expr::col(1)), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(i.to_string(), "#1 IN (1, 2)");
+        assert_eq!(Expr::and([]).to_string(), "TRUE");
+        let s = Expr::StartsWith(Box::new(Expr::col(2)), "PROMO".into());
+        assert_eq!(s.to_string(), "#2 LIKE 'PROMO%'");
     }
 
     #[test]

@@ -242,13 +242,24 @@ impl PlanNode {
     }
 
     /// Canonical byte encoding of the whole subtree.
+    ///
+    /// Expressions are [`Expr::normalize`]d before encoding, so plans that
+    /// differ only in predicate phrasing (commuted comparisons, reordered
+    /// conjuncts, foldable constants) produce identical signatures — letting
+    /// OSP and the result cache recognize hand-built syntactic variants as
+    /// the same work. Join *sides* are deliberately not canonicalized here:
+    /// swapping them changes the output column layout, so that choice belongs
+    /// to the planner, not the signature.
     pub fn encode_sig(&self, out: &mut Vec<u8>) {
+        fn sig_expr(out: &mut Vec<u8>, e: &Expr) {
+            e.normalize().encode_sig(out);
+        }
         fn opt_expr(out: &mut Vec<u8>, e: &Option<Expr>) {
             match e {
                 None => out.push(0),
                 Some(e) => {
                     out.push(1);
-                    e.encode_sig(out);
+                    sig_expr(out, e);
                 }
             }
         }
@@ -305,14 +316,14 @@ impl PlanNode {
             }
             PlanNode::Filter { input, predicate } => {
                 out.push(23);
-                predicate.encode_sig(out);
+                sig_expr(out, predicate);
                 input.encode_sig(out);
             }
             PlanNode::Project { input, exprs } => {
                 out.push(24);
                 out.extend_from_slice(&(exprs.len() as u32).to_le_bytes());
                 for e in exprs {
-                    e.encode_sig(out);
+                    sig_expr(out, e);
                 }
                 input.encode_sig(out);
             }
@@ -334,7 +345,7 @@ impl PlanNode {
                 out.extend_from_slice(&(aggs.len() as u32).to_le_bytes());
                 for a in aggs {
                     out.push(a.func as u8);
-                    a.expr.encode_sig(out);
+                    sig_expr(out, &a.expr);
                 }
                 input.encode_sig(out);
             }
@@ -354,7 +365,7 @@ impl PlanNode {
             }
             PlanNode::NestedLoopJoin { left, right, predicate } => {
                 out.push(29);
-                predicate.encode_sig(out);
+                sig_expr(out, predicate);
                 left.encode_sig(out);
                 right.encode_sig(out);
             }
@@ -372,6 +383,78 @@ impl PlanNode {
             h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
         }
         h
+    }
+
+    /// EXPLAIN-style pretty-printer: indented operator tree with per-node
+    /// arguments (predicates, join keys, sort keys, aggregates) followed by
+    /// the root signature OSP and the result cache key on. Join children
+    /// print build side first, so the chosen join order reads top-down.
+    pub fn explain(&self) -> String {
+        fn fmt_node(node: &PlanNode) -> String {
+            fn opt_pred(p: &Option<Expr>) -> String {
+                match p {
+                    Some(e) => format!(" pred=[{e}]"),
+                    None => String::new(),
+                }
+            }
+            fn range(lo: &Option<Value>, hi: &Option<Value>) -> String {
+                let b = |v: &Option<Value>| v.as_ref().map_or("-inf".into(), |v| v.to_string());
+                format!(" range=[{}..{}]", b(lo), b(hi))
+            }
+            match node {
+                PlanNode::TableScan { table, predicate, .. } => {
+                    format!("scan {table}{}", opt_pred(predicate))
+                }
+                PlanNode::ClusteredIndexScan { table, lo, hi, predicate, .. } => {
+                    format!("iscan {table}{}{}", range(lo, hi), opt_pred(predicate))
+                }
+                PlanNode::UnclusteredIndexScan { table, column, lo, hi, predicate, .. } => {
+                    format!("uiscan {table}.{column}{}{}", range(lo, hi), opt_pred(predicate))
+                }
+                PlanNode::Filter { predicate, .. } => format!("filter [{predicate}]"),
+                PlanNode::Project { exprs, .. } => {
+                    let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                    format!("project [{}]", cols.join(", "))
+                }
+                PlanNode::Sort { keys, .. } => {
+                    let ks: Vec<String> = keys
+                        .iter()
+                        .map(|k| format!("#{}{}", k.col, if k.asc { "" } else { " DESC" }))
+                        .collect();
+                    format!("sort [{}]", ks.join(", "))
+                }
+                PlanNode::Aggregate { group_by, aggs, .. } => {
+                    let gs: Vec<String> = group_by.iter().map(|g| format!("#{g}")).collect();
+                    let fs: Vec<String> = aggs
+                        .iter()
+                        .map(|a| match a.func {
+                            AggFunc::CountStar => "count(*)".into(),
+                            f => format!("{}({})", format!("{f:?}").to_lowercase(), a.expr),
+                        })
+                        .collect();
+                    format!("agg group=[{}] aggs=[{}]", gs.join(", "), fs.join(", "))
+                }
+                PlanNode::HashJoin { left_key, right_key, .. } => {
+                    format!("hashjoin build.#{left_key} = probe.#{right_key}")
+                }
+                PlanNode::MergeJoin { left_key, right_key, .. } => {
+                    format!("mergejoin left.#{left_key} = right.#{right_key}")
+                }
+                PlanNode::NestedLoopJoin { predicate, .. } => format!("nljoin [{predicate}]"),
+            }
+        }
+        fn walk(node: &PlanNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&fmt_node(node));
+            out.push('\n');
+            for c in node.children() {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out.push_str(&format!("signature: {:#018x}\n", self.signature()));
+        out
     }
 }
 
@@ -438,5 +521,38 @@ mod tests {
         let ab = PlanNode::scan("a").hash_join(PlanNode::scan("b"), 0, 0);
         let ba = PlanNode::scan("b").hash_join(PlanNode::scan("a"), 0, 0);
         assert_ne!(ab.signature(), ba.signature());
+    }
+
+    #[test]
+    fn commuted_predicates_share_signature() {
+        // `10 <= col` vs `col >= 10` and reordered AND conjuncts hash the
+        // same: signatures encode the normalized expression.
+        let p = Expr::col(4).ge(Expr::lit(10));
+        let q = Expr::col(5).lt(Expr::lit(24));
+        let a = PlanNode::scan_filtered("lineitem", Expr::and([p.clone(), q.clone()]));
+        let b = PlanNode::scan_filtered("lineitem", Expr::and([q, Expr::lit(10).le(Expr::col(4))]));
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn folded_constants_share_signature() {
+        let a = PlanNode::scan_filtered("lineitem", Expr::col(4).ge(Expr::lit(10)));
+        let b =
+            PlanNode::scan_filtered("lineitem", Expr::col(4).ge(Expr::lit(4).add(Expr::lit(6))));
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn explain_renders_tree_and_signature() {
+        let plan = PlanNode::scan_filtered("lineitem", Expr::col(4).ge(Expr::lit(10)))
+            .hash_join(PlanNode::scan("orders"), 0, 0)
+            .sort(vec![SortKey::desc(1)]);
+        let out = plan.explain();
+        assert!(out.contains("sort [#1 DESC]"));
+        assert!(out.contains("hashjoin build.#0 = probe.#0"));
+        assert!(out.contains("scan lineitem pred=[#4 >= 10]"));
+        assert!(out.contains(&format!("signature: {:#018x}", plan.signature())));
+        // Indentation reflects depth: join children one level below sort.
+        assert!(out.contains("\n    scan orders"));
     }
 }

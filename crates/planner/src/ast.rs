@@ -1,0 +1,120 @@
+//! Abstract syntax for the SQL-ish query language.
+//!
+//! The AST is deliberately close to the physical algebra: names instead of
+//! column indices, but the same operator vocabulary as [`qpipe_exec`]. The
+//! binder resolves names against the catalog and lowers to [`Expr`] trees;
+//! nothing here knows about schemas.
+//!
+//! [`Expr`]: qpipe_exec::expr::Expr
+
+use qpipe_exec::expr::{ArithOp, CmpOp};
+use qpipe_exec::plan::AggFunc;
+
+/// A possibly-qualified column name (`c_custkey` or `c.c_custkey`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+/// A literal as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Null,
+    /// `DATE n`: day number in the synthetic calendar.
+    Date(i64),
+}
+
+/// An unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    Column(ColRef),
+    Literal(Lit),
+    Cmp(CmpOp, Box<AstExpr>, Box<AstExpr>),
+    And(Vec<AstExpr>),
+    Or(Vec<AstExpr>),
+    Not(Box<AstExpr>),
+    Arith(ArithOp, Box<AstExpr>, Box<AstExpr>),
+    /// `expr IN (lit, ...)` — literal lists only.
+    InList(Box<AstExpr>, Vec<Lit>),
+    IsNull(Box<AstExpr>),
+    /// `expr LIKE 'prefix%'` — prefix patterns only.
+    Like(Box<AstExpr>, String),
+}
+
+/// One SELECT-list item: a scalar expression or an aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
+    /// `func(expr)`; `expr` is `None` only for `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        expr: Option<AstExpr>,
+        alias: Option<String>,
+    },
+}
+
+impl SelectItem {
+    pub fn alias(&self) -> Option<&str> {
+        match self {
+            SelectItem::Expr { alias, .. } | SelectItem::Agg { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// The SELECT list: `*` or explicit items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    Star,
+    Items(Vec<SelectItem>),
+}
+
+/// One table in FROM, with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds to in scope (alias wins).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// ORDER BY key: an output column by name, or 1-based SELECT position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    Column(ColRef),
+    Position(usize),
+}
+
+/// One ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub key: OrderKey,
+    pub asc: bool,
+}
+
+/// A parsed query, before name resolution.
+///
+/// `JOIN ... ON` clauses are folded into `from` + `filter` by the parser:
+/// the binder and planner see one uniform conjunction and re-derive join
+/// structure from equality predicates, which is exactly what makes comma
+/// joins and explicit JOIN syntax plan identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub projection: Projection,
+    pub from: Vec<TableRef>,
+    /// WHERE plus every JOIN ... ON condition, as written.
+    pub filter: Vec<AstExpr>,
+    pub group_by: Vec<ColRef>,
+    pub order_by: Vec<OrderItem>,
+}

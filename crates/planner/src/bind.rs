@@ -1,0 +1,387 @@
+//! Name resolution: AST → bound expressions over a *global* column space.
+//!
+//! The binder concatenates the FROM tables' schemas in declared order and
+//! resolves every column reference to an index in that global layout. The
+//! greedy planner later chooses its own join order and remaps global indices
+//! onto the actual plan layout — keeping "what the query means" (binding)
+//! separate from "how it runs" (planning).
+//!
+//! Date literals need no coercion: `Value` compares and hashes dates through
+//! their integer embedding, so `o_orderdate < 1000` and `< DATE 1000` are
+//! already the same predicate.
+
+use crate::ast::*;
+use qpipe_common::{QError, QResult, Schema, Value};
+use qpipe_exec::expr::Expr;
+use qpipe_exec::plan::AggSpec;
+
+/// Source of table schemas — [`Catalog`] in production, a plain map in tests.
+///
+/// [`Catalog`]: qpipe_storage::Catalog
+pub trait SchemaProvider {
+    fn table_schema(&self, name: &str) -> QResult<Schema>;
+}
+
+impl SchemaProvider for qpipe_storage::Catalog {
+    fn table_schema(&self, name: &str) -> QResult<Schema> {
+        Ok(self.table(name)?.schema.clone())
+    }
+}
+
+impl SchemaProvider for std::collections::HashMap<String, Schema> {
+    fn table_schema(&self, name: &str) -> QResult<Schema> {
+        self.get(name).cloned().ok_or_else(|| QError::NotFound(format!("table {name}")))
+    }
+}
+
+/// One FROM table with its slot in the declared global layout.
+#[derive(Debug, Clone)]
+pub struct BoundTable {
+    /// Catalog table name.
+    pub table: String,
+    /// Name it binds to in scope (alias if given).
+    pub binding: String,
+    pub schema: Schema,
+    /// First global column index of this table.
+    pub offset: usize,
+}
+
+impl BoundTable {
+    pub fn width(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Does global column `g` belong to this table?
+    pub fn owns(&self, g: usize) -> bool {
+        g >= self.offset && g < self.offset + self.width()
+    }
+}
+
+/// One output column of the query.
+#[derive(Debug, Clone)]
+pub enum BoundItem {
+    /// Scalar expression over global column indices.
+    Expr(Expr),
+    /// Aggregate over global column indices.
+    Agg(AggSpec),
+}
+
+/// A fully resolved query, ready for the planner.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    pub tables: Vec<BoundTable>,
+    /// Flattened WHERE/ON conjuncts over global indices, as written.
+    pub conjuncts: Vec<Expr>,
+    /// SELECT list (Star expanded to every global column in declared order).
+    pub items: Vec<BoundItem>,
+    /// GROUP BY as global indices, in written order.
+    pub group_by: Vec<usize>,
+    /// ORDER BY as (output position, ascending).
+    pub order_by: Vec<(usize, bool)>,
+}
+
+impl BoundQuery {
+    /// Total width of the declared global layout.
+    pub fn global_width(&self) -> usize {
+        self.tables.iter().map(|t| t.width()).sum()
+    }
+
+    pub fn has_aggregates(&self) -> bool {
+        !self.group_by.is_empty() || self.items.iter().any(|i| matches!(i, BoundItem::Agg(_)))
+    }
+}
+
+fn plan_err(msg: impl Into<String>) -> QError {
+    QError::Plan(format!("bind error: {}", msg.into()))
+}
+
+/// Resolve `query` against `schemas`.
+pub fn bind(schemas: &dyn SchemaProvider, query: &Query) -> QResult<BoundQuery> {
+    // FROM: resolve schemas, assign global offsets, reject duplicate bindings.
+    let mut tables: Vec<BoundTable> = Vec::with_capacity(query.from.len());
+    let mut offset = 0;
+    for tref in &query.from {
+        let binding = tref.binding().to_string();
+        if tables.iter().any(|t| t.binding.eq_ignore_ascii_case(&binding)) {
+            return Err(plan_err(format!(
+                "duplicate table binding {binding:?} (alias each occurrence)"
+            )));
+        }
+        let schema = schemas.table_schema(&tref.table)?;
+        let width = schema.len();
+        tables.push(BoundTable { table: tref.table.clone(), binding, schema, offset });
+        offset += width;
+    }
+
+    let b = Binder { tables: &tables };
+
+    // WHERE/ON conjuncts, flattened one level (the planner re-flattens after
+    // normalization anyway; this just keeps written conjuncts addressable).
+    let mut conjuncts = Vec::new();
+    for f in &query.filter {
+        match f {
+            AstExpr::And(parts) => {
+                for p in parts {
+                    conjuncts.push(b.expr(p)?);
+                }
+            }
+            _ => conjuncts.push(b.expr(f)?),
+        }
+    }
+
+    // SELECT list.
+    let items: Vec<BoundItem> = match &query.projection {
+        Projection::Star => (0..offset).map(|g| BoundItem::Expr(Expr::Col(g))).collect(),
+        Projection::Items(items) => items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Expr { expr, .. } => Ok(BoundItem::Expr(b.expr(expr)?)),
+                SelectItem::Agg { func, expr, .. } => {
+                    let e = match expr {
+                        None => Expr::Lit(Value::Int(1)),
+                        Some(e) => b.expr(e)?,
+                    };
+                    Ok(BoundItem::Agg(AggSpec { func: *func, expr: e }))
+                }
+            })
+            .collect::<QResult<_>>()?,
+    };
+
+    // GROUP BY: global indices; every non-aggregate SELECT item must be a
+    // grouped column (the engine's Aggregate only outputs keys + aggregates).
+    let group_by: Vec<usize> = query.group_by.iter().map(|c| b.col(c)).collect::<QResult<_>>()?;
+    let aggregated = !group_by.is_empty() || items.iter().any(|i| matches!(i, BoundItem::Agg(_)));
+    if aggregated {
+        for item in &items {
+            if let BoundItem::Expr(e) = item {
+                match e {
+                    Expr::Col(g) if group_by.contains(g) => {}
+                    _ => {
+                        return Err(plan_err("non-aggregate SELECT items must be GROUP BY columns"))
+                    }
+                }
+            }
+        }
+    }
+
+    // ORDER BY: resolve to output positions.
+    let mut order_by = Vec::with_capacity(query.order_by.len());
+    for o in &query.order_by {
+        let pos = match &o.key {
+            OrderKey::Position(p) => {
+                if *p > items.len() {
+                    return Err(plan_err(format!(
+                        "ORDER BY position {p} exceeds SELECT width {}",
+                        items.len()
+                    )));
+                }
+                p - 1
+            }
+            OrderKey::Column(c) => resolve_order_column(&b, query, &items, c)?,
+        };
+        order_by.push((pos, o.asc));
+    }
+
+    Ok(BoundQuery { tables, conjuncts, items, group_by, order_by })
+}
+
+/// An ORDER BY name resolves to: a SELECT alias, else a column that appears
+/// as its own SELECT item, else (for `SELECT *`) its global position.
+fn resolve_order_column(
+    b: &Binder<'_>,
+    query: &Query,
+    items: &[BoundItem],
+    c: &ColRef,
+) -> QResult<usize> {
+    if let Projection::Items(sel) = &query.projection {
+        if c.qualifier.is_none() {
+            if let Some(i) = sel
+                .iter()
+                .position(|it| it.alias().is_some_and(|a| a.eq_ignore_ascii_case(&c.name)))
+            {
+                return Ok(i);
+            }
+        }
+    }
+    let g = b.col(c)?;
+    if let Some(i) =
+        items.iter().position(|it| matches!(it, BoundItem::Expr(Expr::Col(x)) if *x == g))
+    {
+        return Ok(i);
+    }
+    Err(plan_err(format!("ORDER BY column {:?} is not in the SELECT list", c.name)))
+}
+
+struct Binder<'a> {
+    tables: &'a [BoundTable],
+}
+
+impl Binder<'_> {
+    /// Resolve a column reference to its global index.
+    fn col(&self, c: &ColRef) -> QResult<usize> {
+        match &c.qualifier {
+            Some(q) => {
+                let t = self
+                    .tables
+                    .iter()
+                    .find(|t| t.binding.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| plan_err(format!("unknown table {q:?}")))?;
+                let i = index_of_ci(&t.schema, &c.name)
+                    .ok_or_else(|| plan_err(format!("table {q:?} has no column {:?}", c.name)))?;
+                Ok(t.offset + i)
+            }
+            None => {
+                let mut hit = None;
+                for t in self.tables {
+                    if let Some(i) = index_of_ci(&t.schema, &c.name) {
+                        if hit.is_some() {
+                            return Err(plan_err(format!("ambiguous column {:?}", c.name)));
+                        }
+                        hit = Some(t.offset + i);
+                    }
+                }
+                hit.ok_or_else(|| plan_err(format!("unknown column {:?}", c.name)))
+            }
+        }
+    }
+
+    fn expr(&self, e: &AstExpr) -> QResult<Expr> {
+        Ok(match e {
+            AstExpr::Column(c) => Expr::Col(self.col(c)?),
+            AstExpr::Literal(l) => Expr::Lit(lit_value(l)),
+            AstExpr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            AstExpr::And(parts) => {
+                Expr::And(parts.iter().map(|p| self.expr(p)).collect::<QResult<_>>()?)
+            }
+            AstExpr::Or(parts) => {
+                Expr::Or(parts.iter().map(|p| self.expr(p)).collect::<QResult<_>>()?)
+            }
+            AstExpr::Not(e) => Expr::Not(Box::new(self.expr(e)?)),
+            AstExpr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            AstExpr::InList(e, list) => {
+                Expr::In(Box::new(self.expr(e)?), list.iter().map(lit_value).collect())
+            }
+            AstExpr::IsNull(e) => Expr::IsNull(Box::new(self.expr(e)?)),
+            AstExpr::Like(e, prefix) => Expr::StartsWith(Box::new(self.expr(e)?), prefix.clone()),
+        })
+    }
+}
+
+/// Case-insensitive column lookup (SQL identifiers are caseless here).
+fn index_of_ci(schema: &Schema, name: &str) -> Option<usize> {
+    schema.columns().iter().position(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+fn lit_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Float(v) => Value::Float(*v),
+        Lit::Str(s) => Value::str(s),
+        Lit::Null => Value::Null,
+        // Out-of-range day numbers keep integer form; dates compare through
+        // their integer embedding anyway, so semantics are unchanged.
+        Lit::Date(d) => match i32::try_from(*d) {
+            Ok(d) => Value::Date(d),
+            Err(_) => Value::Int(*d),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use qpipe_common::DataType;
+    use std::collections::HashMap;
+
+    fn schemas() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "orders".into(),
+            Schema::of(&[
+                ("o_orderkey", DataType::Int),
+                ("o_custkey", DataType::Int),
+                ("o_orderdate", DataType::Date),
+            ]),
+        );
+        m.insert(
+            "lineitem".into(),
+            Schema::of(&[
+                ("l_orderkey", DataType::Int),
+                ("l_quantity", DataType::Float),
+                ("l_shipdate", DataType::Date),
+            ]),
+        );
+        m
+    }
+
+    fn bind_sql(sql: &str) -> QResult<BoundQuery> {
+        bind(&schemas(), &parse(sql)?)
+    }
+
+    #[test]
+    fn global_offsets_span_tables() {
+        let b = bind_sql(
+            "SELECT o.o_orderkey, l.l_quantity FROM orders o, lineitem l \
+             WHERE o.o_orderkey = l.l_orderkey",
+        )
+        .unwrap();
+        assert_eq!(b.tables[0].offset, 0);
+        assert_eq!(b.tables[1].offset, 3);
+        assert_eq!(b.global_width(), 6);
+        // l_quantity is global column 4.
+        let BoundItem::Expr(Expr::Col(g)) = &b.items[1] else { panic!() };
+        assert_eq!(*g, 4);
+        assert_eq!(b.conjuncts.len(), 1);
+    }
+
+    #[test]
+    fn unqualified_names_resolve_when_unambiguous() {
+        let b = bind_sql("SELECT o_custkey FROM orders, lineitem WHERE o_orderkey = l_orderkey")
+            .unwrap();
+        let BoundItem::Expr(Expr::Col(1)) = &b.items[0] else { panic!() };
+        // Both tables have a *date column but distinct names, so no clash.
+        assert!(bind_sql("SELECT o_orderkey FROM orders, orders").is_err());
+    }
+
+    #[test]
+    fn star_expands_declared_order() {
+        let b = bind_sql("SELECT * FROM lineitem, orders").unwrap();
+        assert_eq!(b.items.len(), 6);
+        let BoundItem::Expr(Expr::Col(0)) = &b.items[0] else { panic!() };
+    }
+
+    #[test]
+    fn aggregate_rules() {
+        let b =
+            bind_sql("SELECT o_custkey, COUNT(*), SUM(o_orderkey) FROM orders GROUP BY o_custkey")
+                .unwrap();
+        assert_eq!(b.group_by, vec![1]);
+        assert!(b.has_aggregates());
+        // Non-grouped scalar in an aggregate query is rejected.
+        assert!(bind_sql("SELECT o_orderkey, COUNT(*) FROM orders GROUP BY o_custkey").is_err());
+    }
+
+    #[test]
+    fn order_by_resolution() {
+        let b = bind_sql(
+            "SELECT o_custkey, COUNT(*) AS n FROM orders GROUP BY o_custkey ORDER BY n DESC, 1",
+        )
+        .unwrap();
+        assert_eq!(b.order_by, vec![(1, false), (0, true)]);
+        assert!(bind_sql("SELECT o_custkey FROM orders ORDER BY o_orderdate").is_err());
+        assert!(bind_sql("SELECT o_custkey FROM orders ORDER BY 5").is_err());
+    }
+
+    #[test]
+    fn bind_errors() {
+        assert!(bind_sql("SELECT * FROM nope").is_err());
+        assert!(bind_sql("SELECT zzz FROM orders").is_err());
+        assert!(bind_sql("SELECT x.o_orderkey FROM orders o").is_err());
+        assert!(bind_sql("SELECT o_orderkey FROM orders o, orders o").is_err());
+    }
+}

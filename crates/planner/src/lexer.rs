@@ -1,0 +1,222 @@
+//! Tokenizer for the SQL-ish query language.
+//!
+//! Produces a flat token stream with byte offsets so parse errors can point
+//! at the offending position. Keywords are not distinguished here — the
+//! parser matches identifiers case-insensitively, which keeps the lexer a
+//! trivial one-pass scanner.
+
+use qpipe_common::{QError, QResult};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare word: identifier or keyword (parser decides, case-insensitively).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    /// Single-quoted string literal ('' escapes a quote).
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub at: usize,
+}
+
+fn err(msg: impl Into<String>, at: usize) -> QError {
+    QError::Plan(format!("parse error at byte {at}: {}", msg.into()))
+}
+
+/// Tokenize `input`, rejecting anything outside the language's alphabet.
+pub fn lex(input: &str) -> QResult<Vec<SpannedTok>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let at = i;
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b',' => out.push(SpannedTok { tok: Tok::Comma, at }),
+            b'(' => out.push(SpannedTok { tok: Tok::LParen, at }),
+            b')' => out.push(SpannedTok { tok: Tok::RParen, at }),
+            b'.' => out.push(SpannedTok { tok: Tok::Dot, at }),
+            b'*' => out.push(SpannedTok { tok: Tok::Star, at }),
+            b'+' => out.push(SpannedTok { tok: Tok::Plus, at }),
+            b'-' => out.push(SpannedTok { tok: Tok::Minus, at }),
+            b'/' => out.push(SpannedTok { tok: Tok::Slash, at }),
+            b'=' => out.push(SpannedTok { tok: Tok::Eq, at }),
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    out.push(SpannedTok { tok: Tok::Le, at });
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    i += 1;
+                    out.push(SpannedTok { tok: Tok::Ne, at });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Lt, at });
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    out.push(SpannedTok { tok: Tok::Ge, at });
+                } else {
+                    out.push(SpannedTok { tok: Tok::Gt, at });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 1;
+                    out.push(SpannedTok { tok: Tok::Ne, at });
+                } else {
+                    return Err(err("unexpected '!'", at));
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string literal", at)),
+                        Some(b'\'') => {
+                            // '' is an escaped quote inside the literal.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Strings are treated as raw bytes of the input;
+                            // multi-byte UTF-8 passes through unmodified.
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(SpannedTok { tok: Tok::Str(s), at });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float =
+                    i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| err(format!("bad float literal {text:?}"), at))?;
+                    out.push(SpannedTok { tok: Tok::Float(v), at });
+                } else {
+                    let text = &input[start..i];
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| err(format!("integer literal {text:?} out of range"), at))?;
+                    out.push(SpannedTok { tok: Tok::Int(v), at });
+                }
+                continue;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(SpannedTok { tok: Tok::Ident(input[start..i].to_string()), at });
+                continue;
+            }
+            _ => return Err(err(format!("unexpected character {:?}", c as char), at)),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        assert_eq!(
+            toks("SELECT a, b FROM t WHERE a >= 1.5"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("a".into()),
+                Tok::Ge,
+                Tok::Float(1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<> != <= >= < >"),
+            vec![Tok::Ne, Tok::Ne, Tok::Le, Tok::Ge, Tok::Lt, Tok::Gt]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a ; b").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn qualified_and_numeric() {
+        assert_eq!(
+            toks("t.c1 * 2.25"),
+            vec![
+                Tok::Ident("t".into()),
+                Tok::Dot,
+                Tok::Ident("c1".into()),
+                Tok::Star,
+                Tok::Float(2.25),
+            ]
+        );
+    }
+}

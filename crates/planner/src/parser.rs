@@ -1,0 +1,535 @@
+//! Recursive-descent parser.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := SELECT proj FROM tref ((',' tref) | (JOIN tref ON expr))*
+//!             (WHERE expr)? (GROUP BY colref (',' colref)*)?
+//!             (ORDER BY order (',' order)*)?
+//! proj     := '*' | item (',' item)*
+//! item     := agg | expr (AS? ident)?
+//! agg      := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | expr) ')' (AS? ident)?
+//! tref     := ident (AS? ident)?
+//! expr     := and ( OR and )*
+//! and      := not ( AND not )*
+//! not      := NOT not | cmp
+//! cmp      := add (cmpop add | IS NOT? NULL | NOT? IN '(' lit (',' lit)* ')'
+//!                  | NOT? LIKE str)?
+//! add      := mul (('+'|'-') mul)*
+//! mul      := unary (('*'|'/') unary)*
+//! unary    := '-' unary | prim
+//! prim     := lit | colref | '(' expr ')'
+//! lit      := int | float | str | NULL | DATE int
+//! colref   := ident ('.' ident)?
+//! order    := (colref | int) (ASC|DESC)?
+//! ```
+//!
+//! All errors are [`QError::Plan`] values with a byte offset — malformed
+//! input never panics (the fuzz smoke job holds this line).
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+use qpipe_common::{QError, QResult};
+use qpipe_exec::expr::{ArithOp, CmpOp};
+use qpipe_exec::plan::AggFunc;
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> QResult<Query> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0, len: sql.len() };
+    let q = p.query()?;
+    if let Some(t) = p.peek() {
+        return Err(p.err_at(t.at, "trailing input after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    len: usize,
+}
+
+// Keywords that terminate an expression or table list; identifiers by shape,
+// reserved by convention so `FROM t WHERE` never parses WHERE as an alias.
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AND", "OR", "NOT", "IN", "IS", "NULL",
+    "LIKE", "AS", "JOIN", "ON", "ASC", "DESC", "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&SpannedTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<SpannedTok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self) -> usize {
+        self.peek().map_or(self.len, |t| t.at)
+    }
+
+    fn err_at(&self, at: usize, msg: impl Into<String>) -> QError {
+        QError::Plan(format!("parse error at byte {at}: {}", msg.into()))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QError {
+        self.err_at(self.at(), msg)
+    }
+
+    /// Consume `kw` (case-insensitive identifier) if next; true on match.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(SpannedTok { tok: Tok::Ident(s), .. }) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> QResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek().map(|t| &t.tok) == Some(tok) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> QResult<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    /// A non-reserved identifier (names and aliases).
+    fn ident(&mut self, what: &str) -> QResult<String> {
+        match self.peek() {
+            Some(SpannedTok { tok: Tok::Ident(s), at }) => {
+                if RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                    let (s, at) = (s.clone(), *at);
+                    Err(self.err_at(at, format!("reserved word {s:?} cannot be {what}")))
+                } else {
+                    let s = s.clone();
+                    self.pos += 1;
+                    Ok(s)
+                }
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn agg_kw(&self) -> Option<AggFunc> {
+        if let Some(SpannedTok { tok: Tok::Ident(s), .. }) = self.peek() {
+            // Only an aggregate when followed by '(' — keeps e.g. a column
+            // named `min_qty` usable.
+            if self.toks.get(self.pos + 1).map(|t| &t.tok) != Some(&Tok::LParen) {
+                return None;
+            }
+            for (kw, f) in [
+                ("COUNT", AggFunc::Count),
+                ("SUM", AggFunc::Sum),
+                ("AVG", AggFunc::Avg),
+                ("MIN", AggFunc::Min),
+                ("MAX", AggFunc::Max),
+            ] {
+                if s.eq_ignore_ascii_case(kw) {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    fn query(&mut self) -> QResult<Query> {
+        self.expect_kw("SELECT")?;
+        let projection = self.projection()?;
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        let mut filter = Vec::new();
+        loop {
+            if self.eat(&Tok::Comma) {
+                from.push(self.table_ref()?);
+            } else if self.eat_kw("JOIN") {
+                from.push(self.table_ref()?);
+                self.expect_kw("ON")?;
+                filter.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        if self.eat_kw("WHERE") {
+            filter.push(self.expr()?);
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.col_ref()?);
+            while self.eat(&Tok::Comma) {
+                group_by.push(self.col_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            order_by.push(self.order_item()?);
+            while self.eat(&Tok::Comma) {
+                order_by.push(self.order_item()?);
+            }
+        }
+        Ok(Query { projection, from, filter, group_by, order_by })
+    }
+
+    fn projection(&mut self) -> QResult<Projection> {
+        if self.eat(&Tok::Star) {
+            return Ok(Projection::Star);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Tok::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(Projection::Items(items))
+    }
+
+    fn select_item(&mut self) -> QResult<SelectItem> {
+        if let Some(func) = self.agg_kw() {
+            self.pos += 1; // the function keyword
+            self.expect(&Tok::LParen, "'('")?;
+            let expr = if matches!(func, AggFunc::Count) && self.eat(&Tok::Star) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(&Tok::RParen, "')'")?;
+            let func = if expr.is_none() { AggFunc::CountStar } else { func };
+            let alias = self.opt_alias()?;
+            return Ok(SelectItem::Agg { func, expr, alias });
+        }
+        let expr = self.expr()?;
+        let alias = self.opt_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn opt_alias(&mut self) -> QResult<Option<String>> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.ident("an alias")?));
+        }
+        // Bare alias: a non-reserved identifier directly following.
+        if let Some(SpannedTok { tok: Tok::Ident(s), .. }) = self.peek() {
+            if !RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
+                && self.toks.get(self.pos + 1).map(|t| &t.tok) != Some(&Tok::Dot)
+            {
+                let s = s.clone();
+                self.pos += 1;
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> QResult<TableRef> {
+        let table = self.ident("a table name")?;
+        let alias = self.opt_alias()?;
+        Ok(TableRef { table, alias })
+    }
+
+    fn col_ref(&mut self) -> QResult<ColRef> {
+        let first = self.ident("a column name")?;
+        if self.eat(&Tok::Dot) {
+            let name = self.ident("a column name")?;
+            Ok(ColRef { qualifier: Some(first), name })
+        } else {
+            Ok(ColRef { qualifier: None, name: first })
+        }
+    }
+
+    fn order_item(&mut self) -> QResult<OrderItem> {
+        let key = match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                if n < 1 {
+                    return Err(self.err("ORDER BY position must be >= 1"));
+                }
+                OrderKey::Position(n as usize)
+            }
+            _ => OrderKey::Column(self.col_ref()?),
+        };
+        let asc = if self.eat_kw("DESC") {
+            false
+        } else {
+            self.eat_kw("ASC");
+            true
+        };
+        Ok(OrderItem { key, asc })
+    }
+
+    fn expr(&mut self) -> QResult<AstExpr> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_kw("OR") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { AstExpr::Or(parts) })
+    }
+
+    fn and_expr(&mut self) -> QResult<AstExpr> {
+        let mut parts = vec![self.not_expr()?];
+        while self.eat_kw("AND") {
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { AstExpr::And(parts) })
+    }
+
+    fn not_expr(&mut self) -> QResult<AstExpr> {
+        if self.eat_kw("NOT") {
+            return Ok(AstExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> QResult<AstExpr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().map(|t| &t.tok) {
+            Some(Tok::Eq) => Some(CmpOp::Eq),
+            Some(Tok::Ne) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(AstExpr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let test = AstExpr::IsNull(Box::new(lhs));
+            return Ok(if negated { AstExpr::Not(Box::new(test)) } else { test });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect(&Tok::LParen, "'('")?;
+            let mut list = vec![self.literal()?];
+            while self.eat(&Tok::Comma) {
+                list.push(self.literal()?);
+            }
+            self.expect(&Tok::RParen, "')'")?;
+            let test = AstExpr::InList(Box::new(lhs), list);
+            return Ok(if negated { AstExpr::Not(Box::new(test)) } else { test });
+        }
+        if self.eat_kw("LIKE") {
+            let at = self.at();
+            let pat = match self.next().map(|t| t.tok) {
+                Some(Tok::Str(s)) => s,
+                _ => return Err(self.err_at(at, "LIKE requires a string literal")),
+            };
+            // Prefix patterns only: 'abc%' with no other wildcards.
+            let prefix =
+                pat.strip_suffix('%').filter(|p| !p.contains('%') && !p.contains('_')).ok_or_else(
+                    || self.err_at(at, format!("only prefix LIKE patterns supported, got {pat:?}")),
+                )?;
+            let test = AstExpr::Like(Box::new(lhs), prefix.to_string());
+            return Ok(if negated { AstExpr::Not(Box::new(test)) } else { test });
+        }
+        if negated {
+            return Err(self.err("expected IN or LIKE after NOT"));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> QResult<AstExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|t| &t.tok) {
+                Some(Tok::Plus) => ArithOp::Add,
+                Some(Tok::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = AstExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> QResult<AstExpr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.tok) {
+                Some(Tok::Star) => ArithOp::Mul,
+                Some(Tok::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = AstExpr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> QResult<AstExpr> {
+        if self.eat(&Tok::Minus) {
+            // Fold negation into numeric literals; otherwise 0 - e.
+            return Ok(match self.unary()? {
+                AstExpr::Literal(Lit::Int(v)) => AstExpr::Literal(Lit::Int(-v)),
+                AstExpr::Literal(Lit::Float(v)) => AstExpr::Literal(Lit::Float(-v)),
+                e => AstExpr::Arith(
+                    ArithOp::Sub,
+                    Box::new(AstExpr::Literal(Lit::Int(0))),
+                    Box::new(e),
+                ),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> QResult<AstExpr> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Int(_)) | Some(Tok::Float(_)) | Some(Tok::Str(_)) => {
+                Ok(AstExpr::Literal(self.literal()?))
+            }
+            Some(Tok::Ident(s)) => {
+                if s.eq_ignore_ascii_case("NULL") || s.eq_ignore_ascii_case("DATE") {
+                    return Ok(AstExpr::Literal(self.literal()?));
+                }
+                Ok(AstExpr::Column(self.col_ref()?))
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn literal(&mut self) -> QResult<Lit> {
+        let neg = self.eat(&Tok::Minus);
+        let at = self.at();
+        let lit = match self.next().map(|t| t.tok) {
+            Some(Tok::Int(v)) => Lit::Int(v),
+            Some(Tok::Float(v)) => Lit::Float(v),
+            Some(Tok::Str(s)) => Lit::Str(s),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Lit::Null,
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("DATE") => {
+                match self.next().map(|t| t.tok) {
+                    Some(Tok::Int(d)) => Lit::Date(d),
+                    _ => return Err(self.err_at(at, "DATE requires an integer day number")),
+                }
+            }
+            _ => return Err(self.err_at(at, "expected a literal")),
+        };
+        if neg {
+            return match lit {
+                Lit::Int(v) => Ok(Lit::Int(-v)),
+                Lit::Float(v) => Ok(Lit::Float(-v)),
+                _ => Err(self.err_at(at, "'-' applies to numeric literals only")),
+            };
+        }
+        Ok(lit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("SELECT * FROM lineitem").unwrap();
+        assert_eq!(q.projection, Projection::Star);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.filter.is_empty());
+    }
+
+    #[test]
+    fn join_on_folds_into_filter() {
+        let a =
+            parse("SELECT * FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey").unwrap();
+        let b =
+            parse("SELECT * FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey").unwrap();
+        assert_eq!(a.from, b.from);
+        assert_eq!(a.filter, b.filter);
+    }
+
+    #[test]
+    fn aggregates_and_grouping() {
+        let q = parse(
+            "SELECT l_returnflag, SUM(l_quantity) qty, COUNT(*) FROM lineitem \
+             GROUP BY l_returnflag ORDER BY 1 DESC",
+        )
+        .unwrap();
+        let Projection::Items(items) = &q.projection else { panic!() };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].alias(), Some("qty"));
+        assert!(matches!(items[2], SelectItem::Agg { func: AggFunc::CountStar, .. }));
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by, vec![OrderItem { key: OrderKey::Position(1), asc: false }]);
+    }
+
+    #[test]
+    fn predicates_parse() {
+        let q = parse(
+            "SELECT * FROM part WHERE p_type LIKE 'PROMO%' AND p_size IN (1, 5, 9) \
+             AND p_retailprice >= 100.5 AND p_comment IS NOT NULL AND NOT p_size IN (2)",
+        )
+        .unwrap();
+        assert_eq!(q.filter.len(), 1);
+    }
+
+    #[test]
+    fn date_literals() {
+        let q = parse("SELECT * FROM orders WHERE o_orderdate < DATE 1000").unwrap();
+        let AstExpr::Cmp(CmpOp::Lt, _, rhs) = &q.filter[0] else { panic!() };
+        assert_eq!(**rhs, AstExpr::Literal(Lit::Date(1000)));
+    }
+
+    #[test]
+    fn errors_not_panics() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a >",
+            "SELECT * FROM t GROUP",
+            "SELECT * FROM t ORDER BY 0",
+            "SELECT * FROM t extra junk here",
+            "SELECT a b c FROM t",
+            "SELECT * FROM t WHERE a LIKE 'a%b%'",
+            "SELECT * FROM t WHERE a IN ()",
+            "SELECT * FROM t WHERE a NOT 5",
+            "SELECT MIN() FROM t",
+            "SELECT COUNT(* FROM t",
+            "SELECT * FROM select",
+        ] {
+            let r = parse(bad);
+            assert!(r.is_err(), "expected error for {bad:?}, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn negative_literals() {
+        let q = parse("SELECT * FROM t WHERE a > -5 AND b IN (-1, 2)").unwrap();
+        assert_eq!(q.filter.len(), 1);
+    }
+}

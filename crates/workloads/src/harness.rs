@@ -19,6 +19,7 @@ use qpipe_core::engine::{QPipe, QPipeConfig, QueryHandle};
 use qpipe_core::QueryClass;
 use qpipe_exec::iter::{run as exec_run, ExecContext};
 use qpipe_exec::plan::PlanNode;
+use qpipe_planner::{PlannedQuery, PlannerOptions};
 use qpipe_storage::{BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -161,6 +162,42 @@ impl Driver {
         match &self.inner {
             DriverImpl::Staged(e) => Some(e.submit_with(plan, class)),
             DriverImpl::Iterator(_) => None,
+        }
+    }
+
+    /// Plan SQL text against this driver's catalog without running it.
+    pub fn plan_sql(&self, sql: &str, opts: &PlannerOptions) -> QResult<PlannedQuery> {
+        qpipe_planner::plan_sql(self.catalog.as_ref(), sql, opts)
+    }
+
+    /// Submit SQL text without waiting for completion (staged engines only;
+    /// `None` for the iterator engine, as with [`submit_with`](Self::submit_with)).
+    pub fn submit_sql(
+        &self,
+        sql: &str,
+        class: QueryClass,
+        opts: &PlannerOptions,
+    ) -> Option<QResult<QueryHandle>> {
+        match &self.inner {
+            DriverImpl::Staged(e) => Some(e.submit_sql_opts(sql, class, opts)),
+            DriverImpl::Iterator(_) => None,
+        }
+    }
+
+    /// Run one SQL query to completion on the calling thread; returns row
+    /// count. Both engines plan through the canonicalizing front end; the
+    /// staged path additionally records the signature for the
+    /// `plan_canonical_hits` metric.
+    pub fn run_sql(&self, sql: &str) -> QResult<usize> {
+        match &self.inner {
+            DriverImpl::Staged(engine) => Ok(engine.submit_sql(sql)?.collect().len()),
+            DriverImpl::Iterator(ctx) => {
+                let planned = self.plan_sql(sql, &PlannerOptions::default())?;
+                let start = Instant::now();
+                let rows = exec_run(&planned.plan, ctx)?;
+                self.metrics.add_query_completion(start.elapsed().as_micros() as u64);
+                Ok(rows.len())
+            }
         }
     }
 
@@ -401,6 +438,134 @@ pub fn open_loop(
     }
 }
 
+/// [`open_loop`] over SQL text: `queries[i]` arrives at `i × interarrival`
+/// and is planned through the front end with `opts` before submission.
+/// Planner errors settle the arrival as `Failed` without occupying a
+/// collector. The iterator engine plans eagerly and runs each query on its
+/// own unbounded thread, as in [`open_loop`].
+pub fn open_loop_sql(
+    driver: &Driver,
+    queries: Vec<(String, QueryClass)>,
+    interarrival_paper: f64,
+    scale: TimeScale,
+    opts: &PlannerOptions,
+) -> OpenLoopResult {
+    let before = driver.metrics().snapshot();
+    let start = Instant::now();
+    let n = queries.len();
+    let outcomes: Vec<OpenLoopOutcome> = std::thread::scope(|s| {
+        let mut pending: Vec<Result<_, OpenLoopOutcome>> = Vec::with_capacity(n);
+        for (i, (sql, class)) in queries.into_iter().enumerate() {
+            let due = scale.to_real(interarrival_paper * i as f64);
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            if driver.engine().is_some() {
+                match driver.submit_sql(&sql, class, opts).expect("staged engine") {
+                    Ok(handle) => pending.push(Ok(s.spawn(move || match handle.try_collect() {
+                        Ok(rows) => OpenLoopOutcome::Completed(rows.len()),
+                        Err(QError::Admission(msg)) => OpenLoopOutcome::Rejected(msg),
+                        Err(e) => OpenLoopOutcome::Failed(e),
+                    }))),
+                    Err(QError::Admission(msg)) => {
+                        pending.push(Err(OpenLoopOutcome::Rejected(msg)))
+                    }
+                    Err(e) => pending.push(Err(OpenLoopOutcome::Failed(e))),
+                }
+            } else {
+                match driver.plan_sql(&sql, opts) {
+                    Ok(planned) => pending.push(Ok(s.spawn(move || {
+                        match driver.run((*planned.plan).clone()) {
+                            Ok(rows) => OpenLoopOutcome::Completed(rows),
+                            Err(e) => OpenLoopOutcome::Failed(e),
+                        }
+                    }))),
+                    Err(e) => pending.push(Err(OpenLoopOutcome::Failed(e))),
+                }
+            }
+        }
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Ok(h) => h.join().expect("client thread"),
+                Err(settled) => settled,
+            })
+            .collect()
+    });
+    let elapsed_paper = scale.to_paper(start.elapsed());
+    let completed =
+        outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Completed(_))).count() as u64;
+    let rejected =
+        outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Rejected(_))).count() as u64;
+    OpenLoopResult {
+        outcomes,
+        completed,
+        rejected,
+        qph: completed as f64 / (elapsed_paper / 3600.0),
+        delta: driver.metrics().snapshot().delta_since(&before),
+    }
+}
+
+/// One leg of a [`mixed_phrasing_storm`].
+#[derive(Debug, Clone)]
+pub struct PhrasingLeg {
+    pub result: OpenLoopResult,
+    /// Result-cache hits over the leg (0 when the cache is disabled).
+    pub cache_hits: u64,
+}
+
+impl PhrasingLeg {
+    /// Total cross-client sharing observed: OSP attaches plus result-cache
+    /// hits.
+    pub fn shared(&self) -> u64 {
+        self.result.delta.osp_attaches + self.cache_hits
+    }
+}
+
+/// A/B report from [`mixed_phrasing_storm`]: the same SQL storm planned
+/// without (`raw`) and with (`canonical`) plan canonicalization.
+#[derive(Debug, Clone)]
+pub struct PhrasingStormReport {
+    pub raw: PhrasingLeg,
+    pub canonical: PhrasingLeg,
+}
+
+/// The mixed-phrasing sharing experiment: every client submits the *same
+/// logical query* phrased differently (shuffled FROM order, shuffled and
+/// commuted conjuncts — see [`crate::sql::SqlQuery::shuffled`]). Each leg
+/// gets a fresh engine built by `load` under `config`, then replays the
+/// identical `queries` batch open-loop — once with `canonicalize: false`
+/// (plans follow the written phrasing, so signatures scatter) and once with
+/// the canonicalizing planner (every phrasing lands on one signature, so
+/// OSP attaches and the result cache answer repeats). The report carries
+/// both legs' sharing counters, including `delta.plan_canonical_hits`.
+pub fn mixed_phrasing_storm(
+    system: System,
+    profile: SystemProfile,
+    config: QPipeConfig,
+    load: impl Fn(&Arc<Catalog>) -> QResult<()>,
+    queries: &[(String, QueryClass)],
+    interarrival_paper: f64,
+) -> QResult<PhrasingStormReport> {
+    let mut legs = Vec::with_capacity(2);
+    for canonicalize in [false, true] {
+        let driver = Driver::build_with_config(system, profile, config, |c| load(c))?;
+        let result = open_loop_sql(
+            &driver,
+            queries.to_vec(),
+            interarrival_paper,
+            profile.time_scale,
+            &PlannerOptions { canonicalize },
+        );
+        let cache_hits =
+            driver.engine().and_then(|e| e.result_cache()).map_or(0, |c| c.stats().hits);
+        legs.push(PhrasingLeg { result, cache_hits });
+    }
+    let canonical = legs.pop().expect("two legs");
+    let raw = legs.pop().expect("two legs");
+    Ok(PhrasingStormReport { raw, canonical })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +645,47 @@ mod tests {
         assert_eq!(r.completed + r.rejected, 8, "every arrival is settled: {:?}", r.outcomes);
         assert!(r.rejected > 0, "a 2-deep waiting room must reject an 8-query burst");
         assert_eq!(r.delta.rejected, r.rejected);
+    }
+
+    #[test]
+    fn run_sql_agrees_with_hand_built_plan_on_all_engines() {
+        let sql = crate::sql::q6_sql(100, 0.05, 30).canonical();
+        for system in [System::QPipeOsp, System::Baseline, System::DbmsX] {
+            let d = tiny_driver(system);
+            let by_sql = d.run_sql(&sql).unwrap();
+            let by_plan = d.run(q6(100, 0.05, 30)).unwrap();
+            assert_eq!(by_sql, by_plan, "{}", system.label());
+        }
+    }
+
+    #[test]
+    fn mixed_phrasing_storm_counts_canonical_hits() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let shape = crate::sql::q3_sql(3, 1200);
+        let mut rng = StdRng::seed_from_u64(17);
+        let queries: Vec<(String, QueryClass)> =
+            (0..8).map(|_| (shape.shuffled(&mut rng), QueryClass::Interactive)).collect();
+        let report = mixed_phrasing_storm(
+            System::QPipeOsp,
+            SystemProfile::instant(),
+            QPipeConfig::default(),
+            |c| build_tpch(c, TpchScale::tiny(), 42),
+            &queries,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(report.canonical.result.completed, 8, "{:?}", report.canonical.result.outcomes);
+        assert_eq!(report.raw.result.completed, 8, "{:?}", report.raw.result.outcomes);
+        // Every distinct phrasing of the one logical query collides on one
+        // signature under canonicalization.
+        assert!(
+            report.canonical.result.delta.plan_canonical_hits
+                > report.raw.result.delta.plan_canonical_hits,
+            "canonical {} vs raw {}",
+            report.canonical.result.delta.plan_canonical_hits,
+            report.raw.result.delta.plan_canonical_hits,
+        );
     }
 
     #[test]

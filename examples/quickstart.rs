@@ -58,7 +58,30 @@ fn main() -> QResult<()> {
     );
     println!("OSP satellite attaches: {}", delta.osp_attaches);
 
-    // 5. Failure semantics. The storage layer carries a deterministic fault
+    // 5. Or skip plan-building entirely: submit SQL text. The front end
+    //    parses, binds against the catalog, and plans with the
+    //    statistics-free greedy planner. Because plans are canonicalized,
+    //    differently-phrased variants of one logical query land on the SAME
+    //    plan signature — so they share OSP windows and result-cache
+    //    entries just like identical hand-built plans.
+    let planned = engine
+        .plan_sql("SELECT kind, COUNT(*), SUM(amount) FROM events WHERE kind < 10 GROUP BY kind")?;
+    println!();
+    println!("EXPLAIN of the SQL query:\n{}", planned.explain());
+    let by_sql = engine
+        .submit_sql("SELECT kind, COUNT(*), SUM(amount) FROM events WHERE kind < 10 GROUP BY kind")?
+        .collect();
+    // Same query, commuted comparison + redundant conjunct: same signature.
+    let variant = engine.plan_sql(
+        "SELECT kind, COUNT(*), SUM(amount) FROM events WHERE 10 > kind AND 1 = 1 GROUP BY kind",
+    )?;
+    println!(
+        "groups: {}   phrasing-invariant signature: {}",
+        by_sql.len(),
+        planned.signature == variant.signature
+    );
+
+    // 6. Failure semantics. The storage layer carries a deterministic fault
     //    injector; faults surface to queries under a simple contract:
     //    * transient I/O errors heal invisibly inside the buffer pool's
     //      bounded retry (`io_retries` counts the healing work),

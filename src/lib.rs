@@ -15,6 +15,8 @@
 //!   Clock / LRU-K / 2Q / ARC), bulk-loaded indexes, catalog, table locks.
 //! * [`exec`] — the conventional one-query-many-operators iterator engine
 //!   (also the per-packet kernels inside µEngines).
+//! * [`planner`] — SQL-ish front end and statistics-free greedy planner
+//!   that canonicalizes plans so equivalent phrasings share signatures.
 //! * [`core`] — the QPipe engine: µEngines, packets, pipes, OSP, circular
 //!   scans, deadlock detection.
 //! * [`workloads`] — TPC-H-style + Wisconsin generators, query plans, and
@@ -23,6 +25,7 @@
 pub use qpipe_common as common;
 pub use qpipe_core as core;
 pub use qpipe_exec as exec;
+pub use qpipe_planner as planner;
 pub use qpipe_storage as storage;
 pub use qpipe_workloads as workloads;
 
@@ -37,6 +40,7 @@ pub mod prelude {
     pub use qpipe_exec::expr::Expr;
     pub use qpipe_exec::iter::{ExecConfig, ExecContext};
     pub use qpipe_exec::plan::{AggSpec, PlanNode, SortKey};
+    pub use qpipe_planner::{plan_sql, PlannedQuery, PlannerOptions};
     pub use qpipe_storage::{
         BufferPool, BufferPoolConfig, Catalog, DiskConfig, PolicyKind, SimDisk,
     };
