@@ -1,0 +1,114 @@
+//! CI parallel-smoke: a long open-loop burst exercising the morsel-driven
+//! worker pools — multi-worker µEngine pools, parallel scan morsels, and
+//! parallel hash-build/aggregate partials — under a wall-clock bound.
+//!
+//! Run by the `parallel-smoke` CI job. Exits non-zero when the pool layer
+//! misbehaves:
+//!
+//! * every arrival settles (completed + rejected = submitted),
+//! * zero worker panics across the whole burst (fault-free run),
+//! * the task pools actually ran morsels (`morsels_dispatched > 0`) and
+//!   accumulated busy time,
+//! * admission slots and memory leases return to baseline.
+//!
+//! Also prints the per-class p50/p99 response latency report the harness
+//! now produces, so the job's log doubles as a quick latency regression
+//! eyeball.
+
+use qpipe_core::admit::AdmitConfig;
+use qpipe_core::engine::QPipeConfig;
+use qpipe_core::QueryClass;
+use qpipe_exec::iter::ExecConfig;
+use qpipe_workloads::harness::{open_loop, Driver, System, SystemProfile};
+use qpipe_workloads::tpch::{build_tpch, query, TpchScale, MIX};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let queries = 480;
+    let config = QPipeConfig {
+        // Explicit 4-worker pools — including the CPU task pool — so the
+        // morsel paths must engage regardless of the runner's core count.
+        exec: ExecConfig { pool_workers: 4, task_workers: 4, ..ExecConfig::default() },
+        admit: AdmitConfig { max_queued: 600, ..AdmitConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let profile = SystemProfile::instant();
+    let driver = Driver::build_with_config(System::QPipeOsp, profile, config, |c| {
+        build_tpch(c, TpchScale::tiny(), 1)
+    })
+    .expect("build driver");
+
+    let mut rng = StdRng::seed_from_u64(0x9A7A11E1);
+    let plans = (0..queries)
+        .map(|i| {
+            let class = if i % 4 == 0 { QueryClass::Batch } else { QueryClass::Interactive };
+            (query(MIX[i % MIX.len()], &mut rng), class)
+        })
+        .collect();
+    let r = open_loop(&driver, plans, 0.5, profile.time_scale);
+
+    let engine = driver.engine().expect("staged driver");
+    let gov = engine.governor();
+    let admit = engine.admission();
+    let mut failures = Vec::new();
+    if r.completed + r.rejected != queries as u64 {
+        failures.push(format!(
+            "unsettled arrivals: completed {} + rejected {} != {queries}",
+            r.completed, r.rejected
+        ));
+    }
+    if r.completed == 0 {
+        failures.push("no query completed".into());
+    }
+    if r.delta.worker_panics != 0 {
+        failures.push(format!(
+            "{} worker panic(s) caught during a fault-free run",
+            r.delta.worker_panics
+        ));
+    }
+    if r.delta.morsels_dispatched == 0 {
+        failures.push("no morsels dispatched — parallel paths never engaged".into());
+    }
+    if r.delta.worker_busy_ns == 0 {
+        failures.push("pool workers accumulated no busy time".into());
+    }
+    for (name, _) in admit.peaks() {
+        if admit.in_flight(name) != 0 {
+            failures.push(format!("µEngine {name} slots not returned to baseline"));
+        }
+    }
+    for _ in 0..500 {
+        if gov.in_use() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    if gov.in_use() != 0 {
+        failures.push(format!("{} memory units still leased", gov.in_use()));
+    }
+
+    println!(
+        "parallel-smoke: {} submitted, {} completed, {} rejected; \
+         pool queue depth peak {}, {} morsels, {:.1} ms worker busy",
+        queries,
+        r.completed,
+        r.rejected,
+        r.delta.pool_queue_depth,
+        r.delta.morsels_dispatched,
+        r.delta.worker_busy_ns as f64 / 1e6,
+    );
+    for c in r.class_latencies() {
+        println!(
+            "  {:?}: {} completed, p50 {:.1}s / p99 {:.1}s (paper time)",
+            c.class, c.completed, c.p50_paper_secs, c.p99_paper_secs
+        );
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("parallel-smoke: OK");
+}

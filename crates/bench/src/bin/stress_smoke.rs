@@ -110,6 +110,23 @@ fn main() {
     for (name, peak) in peaks {
         println!("  µEngine {name:>10}: peak {peak}/{depth} concurrent queries");
     }
+    println!(
+        "  pools: queue depth peak {}, {} morsels dispatched, {:.1} ms worker busy",
+        r.delta.pool_queue_depth,
+        r.delta.morsels_dispatched,
+        r.delta.worker_busy_ns as f64 / 1e6,
+    );
+    let mut busy: Vec<_> = r.delta.per_engine_busy_ns.iter().collect();
+    busy.sort();
+    for (name, ns) in busy {
+        println!("  pool {name:>10}: {:.1} ms busy", *ns as f64 / 1e6);
+    }
+    for c in r.class_latencies() {
+        println!(
+            "  {:?}: {} completed, p50 {:.1}s / p99 {:.1}s (paper time)",
+            c.class, c.completed, c.p50_paper_secs, c.p99_paper_secs
+        );
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("FAIL: {f}");

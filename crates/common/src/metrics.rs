@@ -51,8 +51,12 @@ struct MetricsInner {
     query_timeouts: AtomicU64,
     faults_injected: AtomicU64,
     plan_canonical_hits: AtomicU64,
+    pool_queue_depth: AtomicU64,
+    morsels_dispatched: AtomicU64,
+    worker_busy_ns: AtomicU64,
     per_file_reads: Mutex<HashMap<String, u64>>,
     per_engine_attaches: Mutex<HashMap<String, u64>>,
+    per_engine_busy_ns: Mutex<HashMap<String, u64>>,
 }
 
 /// Point-in-time snapshot of all counters.
@@ -130,8 +134,19 @@ pub struct MetricsSnapshot {
     /// recognized as the same work by the planner (the precondition for OSP
     /// and result-cache sharing across differently-phrased clients).
     pub plan_canonical_hits: u64,
+    /// High-water mark of jobs queued in any single worker pool (gauge; its
+    /// delta is growth of the mark, not a count).
+    pub pool_queue_depth: u64,
+    /// Page-range morsels the circular scanner handed to task-pool workers.
+    pub morsels_dispatched: u64,
+    /// Nanoseconds pool workers spent executing jobs, summed across every
+    /// pool (per-µEngine split in `per_engine_busy_ns`).
+    pub worker_busy_ns: u64,
     pub per_file_reads: HashMap<String, u64>,
     pub per_engine_attaches: HashMap<String, u64>,
+    /// Worker-busy nanoseconds per pool name (µEngines plus the shared
+    /// `tasks`/`scan` task pools).
+    pub per_engine_busy_ns: HashMap<String, u64>,
 }
 
 impl Metrics {
@@ -266,6 +281,21 @@ impl Metrics {
         self.inner.plan_canonical_hits.load(Ordering::Relaxed)
     }
 
+    /// Raise the pool queue-depth high-water mark to `depth` if higher.
+    pub fn note_pool_queue_depth(&self, depth: u64) {
+        self.inner.pool_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub fn add_morsel_dispatched(&self) {
+        self.inner.morsels_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `ns` nanoseconds of job execution on pool `name`'s workers.
+    pub fn add_worker_busy_ns(&self, name: &str, ns: u64) {
+        self.inner.worker_busy_ns.fetch_add(ns, Ordering::Relaxed);
+        *self.inner.per_engine_busy_ns.lock().entry(name.to_string()).or_insert(0) += ns;
+    }
+
     pub fn worker_panics(&self) -> u64 {
         self.inner.worker_panics.load(Ordering::Relaxed)
     }
@@ -323,8 +353,12 @@ impl Metrics {
             query_timeouts: i.query_timeouts.load(Ordering::Relaxed),
             faults_injected: i.faults_injected.load(Ordering::Relaxed),
             plan_canonical_hits: i.plan_canonical_hits.load(Ordering::Relaxed),
+            pool_queue_depth: i.pool_queue_depth.load(Ordering::Relaxed),
+            morsels_dispatched: i.morsels_dispatched.load(Ordering::Relaxed),
+            worker_busy_ns: i.worker_busy_ns.load(Ordering::Relaxed),
             per_file_reads: i.per_file_reads.lock().clone(),
             per_engine_attaches: i.per_engine_attaches.lock().clone(),
+            per_engine_busy_ns: i.per_engine_busy_ns.lock().clone(),
         }
     }
 }
@@ -362,6 +396,11 @@ impl MetricsSnapshot {
             let e = earlier.per_engine_attaches.get(k).copied().unwrap_or(0);
             per_engine.insert(k.clone(), v.saturating_sub(e));
         }
+        let mut per_busy = HashMap::new();
+        for (k, v) in &self.per_engine_busy_ns {
+            let e = earlier.per_engine_busy_ns.get(k).copied().unwrap_or(0);
+            per_busy.insert(k.clone(), v.saturating_sub(e));
+        }
         MetricsSnapshot {
             disk_blocks_read: self.disk_blocks_read - earlier.disk_blocks_read,
             disk_blocks_written: self.disk_blocks_written - earlier.disk_blocks_written,
@@ -395,8 +434,12 @@ impl MetricsSnapshot {
             query_timeouts: self.query_timeouts - earlier.query_timeouts,
             faults_injected: self.faults_injected - earlier.faults_injected,
             plan_canonical_hits: self.plan_canonical_hits - earlier.plan_canonical_hits,
+            pool_queue_depth: self.pool_queue_depth.saturating_sub(earlier.pool_queue_depth),
+            morsels_dispatched: self.morsels_dispatched - earlier.morsels_dispatched,
+            worker_busy_ns: self.worker_busy_ns - earlier.worker_busy_ns,
             per_file_reads: per_file,
             per_engine_attaches: per_engine,
+            per_engine_busy_ns: per_busy,
         }
     }
 }

@@ -18,7 +18,7 @@
 use crate::pipe::Pipe;
 use parking_lot::Mutex;
 use qpipe_common::Metrics;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -59,6 +59,11 @@ pub struct WaitRegistry {
     /// keyed by waiter; the whole set clears when it wakes.
     edges: Mutex<HashMap<NodeId, Vec<EdgeTarget>>>,
     pipes: Mutex<HashMap<u64, Weak<Pipe>>>,
+    /// Packets sitting in a worker-pool queue (enqueued, not yet picked up by
+    /// a worker). A producer blocked on one of these can never be unblocked by
+    /// waiting alone when every pool worker is busy — the starvation breaker
+    /// below materializes such pipes even without a graph cycle.
+    queued: Mutex<HashSet<NodeId>>,
 }
 
 impl WaitRegistry {
@@ -111,6 +116,27 @@ impl WaitRegistry {
 
     fn pipe(&self, id: u64) -> Option<Arc<Pipe>> {
         self.pipes.lock().get(&id).and_then(|w| w.upgrade())
+    }
+
+    /// Mark `node`'s packet as queued in a worker pool (not yet running).
+    pub fn note_queued(&self, node: NodeId) {
+        self.queued.lock().insert(node);
+    }
+
+    /// Clear the queued mark — a worker picked the packet up (or the pool
+    /// discarded it at shutdown).
+    pub fn note_dequeued(&self, node: NodeId) {
+        self.queued.lock().remove(&node);
+    }
+
+    /// Is `node`'s packet currently sitting in a pool queue?
+    pub fn is_queued(&self, node: NodeId) -> bool {
+        self.queued.lock().contains(&node)
+    }
+
+    /// Snapshot of all currently queued packets.
+    pub fn queued_snapshot(&self) -> HashSet<NodeId> {
+        self.queued.lock().clone()
     }
 }
 
@@ -201,9 +227,11 @@ impl DeadlockDetector {
         let handle = std::thread::Builder::new()
             .name("qpipe-deadlock".into())
             .spawn(move || {
+                let mut starved_prev = HashSet::new();
                 while !stop2.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);
                     resolve_once(&registry, &metrics);
+                    resolve_starvation(&registry, &metrics, &mut starved_prev);
                 }
             })
             .expect("spawn deadlock detector");
@@ -228,6 +256,63 @@ pub fn resolve_once(registry: &WaitRegistry, metrics: &Metrics) -> bool {
         }
     }
     false
+}
+
+/// One pool-starvation pass: a packet still *queued* behind busy pool
+/// workers is a wait no cycle scan can see — it is not blocked on a pipe,
+/// it simply has no CPU. Whoever waits for it (directly, or through a chain
+/// of blocked packets that all bottom out in queued ones) can only make
+/// progress if some worker frees, and the workers may all be occupied by
+/// exactly the packets doing the waiting. The pass computes the *stalled*
+/// set as a fixpoint — queued packets, plus any blocked packet all of whose
+/// wait targets are stalled (a holder that is neither queued nor blocked is
+/// running on a CPU and will drain its pipes) — and materializes every
+/// producer-full pipe held by a stalled packet, freeing that producer's
+/// worker. Any such pipe observed in two consecutive scans (one detector
+/// interval of grace, so transient dequeues don't trigger it) is
+/// materialized — the same resolution a real cycle gets, and equally safe:
+/// materialization only unbounds memory.
+pub fn resolve_starvation(
+    registry: &WaitRegistry,
+    metrics: &Metrics,
+    prev: &mut HashSet<u64>,
+) -> bool {
+    let edges = registry.edges();
+    let mut out: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for e in &edges {
+        out.entry(e.waiter).or_default().push(e.holder);
+    }
+    let mut stalled = registry.queued_snapshot();
+    loop {
+        let mut changed = false;
+        for (&waiter, holders) in &out {
+            if !stalled.contains(&waiter) && holders.iter().all(|h| stalled.contains(h)) {
+                stalled.insert(waiter);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut starved = HashSet::new();
+    for e in &edges {
+        if e.kind == WaitKind::ProducerFull && stalled.contains(&e.holder) {
+            starved.insert(e.pipe_id);
+        }
+    }
+    let mut resolved = false;
+    for &pipe_id in starved.iter() {
+        if prev.contains(&pipe_id) {
+            if let Some(pipe) = registry.pipe(pipe_id) {
+                pipe.materialize();
+                metrics.add_deadlock_resolved();
+                resolved = true;
+            }
+        }
+    }
+    *prev = starved;
+    resolved
 }
 
 impl Drop for DeadlockDetector {
@@ -293,6 +378,86 @@ mod tests {
         let cycle = [e(1, 2, 10), e(2, 1, 11)];
         let victim = choose_victim(&cycle, |p| if p == 10 { 5 } else { 2 });
         assert_eq!(victim, Some(11));
+    }
+
+    #[test]
+    fn starvation_breaker_needs_two_consecutive_scans() {
+        use crate::pipe::PipeConfig;
+        let registry = Arc::new(WaitRegistry::new());
+        let metrics = Metrics::new();
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry.clone());
+        registry.register_pipe(&pipe);
+        // Producer 1 is blocked on the full pipe; its consumer 2 sits in a
+        // pool queue with no worker free — a stall no cycle scan can see.
+        registry.add_edge(NodeId(1), NodeId(2), pipe.id(), WaitKind::ProducerFull);
+        registry.note_queued(NodeId(2));
+        let mut prev = HashSet::new();
+        // First scan: one interval of grace, nothing materialized.
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        assert_eq!(metrics.snapshot().deadlocks_resolved, 0);
+        // Second consecutive scan with the holder still queued: resolved.
+        assert!(resolve_starvation(&registry, &metrics, &mut prev));
+        assert_eq!(metrics.snapshot().deadlocks_resolved, 1);
+    }
+
+    #[test]
+    fn starvation_breaker_follows_wait_chains_to_a_queued_packet() {
+        use crate::pipe::PipeConfig;
+        let registry = Arc::new(WaitRegistry::new());
+        let metrics = Metrics::new();
+        let full = Pipe::new(PipeConfig::default(), NodeId(1), registry.clone());
+        let empty = Pipe::new(PipeConfig::default(), NodeId(3), registry.clone());
+        registry.register_pipe(&full);
+        registry.register_pipe(&empty);
+        // Producer 1 blocked on its full pipe; its consumer 2 is *running*
+        // but blocked consuming the empty pipe whose producer 3 is queued
+        // behind busy workers. No holder of a ProducerFull edge is queued
+        // directly — the stall is only visible transitively.
+        registry.add_edge(NodeId(1), NodeId(2), full.id(), WaitKind::ProducerFull);
+        registry.add_edge(NodeId(2), NodeId(3), empty.id(), WaitKind::ConsumerEmpty);
+        registry.note_queued(NodeId(3));
+        let mut prev = HashSet::new();
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev), "one scan of grace");
+        assert!(resolve_starvation(&registry, &metrics, &mut prev));
+        // Only the producer-full pipe is materialized (that frees worker 1);
+        // materializing the empty pipe cannot create data.
+        assert_eq!(metrics.snapshot().deadlocks_resolved, 1);
+        // A running (unblocked, unqueued) holder anywhere in the chain
+        // breaks the stall: holder 3 now has a worker.
+        registry.note_dequeued(NodeId(3));
+        let mut prev = HashSet::new();
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        assert_eq!(metrics.snapshot().deadlocks_resolved, 1);
+    }
+
+    #[test]
+    fn starvation_grace_resets_when_holder_is_dequeued() {
+        use crate::pipe::PipeConfig;
+        let registry = Arc::new(WaitRegistry::new());
+        let metrics = Metrics::new();
+        let pipe = Pipe::new(PipeConfig::default(), NodeId(1), registry.clone());
+        registry.register_pipe(&pipe);
+        registry.add_edge(NodeId(1), NodeId(2), pipe.id(), WaitKind::ProducerFull);
+        registry.note_queued(NodeId(2));
+        let mut prev = HashSet::new();
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        // A worker picked the consumer up between scans: transient, and the
+        // grace window starts over even if it is queued again later.
+        registry.note_dequeued(NodeId(2));
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        registry.note_queued(NodeId(2));
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev), "grace restarts");
+        assert!(resolve_starvation(&registry, &metrics, &mut prev));
+        assert_eq!(metrics.snapshot().deadlocks_resolved, 1);
+        // A ConsumerEmpty wait never triggers the breaker: materialization
+        // cannot create data.
+        registry.remove_edge(NodeId(1));
+        registry.add_edge(NodeId(3), NodeId(2), pipe.id(), WaitKind::ConsumerEmpty);
+        let mut prev = HashSet::new();
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        assert!(!resolve_starvation(&registry, &metrics, &mut prev));
+        assert_eq!(metrics.snapshot().deadlocks_resolved, 1);
     }
 
     #[test]

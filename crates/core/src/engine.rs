@@ -17,6 +17,7 @@ use crate::host::ShareRegistry;
 use crate::ops::{self, OpEnv};
 use crate::packet::{fresh_node, CancelToken, Packet, QueryId};
 use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
+use crate::pool::WorkerPool;
 use crate::scan::{ScanConfig, ScanManager, ScanRequest};
 use crossbeam::channel::{unbounded, Sender};
 use qpipe_common::{Metrics, QError, QResult, Tuple};
@@ -86,16 +87,24 @@ pub const ENGINE_NAMES: [&str; 10] = [
 
 struct MicroEngine {
     queue: Sender<Packet>,
+    /// The µEngine's fixed worker pool. The dispatcher thread holds its own
+    /// `Arc` clone; whichever drops last joins the workers.
+    _pool: Arc<WorkerPool>,
 }
 
 /// The QPipe engine.
+///
+/// Field order is load-bearing at drop: the µEngine queues and pools
+/// (`engines`) and the scan manager must wind down while the deadlock
+/// detector (`_detector`) is still scanning, so a worker blocked on a
+/// starved pipe during shutdown can still be released.
 pub struct QPipe {
     ctx: ExecContext,
     config: QPipeConfig,
     registry: Arc<WaitRegistry>,
-    _detector: DeadlockDetector,
     scan_mgr: Arc<ScanManager>,
     engines: HashMap<&'static str, MicroEngine>,
+    _detector: DeadlockDetector,
     metrics: Metrics,
     cache: Option<Arc<QueryCache>>,
     admit: Arc<AdmissionController>,
@@ -128,20 +137,38 @@ impl QPipe {
         // Validate once up front so the stored config reports the *effective*
         // limits (the nested constructors re-validate idempotently: already
         // clamped values clamp — and count — no further).
-        let config = QPipeConfig {
+        let mut config = QPipeConfig {
             exec: config.exec.validated(&metrics),
             admit: config.admit.validated(&metrics),
             ..config
         };
+        // Admission meters queue depth against pool capacity: with fixed
+        // pools, letting more than ~2× the workers into a µEngine only
+        // deepens its queue (admitted-but-parked packets hold pipes and
+        // memory without making progress). An explicitly smaller configured
+        // depth still wins.
+        config.admit.queue_depth = config.admit.queue_depth.min(2 * config.exec.pool_workers);
         let ctx = ExecContext::with_config(catalog, config.exec);
         let registry = Arc::new(WaitRegistry::new());
         let detector =
             DeadlockDetector::spawn(registry.clone(), metrics.clone(), config.deadlock_interval);
         let scan_mgr = ScanManager::new(
             ctx.clone(),
-            ScanConfig { osp: config.osp, ..ScanConfig::default() },
+            ScanConfig {
+                osp: config.osp,
+                workers: config.exec.task_workers,
+                ..ScanConfig::default()
+            },
             metrics.clone(),
         );
+        // One shared task pool for the short, never-blocking CPU jobs the
+        // parallel operators fan out (hash-build partitioning, agg partials).
+        // Sized by `task_workers` (≈ cores), NOT `pool_workers`: packet
+        // pools cover admitted concurrency because packets block, but these
+        // jobs are pure compute — extra workers past the core count only
+        // add dispatch overhead per page/stripe.
+        let tasks =
+            Arc::new(WorkerPool::new("tasks", config.exec.task_workers, metrics.clone(), None));
         let mut engines = HashMap::new();
         for name in ENGINE_NAMES {
             let (tx, rx) = unbounded::<Packet>();
@@ -150,9 +177,17 @@ impl QPipe {
                 metrics: metrics.clone(),
                 osp: config.osp,
                 backfill: config.host_backfill,
+                tasks: tasks.clone(),
             });
             let share: Arc<ShareRegistry> = Arc::new(ShareRegistry::new());
             let scan_mgr2 = scan_mgr.clone();
+            let pool = Arc::new(WorkerPool::new(
+                name,
+                config.exec.pool_workers,
+                metrics.clone(),
+                Some(registry.clone()),
+            ));
+            let pool2 = pool.clone();
             std::thread::Builder::new()
                 .name(format!("qpipe-ueng-{name}"))
                 .spawn(move || {
@@ -164,7 +199,7 @@ impl QPipe {
                         // Fail the packet's output and keep serving.
                         let out = packet.output.as_ref().map(|p| p.pipe().clone());
                         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            dispatch_packet(name, packet, &share, &env, &scan_mgr2)
+                            dispatch_packet(name, packet, &share, &env, &scan_mgr2, &pool2)
                         }));
                         if caught.is_err() {
                             env.metrics.add_worker_panic();
@@ -177,7 +212,7 @@ impl QPipe {
                     }
                 })
                 .map_err(|e| QError::Exec(format!("spawn {name} µEngine: {e}")))?;
-            engines.insert(name, MicroEngine { queue: tx });
+            engines.insert(name, MicroEngine { queue: tx, _pool: pool });
         }
         let admit = AdmissionController::with_deadline(
             config.admit,
@@ -592,6 +627,28 @@ fn scan_flags(plan: &PlanNode) -> (bool, bool) {
     }
 }
 
+/// Fails a prepared host when its queued job is dropped unrun — the pool
+/// refused it (engine shut down) or discarded it at pool shutdown. The
+/// executing worker defuses it first thing.
+struct AbandonGuard {
+    host: Option<Arc<crate::host::SharedHost>>,
+    name: &'static str,
+}
+
+impl AbandonGuard {
+    fn defuse(mut self) -> Arc<crate::host::SharedHost> {
+        self.host.take().expect("defused once")
+    }
+}
+
+impl Drop for AbandonGuard {
+    fn drop(&mut self) {
+        if let Some(host) = self.host.take() {
+            host.fail(&QError::Exec(format!("{} µEngine shut down", self.name)));
+        }
+    }
+}
+
 /// µEngine dispatcher body: OSP check then host execution.
 fn dispatch_packet(
     name: &'static str,
@@ -599,6 +656,7 @@ fn dispatch_packet(
     share: &Arc<ShareRegistry>,
     env: &Arc<OpEnv>,
     scan_mgr: &Arc<ScanManager>,
+    pool: &Arc<WorkerPool>,
 ) {
     if packet.cancel.is_cancelled() {
         return;
@@ -642,16 +700,20 @@ fn dispatch_packet(
     }
     let (packet, host, guard) = ops::prepare(packet, share, env);
     let env = env.clone();
-    // Extra handles so both failure paths — spawn refusal and an operator
-    // panic — can poison the host's outputs. A truncated stream must read
-    // as an error, never as a complete result.
+    // Two failure paths poison the host's outputs: an operator panic inside
+    // the job, and the job never running at all (pool shut down — the
+    // AbandonGuard fires when the unrun closure is dropped). A truncated
+    // stream must read as an error, never as a complete result.
     let host_panic = host.clone();
-    let host_spawn = host.clone();
-    let spawned = std::thread::Builder::new().name(format!("qpipe-{name}-w")).spawn(move || {
+    let abandon = AbandonGuard { host: Some(host), name };
+    let node = packet.node;
+    pool.execute(Some(node), move || {
+        let host = abandon.defuse();
         // Containment: an operator panic (a bug, or an injected fault)
         // must not unwind across the host — it would strand attached
-        // satellites mid-stream. Poison every output instead, then let
-        // the registry guard deregister the host as usual.
+        // satellites mid-stream and kill a pool worker other packets need.
+        // Poison every output instead, then let the registry guard
+        // deregister the host as usual.
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             ops::execute(packet, host, &env);
         }));
@@ -661,11 +723,6 @@ fn dispatch_packet(
         }
         drop(guard);
     });
-    if let Err(e) = spawned {
-        // The closure (packet, host, guard) was consumed and dropped by the
-        // failed spawn; the surviving clone fails the attached queries.
-        host_spawn.fail(&QError::Exec(format!("spawn {name} worker: {e}")));
-    }
 }
 
 /// Scans served by the circular scan manager: all table scans, and clustered

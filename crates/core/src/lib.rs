@@ -32,6 +32,8 @@
 //!   the memory governor (`qpipe_common::govern`, leased through
 //!   `ExecContext`) it bounds what a multi-query burst can claim.
 //! * [`engine`] — µEngines, packet dispatcher, query handles (§4.2–4.3).
+//! * [`pool`] — fixed per-µEngine worker pools and the shared task pool
+//!   (morsel-driven execution; §4.2's "pool of threads").
 //! * [`host`] — OSP host/satellite attach machinery (§4.3, Figure 6b).
 //! * [`scan`] — circular scans with dynamic termination points (§4.3.1).
 //! * [`ops`] — operator workers incl. the restarting merge join (§4.3.2).
@@ -47,6 +49,7 @@ pub mod host;
 pub mod ops;
 pub mod packet;
 pub mod pipe;
+pub mod pool;
 pub mod scan;
 pub mod wop;
 

@@ -17,7 +17,7 @@ use qpipe_exec::iter::{
 };
 use qpipe_exec::plan::{AggSpec, PlanNode, SortKey};
 use qpipe_exec::vexpr::project_batch;
-use qpipe_exec::viter::{HashAgg, HashJoinBuild};
+use qpipe_exec::viter::{hash_build_slice, HashAgg, HashJoinBuild, HashJoinTable};
 use qpipe_exec::vsort::VecSort;
 use std::sync::Arc;
 
@@ -29,6 +29,10 @@ pub struct OpEnv {
     pub osp: bool,
     /// Host history window in batches (buffering enhancement).
     pub backfill: usize,
+    /// Shared task pool for intra-operator parallelism (hash-build
+    /// partitioning, agg partials). Jobs submitted here must never block on
+    /// pipes — they hash and fold, then report over a channel.
+    pub tasks: Arc<crate::pool::WorkerPool>,
 }
 
 /// Prepare a packet for execution: build its [`SharedHost`] and (when OSP is
@@ -279,7 +283,7 @@ fn run_hash_join(
             return drain_into_host(it, host, cancel);
         }
     }
-    let table = build.finish()?;
+    let table = finish_build(build, env)?;
     let mut rows_out = Batch::with_capacity(Batch::DEFAULT_CAPACITY);
     while let Some(batch) = right.recv()? {
         if cancel.is_cancelled() && !host.wanted() {
@@ -309,6 +313,60 @@ fn run_hash_join(
     Ok(())
 }
 
+/// Freeze a hash-join build side, hashing contiguous row slices on the
+/// shared task pool when the build is large enough to amortize the fan-out.
+/// Row hashes depend only on row values and buckets fill in ascending row
+/// order, so the table — and every downstream probe — is bit-identical to
+/// the serial [`HashJoinBuild::finish`].
+fn finish_build(build: HashJoinBuild, env: &OpEnv) -> QResult<HashJoinTable> {
+    let workers = env.tasks.workers();
+    if workers <= 1 || build.rows() < 2 * Batch::DEFAULT_CAPACITY {
+        return build.finish();
+    }
+    let (batch, key) = build.into_batch();
+    let n = batch.len();
+    let stripes = workers.min(n.div_ceil(Batch::DEFAULT_CAPACITY)).max(1);
+    let per = n.div_ceil(stripes);
+    let shared = Arc::new(batch);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut dispatched = 0;
+    for s in 0..stripes {
+        let at = s * per;
+        if at >= n {
+            break;
+        }
+        let len = per.min(n - at);
+        let job_batch = shared.clone();
+        let job_tx = tx.clone();
+        let accepted = env.tasks.execute(None, move || {
+            let _ = job_tx.send((s, hash_build_slice(&job_batch.slice(at, len), key)));
+        });
+        if !accepted {
+            // Pool shutting down: hash the slice inline so the join still
+            // completes deterministically.
+            let _ = tx.send((s, hash_build_slice(&shared.slice(at, len), key)));
+        }
+        dispatched += 1;
+    }
+    drop(tx);
+    env.metrics.add_morsel_dispatched();
+    // A job that panicked (the pool's backstop caught + counted it) never
+    // sends; the missing stripe surfaces as an error rather than a table
+    // silently built from partial hashes.
+    let mut parts: Vec<Option<QResult<Vec<u64>>>> = (0..dispatched).map(|_| None).collect();
+    for (s, out) in rx {
+        parts[s] = Some(out);
+    }
+    let mut hashes = Vec::with_capacity(n);
+    for p in parts {
+        let p =
+            p.ok_or_else(|| qpipe_common::QError::Exec("hash-build worker panicked".to_string()))??;
+        hashes.extend(p);
+    }
+    let batch = Arc::try_unwrap(shared).unwrap_or_else(|arc| ColBatch::clone(&arc));
+    HashJoinTable::from_hashes(batch, key, hashes)
+}
+
 /// Hash aggregation over `Arc<AnyBatch>` streams: columnar batches fold
 /// through [`HashAgg`]'s column-run update, row batches update the same
 /// group states in place — one operator, no fallback seam. The group table
@@ -326,16 +384,44 @@ fn run_aggregate(
 ) -> QResult<()> {
     let mut lease = env.ctx.governor.lease(MemClass::Agg);
     let mut agg = HashAgg::new(group_by.to_vec(), aggs.to_vec());
+    // Morsel-parallel partials are gated to the order-insensitive functions:
+    // integer counts merge exactly, and MIN/MAX keep the earlier operand on
+    // ties, so contiguous stripes merged in stream order reproduce the
+    // serial fold bit-for-bit. Float SUM/AVG would reassociate the fold
+    // (visible at the 2^53 boundary), so they stay serial.
+    let parallel_ok = env.tasks.workers() > 1
+        && aggs.iter().all(|s| {
+            use qpipe_exec::plan::AggFunc;
+            matches!(s.func, AggFunc::CountStar | AggFunc::Count | AggFunc::Min | AggFunc::Max)
+        });
+    let round_cap = env.tasks.workers() * 4 * Batch::DEFAULT_CAPACITY;
+    let mut pending: Vec<Arc<AnyBatch>> = Vec::new();
+    let mut pending_rows = 0usize;
     while let Some(batch) = input.recv()? {
         if cancel.is_cancelled() && !host.wanted() {
             return Ok(());
         }
         match &*batch {
             AnyBatch::Cols(c) => {
-                agg.update_cols(c)?;
                 env.metrics.add_vec_agg_batch();
+                if parallel_ok {
+                    // Defer into the current round; fold when it fills.
+                    pending_rows += c.len();
+                    pending.push(batch.clone());
+                    if pending_rows >= round_cap {
+                        fold_pending(&mut agg, group_by, aggs, &mut pending, env)?;
+                        pending_rows = 0;
+                    }
+                } else {
+                    agg.update_cols(c)?;
+                }
             }
             AnyBatch::Rows(b) => {
+                // Keep stream order exact: fold the deferred columnar round
+                // before the rows so tie-breaking sees values in arrival
+                // order.
+                fold_pending(&mut agg, group_by, aggs, &mut pending, env)?;
+                pending_rows = 0;
                 for t in b.rows() {
                     agg.update_row(t)?;
                 }
@@ -343,12 +429,90 @@ fn run_aggregate(
         }
         let _ = lease.covers(agg.num_groups());
     }
+    fold_pending(&mut agg, group_by, aggs, &mut pending, env)?;
     let out = agg.finish_cols();
     let mut at = 0;
     while at < out.len() {
         let n = (out.len() - at).min(Batch::DEFAULT_CAPACITY);
         host.push_cols(out.slice(at, n));
         at += n;
+    }
+    Ok(())
+}
+
+/// Fold one round of deferred columnar batches into `agg`: contiguous runs
+/// of batches become per-worker partial [`HashAgg`]s on the task pool, then
+/// merge back in stream order ([`HashAgg::merge`] documents why that is
+/// exact for the gated functions). Row batches never enter a round, so this
+/// only sees `AnyBatch::Cols`.
+fn fold_pending(
+    agg: &mut HashAgg,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    pending: &mut Vec<Arc<AnyBatch>>,
+    env: &OpEnv,
+) -> QResult<()> {
+    let batches = std::mem::take(pending);
+    if batches.is_empty() {
+        return Ok(());
+    }
+    let stripes = env.tasks.workers().min(batches.len());
+    if stripes <= 1 {
+        for b in &batches {
+            if let AnyBatch::Cols(c) = &**b {
+                agg.update_cols(c)?;
+            }
+        }
+        return Ok(());
+    }
+    let per = batches.len().div_ceil(stripes);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut dispatched = 0;
+    for (s, chunk) in batches.chunks(per).enumerate() {
+        let chunk: Vec<Arc<AnyBatch>> = chunk.to_vec();
+        let job_group_by = group_by.to_vec();
+        let job_aggs = aggs.to_vec();
+        let job_tx = tx.clone();
+        let fold = move || -> QResult<HashAgg> {
+            let mut part = HashAgg::new(job_group_by, job_aggs);
+            for b in &chunk {
+                if let AnyBatch::Cols(c) = &**b {
+                    part.update_cols(c)?;
+                }
+            }
+            Ok(part)
+        };
+        let accepted = env.tasks.execute(None, move || {
+            let _ = job_tx.send((s, fold()));
+        });
+        if !accepted {
+            // Pool shutting down: the closure was dropped unrun (its sender
+            // with it); fold this stripe inline and send the partial through
+            // the same channel so stripe merge order is preserved.
+            let lo = s * per;
+            let mut part = HashAgg::new(group_by.to_vec(), aggs.to_vec());
+            for b in &batches[lo..(lo + per).min(batches.len())] {
+                if let AnyBatch::Cols(c) = &**b {
+                    part.update_cols(c)?;
+                }
+            }
+            let _ = tx.send((s, Ok(part)));
+        }
+        dispatched += 1;
+    }
+    drop(tx);
+    env.metrics.add_morsel_dispatched();
+    // A job that panicked (the pool's backstop caught + counted it) never
+    // sends; the missing stripe surfaces as an error rather than an
+    // undercounted aggregate.
+    let mut parts: Vec<Option<QResult<HashAgg>>> = (0..dispatched).map(|_| None).collect();
+    for (s, out) in rx {
+        parts[s] = Some(out);
+    }
+    for p in parts {
+        let part =
+            p.ok_or_else(|| qpipe_common::QError::Exec("aggregate worker panicked".to_string()))??;
+        agg.merge(part);
     }
     Ok(())
 }

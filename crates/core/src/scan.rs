@@ -194,11 +194,17 @@ pub struct ScanConfig {
     /// queries all attach at position 0 instead of trailing a scanner that
     /// already raced ahead. Applied only when OSP is on.
     pub startup_delay: std::time::Duration,
+    /// Task-pool workers fetching/decoding/filtering pages in parallel.
+    /// `<= 1` keeps the scanner thread doing everything itself (the
+    /// pre-morsel behavior); above that the scanner claims page-range
+    /// morsels and fans each page out as a task-pool job, delivering the
+    /// results serially in page order.
+    pub workers: usize,
 }
 
 impl Default for ScanConfig {
     fn default() -> Self {
-        Self { osp: true, startup_delay: std::time::Duration::from_micros(1500) }
+        Self { osp: true, startup_delay: std::time::Duration::from_micros(1500), workers: 1 }
     }
 }
 
@@ -208,11 +214,23 @@ pub struct ScanManager {
     config: ScanConfig,
     metrics: Metrics,
     groups: Mutex<HashMap<String, Vec<Arc<ScanGroup>>>>,
+    /// Task pool shared by every scanner thread for morsel page jobs
+    /// (fetch + decode + per-consumer predicate/projection — never blocking
+    /// on pipes). `None` when `config.workers <= 1`.
+    tasks: Option<Arc<crate::pool::WorkerPool>>,
 }
 
 impl ScanManager {
     pub fn new(ctx: ExecContext, config: ScanConfig, metrics: Metrics) -> Arc<Self> {
-        Arc::new(Self { ctx, config, metrics, groups: Mutex::new(HashMap::new()) })
+        let tasks = (config.workers > 1).then(|| {
+            Arc::new(crate::pool::WorkerPool::new(
+                "scan-tasks",
+                config.workers,
+                metrics.clone(),
+                None,
+            ))
+        });
+        Arc::new(Self { ctx, config, metrics, groups: Mutex::new(HashMap::new()), tasks })
     }
 
     /// Number of live scan groups for `table` (tests/metrics).
@@ -356,8 +374,66 @@ impl ScanManager {
         })
     }
 
+    /// One page's worth of morsel work: fetch + decode the page, then run
+    /// every consumer's predicate/projection kernel over the shared batch.
+    /// Pure CPU + (simulated) disk I/O — never blocks on a pipe, so it is
+    /// safe to run on a task-pool worker.
+    fn page_work(
+        &self,
+        pool: &Arc<qpipe_storage::BufferPool>,
+        file: qpipe_storage::FileId,
+        position: u64,
+        union: Option<&[usize]>,
+        snaps: &[ConsumerSnap],
+    ) -> QResult<PageOut> {
+        let (shared, pruned_delivery) = self.fetch_page(pool, file, position, union)?;
+        let cols = match &*shared {
+            AnyBatch::Cols(c) => c,
+            AnyBatch::Rows(_) => unreachable!(),
+        };
+        let mut per_consumer = Vec::with_capacity(snaps.len());
+        for s in snaps {
+            // Pruned pages carry the union's columns; use the consumer's
+            // re-indexed expressions (same output, smaller decode).
+            let (predicate, projection) = if pruned_delivery {
+                let p = s.pruned.as_ref().expect("pruned delivery implies pruned snaps");
+                (&p.0, Some(&p.1))
+            } else {
+                (&s.predicate, s.projection.as_ref())
+            };
+            // A failing predicate drops the page for this consumer (the
+            // scalar path treated row-level eval errors as "filter out").
+            let sel = match predicate {
+                Some(p) => p.eval_filter(cols).unwrap_or_else(|_| SelVec::empty()),
+                None => SelVec::all(cols.len()),
+            };
+            let delivery = if sel.is_empty() {
+                None
+            } else {
+                match projection {
+                    // Unfiltered, unprojected page: broadcast the shared
+                    // Arc — a refcount bump per consumer, zero copies.
+                    None if sel.is_all(cols.len()) => Some(Delivery::Shared),
+                    None => Some(Delivery::Batch(cols.gather(&sel))),
+                    // Project first (Arc bumps), then gather only the
+                    // surviving columns.
+                    Some(proj) => Some(Delivery::Batch(cols.project(proj).gather(&sel))),
+                }
+            };
+            per_consumer.push(delivery);
+        }
+        Ok(PageOut { shared, per_consumer })
+    }
+
     /// The scanner thread body: circular page delivery to all consumers.
-    fn run_scanner(&self, group: &Arc<ScanGroup>, num_pages: u64) {
+    ///
+    /// Morsel-driven: each iteration claims a page-range morsel (advancing
+    /// the group position *at claim time*, so ordered-attach rules see the
+    /// truth), fans the pages out to the task pool (fetch + decode +
+    /// per-consumer kernels), then delivers results serially in page order —
+    /// attach/detach, column-union pruning, and failure semantics are
+    /// decided by this one coordinator thread exactly as in the serial scan.
+    fn run_scanner(self: &Arc<Self>, group: &Arc<ScanGroup>, num_pages: u64) {
         let info = match self.ctx.catalog.table(&group.table) {
             Ok(i) => i,
             Err(_) => return,
@@ -379,9 +455,20 @@ impl ScanManager {
         let mut union: Option<Vec<usize>> = None;
         let mut union_stale = true;
         let mut staggered = false;
+        // Morsel width: enough pages to keep the task-pool workers busy,
+        // small enough that attach adoption (morsel boundaries only) stays
+        // responsive.
+        let morsel_cap = match &self.tasks {
+            Some(t) => (t.workers() * 8).min(64) as u64,
+            None => 1,
+        };
         loop {
-            // Adopt newcomers and decide termination under the lock.
-            {
+            // Adopt newcomers and decide termination under the lock; claim
+            // the next morsel in the same critical section. Position and
+            // pages_read advance *now*, before any page is processed, so an
+            // ordered newcomer racing `try_attach` can never observe
+            // `pages_read == 0` while delivery is already past page 0.
+            let start = {
                 let mut g = group.inner.lock();
                 for c in &g.inbox {
                     // One graph identity per scanner thread (§4.3.3 model).
@@ -399,9 +486,17 @@ impl ScanManager {
                     }
                     return;
                 }
+                g.position
+            };
+            // No consumer needs more pages than the one furthest behind.
+            let max_needed = num_pages - consumers.iter().map(|c| c.pages_seen).min().unwrap_or(0);
+            let morsel = morsel_cap.clamp(1, max_needed.max(1));
+            {
+                let mut g = group.inner.lock();
+                g.pages_read += morsel;
+                g.position = (start + morsel) % num_pages.max(1);
             }
-            let position = group.inner.lock().position;
-            // Fetch + decode the page ONCE; every consumer's predicate /
+            // Fetch + decode each page ONCE; every consumer's predicate /
             // projection then runs as a vectorized kernel over the same
             // `ColBatch` (selection vector → gather), so the per-page cost of
             // N attached consumers is N kernel passes over primitive slices —
@@ -424,104 +519,228 @@ impl ScanManager {
                 union = if staggered { None } else { union_refs(&consumers) };
                 union_stale = false;
             }
+            // Snapshot each consumer's expressions for the morsel's jobs.
+            // Membership and the union are fixed until the next boundary, so
+            // the snapshot stays valid for every page of the morsel.
+            if let Some(u) = union.as_ref() {
+                for c in consumers.iter_mut() {
+                    c.refresh_pruned(u);
+                }
+            }
+            let snaps: Arc<Vec<ConsumerSnap>> = Arc::new(
+                consumers
+                    .iter()
+                    .map(|c| ConsumerSnap {
+                        predicate: c.predicate.clone(),
+                        projection: c.projection.clone(),
+                        pruned: c
+                            .pruned
+                            .as_ref()
+                            .filter(|_| union.is_some())
+                            .map(|p| (p.predicate.clone(), p.projection.clone())),
+                    })
+                    .collect(),
+            );
             // A panic out of the fetch/decode path (e.g. an injected Panic
             // fault surfacing through the buffer pool) is converted to an
-            // error *here*, while the consumer list is still intact, so
-            // `fail_group` below poisons every attached packet. Letting it
-            // unwind would drop the producers, which close their pipes
-            // cleanly — truncated output would read as complete results.
-            let decoded: QResult<(Arc<AnyBatch>, bool)> =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.fetch_page(&pool, file, position, union.as_deref())
-                }))
-                .unwrap_or_else(|_| {
-                    self.metrics.add_worker_panic();
-                    Err(QError::Exec(format!(
-                        "scanner for {} panicked reading page {position}",
-                        group.table
-                    )))
-                });
-            let (shared, pruned_delivery) = match decoded {
-                Ok(s) => s,
-                Err(e) => {
-                    self.fail_group(group, &mut consumers, e);
-                    return;
-                }
-            };
-            let cols = match &*shared {
-                AnyBatch::Cols(c) => c,
-                AnyBatch::Rows(_) => unreachable!(),
-            };
-            // Deliver the page to every live consumer.
-            let mut done_indices = Vec::new();
-            for (i, c) in consumers.iter_mut().enumerate() {
-                // A severed scan packet may still feed a join/agg host that
-                // other queries share; deliver while anyone is attached.
-                // (Cancelled *and* abandoned consumers detach their pipes,
-                // so the pipe probe covers the plain-cancellation case too.)
-                // Trade-off: a severed packet still sitting in a µEngine
-                // queue holds its consumer until the dispatcher dequeues and
-                // drops it, so the scanner may fill that pipe and throttle
-                // briefly. Dispatchers never block, so the stall is bounded
-                // by queue drain; genuine cycles are the deadlock detector's
-                // job. The alternative — dropping on `cancel` alone — loses
-                // rows when the consumer is a live shared host (see
-                // `wanted_tracks_live_consumers_not_cancellation`).
-                if c.output.pipe().active_consumers() == 0 {
-                    done_indices.push(i);
-                    continue;
-                }
-                // Pruned pages carry the union's columns; use the consumer's
-                // re-indexed expressions (same output, smaller decode).
-                let (predicate, projection) = if pruned_delivery {
-                    let u = union.as_ref().expect("pruned delivery implies a union");
-                    c.refresh_pruned(u);
-                    let p = c.pruned.as_ref().expect("refreshed above");
-                    (&p.predicate, Some(&p.projection))
-                } else {
-                    (&c.predicate, c.projection.as_ref())
-                };
-                // A failing predicate drops the page for this consumer (the
-                // scalar path treated row-level eval errors as "filter out").
-                let sel = match predicate {
-                    Some(p) => p.eval_filter(cols).unwrap_or_else(|_| SelVec::empty()),
-                    None => SelVec::all(cols.len()),
-                };
-                if !sel.is_empty() {
-                    match projection {
-                        // Unfiltered, unprojected page: broadcast the shared
-                        // Arc — a refcount bump per consumer, zero copies.
-                        None if sel.is_all(cols.len()) => {
-                            c.output.push_shared(shared.clone());
+            // error *inside the job*, while the consumer list is still
+            // intact, so `fail_group` below poisons every attached packet.
+            // Letting it unwind would drop the producers, which close their
+            // pipes cleanly — truncated output would read as complete
+            // results.
+            let tasks = self.tasks.as_ref().filter(|_| morsel > 1);
+            // Serial, in-page-order delivery: pushes, per-consumer page
+            // accounting, completion, and failure all happen on this one
+            // thread, exactly as in the serial scan. Slots keep snapshot
+            // indices stable while finished consumers leave mid-morsel.
+            // `deliver` returns false once delivery must stop — a page
+            // failed (poisons the group below) or every consumer finished.
+            let mut slots: Vec<Option<ScanConsumer>> = consumers.drain(..).map(Some).collect();
+            let mut removed_any = false;
+            let mut failed = None;
+            {
+                let mut deliver = |k: usize, res: QResult<PageOut>| -> bool {
+                    let out = match res {
+                        Ok(o) => o,
+                        Err(e) => {
+                            failed = Some(e);
+                            return false;
                         }
-                        None => c.output.push_cols(cols.gather(&sel)),
-                        // Project first (Arc bumps), then gather only the
-                        // surviving columns.
-                        Some(proj) => c.output.push_cols(cols.project(proj).gather(&sel)),
+                    };
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        let Some(c) = slot.as_mut() else { continue };
+                        // A severed scan packet may still feed a join/agg
+                        // host that other queries share; deliver while anyone
+                        // is attached. (Cancelled *and* abandoned consumers
+                        // detach their pipes, so the pipe probe covers the
+                        // plain cancellation case too.) Trade-off: a severed
+                        // packet still sitting in a µEngine queue holds its
+                        // consumer until the worker pool dequeues and drops
+                        // it, so the scanner may fill that pipe and throttle
+                        // briefly. Pool queues drain continuously and the
+                        // deadlock detector's starvation breaker materializes
+                        // a pipe whose consumer is parked behind busy
+                        // workers, so the stall is bounded.
+                        if c.output.pipe().active_consumers() == 0 {
+                            drop(slot.take());
+                            removed_any = true;
+                            continue;
+                        }
+                        if c.pages_seen >= num_pages {
+                            continue; // finished at an earlier page of this morsel
+                        }
+                        match &out.per_consumer[i] {
+                            Some(Delivery::Shared) => c.output.push_shared(out.shared.clone()),
+                            Some(Delivery::Batch(b)) => c.output.push_cols(b.clone()),
+                            None => {}
+                        }
+                        c.pages_seen += 1;
+                        if c.pages_seen >= num_pages {
+                            let c = slot.take().expect("slot is occupied");
+                            c.output.finish();
+                            removed_any = true;
+                        }
+                    }
+                    if (start + k as u64 + 1).is_multiple_of(num_pages)
+                        && slots.iter().any(|s| s.is_some())
+                    {
+                        self.metrics.add_circular_wrap();
+                    }
+                    slots.iter().any(|s| s.is_some())
+                };
+                if let Some(tasks) = tasks {
+                    self.metrics.add_morsel_dispatched();
+                    // One job per worker over an *interleaved* page stride
+                    // (worker j reads pages j, j+jobs, j+2·jobs, …), each
+                    // page's result sent the moment it is ready. The
+                    // scanner thread reassembles in page order through a
+                    // small reorder buffer and delivers *while the rest of
+                    // the morsel is still being read* — page 0 reaches
+                    // consumers after one page read, not after the whole
+                    // morsel. That streaming matters when page fetches carry
+                    // simulated I/O latency: batching a 64-page morsel
+                    // before the first push would add a full morsel of
+                    // latency to every downstream stage. Panics are caught
+                    // per *page* inside the job, so a poisoned page fails
+                    // only its own slot.
+                    let jobs = tasks.workers().min(morsel as usize);
+                    let page_one = move |mgr: &Arc<Self>,
+                                         pool: &Arc<qpipe_storage::BufferPool>,
+                                         union: Option<&[usize]>,
+                                         snaps: &[ConsumerSnap],
+                                         k: usize| {
+                        let position = (start + k as u64) % num_pages;
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            mgr.page_work(pool, file, position, union, snaps)
+                        }))
+                        .unwrap_or_else(|_| {
+                            mgr.metrics.add_worker_panic();
+                            Err(QError::Exec(format!("scanner panicked reading page {position}")))
+                        })
+                    };
+                    let (tx, rx) = std::sync::mpsc::channel::<(usize, QResult<PageOut>)>();
+                    for j in 0..jobs {
+                        let mgr = self.clone();
+                        let job_pool = pool.clone();
+                        let job_union = union.clone();
+                        let job_snaps = snaps.clone();
+                        let job_tx = tx.clone();
+                        let stride = move || {
+                            let mut k = j;
+                            while k < morsel as usize {
+                                let res =
+                                    page_one(&mgr, &job_pool, job_union.as_deref(), &job_snaps, k);
+                                if job_tx.send((k, res)).is_err() {
+                                    break; // receiver stopped early; skip the rest
+                                }
+                                k += jobs;
+                            }
+                        };
+                        if !tasks.execute(None, stride.clone()) {
+                            // Pool shut down (manager dropping); run inline
+                            // so the morsel still completes deterministically.
+                            stride();
+                        }
+                    }
+                    drop(tx);
+                    let mut buf: Vec<Option<QResult<PageOut>>> =
+                        (0..morsel).map(|_| None).collect();
+                    let mut next = 0usize;
+                    'recv: for (k, res) in rx {
+                        buf[k] = Some(res);
+                        while next < morsel as usize {
+                            let Some(r) = buf[next].take() else { break };
+                            let go = deliver(next, r);
+                            next += 1;
+                            if !go {
+                                break 'recv; // dropping rx stops the senders
+                            }
+                        }
+                    }
+                    if failed.is_none()
+                        && next < morsel as usize
+                        && slots.iter().any(Option::is_some)
+                    {
+                        // A sender died without delivering its pages (job
+                        // panicked past the per-page catch): fail the group
+                        // rather than pass a gap off as complete output.
+                        failed = Some(QError::Exec("morsel job lost".into()));
+                    }
+                } else {
+                    for k in 0..morsel as usize {
+                        let position = (start + k as u64) % num_pages;
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.page_work(&pool, file, position, union.as_deref(), &snaps)
+                        }))
+                        .unwrap_or_else(|_| {
+                            self.metrics.add_worker_panic();
+                            Err(QError::Exec(format!(
+                                "scanner for {} panicked reading page {position}",
+                                group.table
+                            )))
+                        });
+                        if !deliver(k, res) {
+                            break;
+                        }
                     }
                 }
-                c.pages_seen += 1;
-                if c.pages_seen >= num_pages {
-                    done_indices.push(i);
-                }
             }
-            for &i in done_indices.iter().rev() {
-                let c = consumers.remove(i);
-                c.output.finish();
+            consumers.extend(slots.into_iter().flatten());
+            if let Some(e) = failed {
+                self.fail_group(group, &mut consumers, e);
+                return;
             }
-            union_stale |= !done_indices.is_empty();
-            // Advance (circularly) and track wraps.
+            union_stale |= removed_any;
             {
                 let mut g = group.inner.lock();
-                g.pages_read += 1;
-                g.position = (position + 1) % num_pages.max(1);
                 g.active = consumers.len() + g.inbox.len();
-                if g.position == 0 && !consumers.is_empty() {
-                    self.metrics.add_circular_wrap();
-                }
             }
         }
     }
+}
+
+/// A consumer's expressions snapshotted for one morsel's page jobs: the
+/// full-width pair plus (when the group prunes) the union-re-indexed pair.
+/// Jobs pick per page based on whether the fetch actually pruned.
+struct ConsumerSnap {
+    predicate: Option<Expr>,
+    projection: Option<Vec<usize>>,
+    pruned: Option<(Option<Expr>, Vec<usize>)>,
+}
+
+/// What one page job produced for one consumer.
+enum Delivery {
+    /// Broadcast the page's shared batch (no filter, no projection).
+    Shared,
+    /// A filtered/projected batch specific to this consumer.
+    Batch(ColBatch),
+}
+
+/// One page's morsel-job output: the shared decoded batch plus each
+/// consumer's delivery (aligned with the morsel's `ConsumerSnap` order).
+struct PageOut {
+    shared: Arc<AnyBatch>,
+    per_consumer: Vec<Option<Delivery>>,
 }
 
 #[cfg(test)]
@@ -579,7 +798,7 @@ mod tests {
     fn manager(ctx: &ExecContext, metrics: &Metrics, osp: bool) -> Arc<ScanManager> {
         ScanManager::new(
             ctx.clone(),
-            ScanConfig { osp, startup_delay: Duration::from_millis(5) },
+            ScanConfig { osp, startup_delay: Duration::from_millis(5), workers: 1 },
             metrics.clone(),
         )
     }
@@ -663,14 +882,20 @@ mod tests {
         let reg = Arc::new(WaitRegistry::new());
         let (r1, c1) = request(&reg, false, false);
         mgr.submit(r1).unwrap();
-        let drain1 = std::thread::spawn(move || c1.collect_tuples().unwrap().len());
-        std::thread::sleep(Duration::from_millis(20));
+        // Don't drain r1 yet: after the first pages the scanner throttles on
+        // r1's bounded pipe, holding the group mid-scan no matter how fast
+        // pages decode — so the late split_ok arrival deterministically
+        // finds an in-progress scan (`pages_read > 0` ⇒ wrapped delivery).
+        while m.snapshot().disk_blocks_read == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         let (r2, c2) = request(&reg, true, true);
         mgr.submit(r2).unwrap();
+        let drain1 = std::thread::spawn(move || c1.collect_tuples().unwrap().len());
         let rows = c2.collect_tuples().unwrap();
         assert_eq!(rows.len(), 50_000, "wrapped delivery still covers every tuple");
         assert!(m.snapshot().osp_attaches >= 1, "split_ok scan must attach");
-        drain1.join().unwrap();
+        assert_eq!(drain1.join().unwrap(), 50_000);
     }
 
     #[test]

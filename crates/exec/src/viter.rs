@@ -74,6 +74,21 @@ impl HashJoinBuild {
     pub fn finish(self) -> QResult<HashJoinTable> {
         HashJoinTable::new(self.builder.finish(), self.key)
     }
+
+    /// Hand the accumulated build side back as one contiguous batch (plus
+    /// the key), for callers that hash it themselves — the morsel-parallel
+    /// build splits the batch into contiguous slices, hashes each slice on a
+    /// task-pool worker, and reassembles via [`HashJoinTable::from_hashes`].
+    pub fn into_batch(self) -> (ColBatch, usize) {
+        (self.builder.finish(), self.key)
+    }
+}
+
+/// Key hashes for one contiguous slice of a build batch. Row hashes depend
+/// only on row values, so hashing a slice yields exactly the rows' hashes in
+/// the full batch — the parallel build is bit-identical to the serial one.
+pub fn hash_build_slice(batch: &ColBatch, key: usize) -> QResult<Vec<u64>> {
+    Ok(hash_key_column(key_col(batch, key)?))
 }
 
 /// A frozen hash-join build side: the concatenated build batch plus a
@@ -86,8 +101,18 @@ pub struct HashJoinTable {
 
 impl HashJoinTable {
     fn new(build: ColBatch, key: usize) -> QResult<Self> {
+        let hashes = hash_build_slice(&build, key)?;
+        Self::from_hashes(build, key, hashes)
+    }
+
+    /// Assemble a table from a build batch whose key hashes were computed
+    /// elsewhere (possibly slice-by-slice on task-pool workers, concatenated
+    /// in row order). Buckets are filled in ascending row order — the same
+    /// insertion order [`HashJoinTable::new`] produces, so probe output
+    /// (LIFO per probe row) is bit-identical to the serial build.
+    pub fn from_hashes(build: ColBatch, key: usize, hashes: Vec<u64>) -> QResult<Self> {
         let kc = key_col(&build, key)?;
-        let hashes = hash_key_column(kc);
+        debug_assert_eq!(hashes.len(), build.len());
         let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
         for (i, &h) in hashes.iter().enumerate() {
             if !kc.is_null(i) {
@@ -313,6 +338,22 @@ impl HashAgg {
     /// Groups accumulated so far.
     pub fn num_groups(&self) -> usize {
         self.states.len()
+    }
+
+    /// Fold another partial aggregation (same `group_by`/`aggs`) into this
+    /// one. Partials are merged in *stream order* — each partial folded a
+    /// contiguous slice of the input, and [`AggState::merge`] keeps the
+    /// earlier operand on ties — so `MIN`/`MAX`/`COUNT` results are
+    /// bit-identical to a serial fold. (Float `SUM`/`AVG` would reassociate;
+    /// callers gate parallel partials to the order-insensitive functions.)
+    pub fn merge(&mut self, other: HashAgg) {
+        debug_assert_eq!(self.group_by, other.group_by);
+        for (key, states) in other.keys.into_iter().zip(other.states) {
+            let g = self.group_id(key) as usize;
+            for (mine, theirs) in self.states[g].iter_mut().zip(&states) {
+                mine.merge(theirs);
+            }
+        }
     }
 
     /// Finish into a columnar batch: key columns then aggregate columns,

@@ -13,8 +13,8 @@
 //! expr     := and ( OR and )*
 //! and      := not ( AND not )*
 //! not      := NOT not | cmp
-//! cmp      := add (cmpop add | IS NOT? NULL | NOT? IN '(' lit (',' lit)* ')'
-//!                  | NOT? LIKE str)?
+//! cmp      := add (cmpop add | IS NOT? NULL | NOT? BETWEEN add AND add
+//!                  | NOT? IN '(' lit (',' lit)* ')' | NOT? LIKE str)?
 //! add      := mul (('+'|'-') mul)*
 //! mul      := unary (('*'|'/') unary)*
 //! unary    := '-' unary | prim
@@ -54,7 +54,8 @@ struct Parser {
 // reserved by convention so `FROM t WHERE` never parses WHERE as an alias.
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AND", "OR", "NOT", "IN", "IS", "NULL",
-    "LIKE", "AS", "JOIN", "ON", "ASC", "DESC", "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "LIKE", "BETWEEN", "AS", "JOIN", "ON", "ASC", "DESC", "DATE", "COUNT", "SUM", "AVG", "MIN",
+    "MAX",
 ];
 
 impl Parser {
@@ -324,6 +325,21 @@ impl Parser {
             return Ok(if negated { AstExpr::Not(Box::new(test)) } else { test });
         }
         let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            // Desugar to two range conjuncts so the planner sees the same
+            // shape as a hand-written `lhs >= lo AND lhs <= hi` — pushdown,
+            // pruning, and plan signatures need no BETWEEN-specific code.
+            // Bounds are additive expressions: the AND here belongs to
+            // BETWEEN, not to the boolean conjunction above it.
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            let range = AstExpr::And(vec![
+                AstExpr::Cmp(CmpOp::Ge, Box::new(lhs.clone()), Box::new(lo)),
+                AstExpr::Cmp(CmpOp::Le, Box::new(lhs), Box::new(hi)),
+            ]);
+            return Ok(if negated { AstExpr::Not(Box::new(range)) } else { range });
+        }
         if self.eat_kw("IN") {
             self.expect(&Tok::LParen, "'('")?;
             let mut list = vec![self.literal()?];
@@ -349,7 +365,7 @@ impl Parser {
             return Ok(if negated { AstExpr::Not(Box::new(test)) } else { test });
         }
         if negated {
-            return Err(self.err("expected IN or LIKE after NOT"));
+            return Err(self.err("expected BETWEEN, IN, or LIKE after NOT"));
         }
         Ok(lhs)
     }
@@ -521,6 +537,38 @@ mod tests {
             "SELECT MIN() FROM t",
             "SELECT COUNT(* FROM t",
             "SELECT * FROM select",
+        ] {
+            let r = parse(bad);
+            assert!(r.is_err(), "expected error for {bad:?}, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn between_desugars_to_range_conjuncts() {
+        let sugar = parse("SELECT * FROM t WHERE a BETWEEN 3 AND 7").unwrap();
+        let plain = parse("SELECT * FROM t WHERE a >= 3 AND a <= 7").unwrap();
+        assert_eq!(sugar.filter, plain.filter);
+        // NOT BETWEEN negates the whole conjunction (range complement), and
+        // binds tighter than boolean AND: `x NOT BETWEEN .. AND b > 1` keeps
+        // `b > 1` a separate conjunct.
+        let sugar = parse("SELECT * FROM t WHERE a NOT BETWEEN 3 AND 7 AND b > 1").unwrap();
+        let plain = parse("SELECT * FROM t WHERE NOT (a >= 3 AND a <= 7) AND b > 1").unwrap();
+        assert_eq!(sugar.filter, plain.filter);
+        // Bounds are full additive expressions.
+        let sugar = parse("SELECT * FROM t WHERE a BETWEEN b - 1 AND b + 1").unwrap();
+        let plain = parse("SELECT * FROM t WHERE a >= b - 1 AND a <= b + 1").unwrap();
+        assert_eq!(sugar.filter, plain.filter);
+    }
+
+    #[test]
+    fn between_error_paths() {
+        for bad in [
+            "SELECT * FROM t WHERE a BETWEEN",
+            "SELECT * FROM t WHERE a BETWEEN 3",
+            "SELECT * FROM t WHERE a BETWEEN 3 AND",
+            "SELECT * FROM t WHERE a BETWEEN 3 OR 7",
+            "SELECT * FROM t WHERE a NOT BETWEEN 3 7",
+            "SELECT * FROM between",
         ] {
             let r = parse(bad);
             assert!(r.is_err(), "expected error for {bad:?}, got {r:?}");

@@ -349,11 +349,34 @@ pub enum OpenLoopOutcome {
 #[derive(Debug, Clone)]
 pub struct OpenLoopResult {
     pub outcomes: Vec<OpenLoopOutcome>,
+    /// Scheduling class of each arrival, aligned with `outcomes`.
+    pub classes: Vec<QueryClass>,
+    /// Per-query response time in paper seconds (submission → last row),
+    /// aligned with `outcomes`; `None` where rejected/failed.
+    pub latencies_paper: Vec<Option<f64>>,
     pub completed: u64,
     pub rejected: u64,
     /// Queries per hour of paper time (completed only).
     pub qph: f64,
     pub delta: MetricsSnapshot,
+}
+
+/// Completed-query latency distribution of one scheduling class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassLatency {
+    pub class: QueryClass,
+    pub completed: u64,
+    pub p50_paper_secs: f64,
+    pub p99_paper_secs: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 impl OpenLoopResult {
@@ -364,6 +387,33 @@ impl OpenLoopResult {
             .map(|o| match o {
                 OpenLoopOutcome::Completed(n) => Some(*n),
                 _ => None,
+            })
+            .collect()
+    }
+
+    /// p50/p99 completed-query latency per scheduling class, in paper
+    /// seconds. Classes with no completions are omitted.
+    pub fn class_latencies(&self) -> Vec<ClassLatency> {
+        [QueryClass::Interactive, QueryClass::Batch]
+            .into_iter()
+            .filter_map(|class| {
+                let mut lats: Vec<f64> = self
+                    .classes
+                    .iter()
+                    .zip(&self.latencies_paper)
+                    .filter(|(c, _)| **c == class)
+                    .filter_map(|(_, l)| *l)
+                    .collect();
+                if lats.is_empty() {
+                    return None;
+                }
+                lats.sort_by(f64::total_cmp);
+                Some(ClassLatency {
+                    class,
+                    completed: lats.len() as u64,
+                    p50_paper_secs: percentile(&lats, 0.50),
+                    p99_paper_secs: percentile(&lats, 0.99),
+                })
             })
             .collect()
     }
@@ -387,9 +437,12 @@ pub fn open_loop(
     let before = driver.metrics().snapshot();
     let start = Instant::now();
     let n = plans.len();
-    let outcomes: Vec<OpenLoopOutcome> = std::thread::scope(|s| {
+    let classes: Vec<QueryClass> = plans.iter().map(|(_, c)| *c).collect();
+    let settled: Vec<(OpenLoopOutcome, Option<std::time::Duration>)> = std::thread::scope(|s| {
         // A collector thread per *accepted* query; arrivals settled at
         // submission (rejections, submit errors) resolve without one.
+        // Collectors time submission → last row, the per-query response
+        // latency the per-class p50/p99 report summarizes.
         let mut pending: Vec<Result<_, OpenLoopOutcome>> = Vec::with_capacity(n);
         for (i, (plan, class)) in plans.into_iter().enumerate() {
             let due = scale.to_real(interarrival_paper * i as f64);
@@ -397,11 +450,14 @@ pub fn open_loop(
                 std::thread::sleep(wait);
             }
             if driver.engine().is_some() {
+                let submitted = Instant::now();
                 match driver.submit_with(plan, class).expect("staged engine") {
                     Ok(handle) => pending.push(Ok(s.spawn(move || match handle.try_collect() {
-                        Ok(rows) => OpenLoopOutcome::Completed(rows.len()),
-                        Err(QError::Admission(msg)) => OpenLoopOutcome::Rejected(msg),
-                        Err(e) => OpenLoopOutcome::Failed(e),
+                        Ok(rows) => {
+                            (OpenLoopOutcome::Completed(rows.len()), Some(submitted.elapsed()))
+                        }
+                        Err(QError::Admission(msg)) => (OpenLoopOutcome::Rejected(msg), None),
+                        Err(e) => (OpenLoopOutcome::Failed(e), None),
                     }))),
                     Err(QError::Admission(msg)) => {
                         pending.push(Err(OpenLoopOutcome::Rejected(msg)))
@@ -410,9 +466,10 @@ pub fn open_loop(
                 }
             } else {
                 // Iterator engine: run the whole query on its own thread.
+                let submitted = Instant::now();
                 pending.push(Ok(s.spawn(move || match driver.run(plan) {
-                    Ok(rows) => OpenLoopOutcome::Completed(rows),
-                    Err(e) => OpenLoopOutcome::Failed(e),
+                    Ok(rows) => (OpenLoopOutcome::Completed(rows), Some(submitted.elapsed())),
+                    Err(e) => (OpenLoopOutcome::Failed(e), None),
                 })));
             }
         }
@@ -420,17 +477,33 @@ pub fn open_loop(
             .into_iter()
             .map(|p| match p {
                 Ok(h) => h.join().expect("client thread"),
-                Err(settled) => settled,
+                Err(settled) => (settled, None),
             })
             .collect()
     });
     let elapsed_paper = scale.to_paper(start.elapsed());
+    finish_open_loop(settled, classes, elapsed_paper, scale, driver, before)
+}
+
+/// Assemble an [`OpenLoopResult`] from per-arrival outcomes + latencies.
+fn finish_open_loop(
+    settled: Vec<(OpenLoopOutcome, Option<std::time::Duration>)>,
+    classes: Vec<QueryClass>,
+    elapsed_paper: f64,
+    scale: TimeScale,
+    driver: &Driver,
+    before: MetricsSnapshot,
+) -> OpenLoopResult {
+    let (outcomes, latencies_paper): (Vec<_>, Vec<_>) =
+        settled.into_iter().map(|(o, d)| (o, d.map(|d| scale.to_paper(d)))).unzip();
     let completed =
         outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Completed(_))).count() as u64;
     let rejected =
         outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Rejected(_))).count() as u64;
     OpenLoopResult {
         outcomes,
+        classes,
+        latencies_paper,
         completed,
         rejected,
         qph: completed as f64 / (elapsed_paper / 3600.0),
@@ -453,7 +526,8 @@ pub fn open_loop_sql(
     let before = driver.metrics().snapshot();
     let start = Instant::now();
     let n = queries.len();
-    let outcomes: Vec<OpenLoopOutcome> = std::thread::scope(|s| {
+    let classes: Vec<QueryClass> = queries.iter().map(|(_, c)| *c).collect();
+    let settled: Vec<(OpenLoopOutcome, Option<std::time::Duration>)> = std::thread::scope(|s| {
         let mut pending: Vec<Result<_, OpenLoopOutcome>> = Vec::with_capacity(n);
         for (i, (sql, class)) in queries.into_iter().enumerate() {
             let due = scale.to_real(interarrival_paper * i as f64);
@@ -461,11 +535,14 @@ pub fn open_loop_sql(
                 std::thread::sleep(wait);
             }
             if driver.engine().is_some() {
+                let submitted = Instant::now();
                 match driver.submit_sql(&sql, class, opts).expect("staged engine") {
                     Ok(handle) => pending.push(Ok(s.spawn(move || match handle.try_collect() {
-                        Ok(rows) => OpenLoopOutcome::Completed(rows.len()),
-                        Err(QError::Admission(msg)) => OpenLoopOutcome::Rejected(msg),
-                        Err(e) => OpenLoopOutcome::Failed(e),
+                        Ok(rows) => {
+                            (OpenLoopOutcome::Completed(rows.len()), Some(submitted.elapsed()))
+                        }
+                        Err(QError::Admission(msg)) => (OpenLoopOutcome::Rejected(msg), None),
+                        Err(e) => (OpenLoopOutcome::Failed(e), None),
                     }))),
                     Err(QError::Admission(msg)) => {
                         pending.push(Err(OpenLoopOutcome::Rejected(msg)))
@@ -474,12 +551,17 @@ pub fn open_loop_sql(
                 }
             } else {
                 match driver.plan_sql(&sql, opts) {
-                    Ok(planned) => pending.push(Ok(s.spawn(move || {
-                        match driver.run((*planned.plan).clone()) {
-                            Ok(rows) => OpenLoopOutcome::Completed(rows),
-                            Err(e) => OpenLoopOutcome::Failed(e),
-                        }
-                    }))),
+                    Ok(planned) => {
+                        let submitted = Instant::now();
+                        pending.push(Ok(s.spawn(move || {
+                            match driver.run((*planned.plan).clone()) {
+                                Ok(rows) => {
+                                    (OpenLoopOutcome::Completed(rows), Some(submitted.elapsed()))
+                                }
+                                Err(e) => (OpenLoopOutcome::Failed(e), None),
+                            }
+                        })))
+                    }
                     Err(e) => pending.push(Err(OpenLoopOutcome::Failed(e))),
                 }
             }
@@ -488,22 +570,12 @@ pub fn open_loop_sql(
             .into_iter()
             .map(|p| match p {
                 Ok(h) => h.join().expect("client thread"),
-                Err(settled) => settled,
+                Err(settled) => (settled, None),
             })
             .collect()
     });
     let elapsed_paper = scale.to_paper(start.elapsed());
-    let completed =
-        outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Completed(_))).count() as u64;
-    let rejected =
-        outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Rejected(_))).count() as u64;
-    OpenLoopResult {
-        outcomes,
-        completed,
-        rejected,
-        qph: completed as f64 / (elapsed_paper / 3600.0),
-        delta: driver.metrics().snapshot().delta_since(&before),
-    }
+    finish_open_loop(settled, classes, elapsed_paper, scale, driver, before)
 }
 
 /// One leg of a [`mixed_phrasing_storm`].

@@ -30,8 +30,19 @@ fn main() -> QResult<()> {
         qpipe::storage::StorageLayout::Columnar,
     )?;
 
-    // 3. Boot the QPipe engine (OSP on by default).
-    let engine = QPipe::new(catalog.clone(), QPipeConfig::default());
+    // 3. Boot the QPipe engine (OSP on by default). Every µEngine runs a
+    //    fixed worker pool — `pool_workers: 0` (the default) sizes it to
+    //    cover admitted concurrency (8–16); pin it to make the sizing
+    //    explicit. A second knob, `task_workers` (default: the machine's
+    //    cores), sizes the shared CPU pool: with more than one task worker,
+    //    a single query is morsel-parallel inside the hot operators — the
+    //    circular scan fans page ranges across the pool, and hash-join
+    //    build / aggregation compute per-worker partials.
+    let config = QPipeConfig {
+        exec: ExecConfig { pool_workers: 4, ..ExecConfig::default() },
+        ..QPipeConfig::default()
+    };
+    let engine = QPipe::new(catalog.clone(), config);
 
     // 4. Two analytics queries with different predicates — submitted
     //    together. QPipe's scan µEngine serves both from ONE circular scan.

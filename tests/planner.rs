@@ -142,6 +142,37 @@ fn three_way_join_sql_executes_through_the_engine() {
     assert_rows_equivalent(by_sql, by_plan, "q3 through engine");
 }
 
+#[test]
+fn between_phrasing_shares_signature_with_range_conjuncts() {
+    // BETWEEN desugars in the parser, so both phrasings reach the planner
+    // as the same two range conjuncts: identical signature (OSP/result-cache
+    // sharing across phrasings) and identical rows.
+    let catalog = tiny_catalog();
+    let ctx = ExecContext::new(catalog.clone());
+    let sugar =
+        plan(&catalog, "SELECT COUNT(*) FROM lineitem WHERE l_quantity BETWEEN 10 AND 20").unwrap();
+    let plain =
+        plan(&catalog, "SELECT COUNT(*) FROM lineitem WHERE l_quantity >= 10 AND l_quantity <= 20")
+            .unwrap();
+    assert_eq!(sugar.signature, plain.signature);
+    let got = exec_run(&sugar.plan, &ctx).unwrap();
+    assert_rows_equivalent(got.clone(), exec_run(&plain.plan, &ctx).unwrap(), "between");
+    assert!(matches!(got[0][0], Value::Int(n) if n > 0), "predicate selects rows: {got:?}");
+    // NOT BETWEEN is the range complement.
+    let neg =
+        plan(&catalog, "SELECT COUNT(*) FROM lineitem WHERE l_quantity NOT BETWEEN 10 AND 20")
+            .unwrap();
+    let total = plan(&catalog, "SELECT COUNT(*) FROM lineitem").unwrap();
+    let (Value::Int(inside), Value::Int(outside), Value::Int(all)) = (
+        exec_run(&sugar.plan, &ctx).unwrap()[0][0].clone(),
+        exec_run(&neg.plan, &ctx).unwrap()[0][0].clone(),
+        exec_run(&total.plan, &ctx).unwrap()[0][0].clone(),
+    ) else {
+        panic!("COUNT(*) yields Int");
+    };
+    assert_eq!(inside + outside, all, "BETWEEN and NOT BETWEEN partition the table");
+}
+
 // ---------------------------------------------------------------------------
 // Mixed-phrasing sharing (the acceptance experiment)
 // ---------------------------------------------------------------------------
@@ -214,6 +245,8 @@ fn malformed_sql_yields_errors_not_panics() {
         "SELECT * FROM no_such_table",
         "SELECT nope FROM lineitem",
         "SELECT * FROM lineitem WHERE l_quantity >",
+        "SELECT * FROM lineitem WHERE l_quantity BETWEEN 5",
+        "SELECT * FROM lineitem WHERE l_quantity BETWEEN 5 OR 10",
         "SELECT * FROM lineitem WHERE l_quantity > 'a%' LIKE",
         "SELECT l_orderkey, COUNT(*) FROM lineitem",
         "SELECT l_orderkey FROM lineitem ORDER BY 7",
