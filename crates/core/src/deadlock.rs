@@ -224,6 +224,7 @@ impl DeadlockDetector {
     pub fn spawn(registry: Arc<WaitRegistry>, metrics: Metrics, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        // lint:allow(R2): the detector owns its JoinHandle; Drop sets the stop flag then joins, so it cannot outlive the engine
         let handle = std::thread::Builder::new()
             .name("qpipe-deadlock".into())
             .spawn(move || {

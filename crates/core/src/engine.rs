@@ -188,6 +188,7 @@ impl QPipe {
                 Some(registry.clone()),
             ));
             let pool2 = pool.clone();
+            // lint:allow(R2): detached µEngine dispatcher; exits when the queue sender drops on Engine shutdown, holds no locks across iterations
             std::thread::Builder::new()
                 .name(format!("qpipe-ueng-{name}"))
                 .spawn(move || {
@@ -829,6 +830,7 @@ impl QueryHandle {
                 rows
             }
         };
+        self.metrics.add_tuples(rows.len() as u64);
         self.metrics.add_query_completion(self.submitted.elapsed().as_micros() as u64);
         Ok(rows)
     }

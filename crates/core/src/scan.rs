@@ -112,17 +112,39 @@ impl ScanConsumer {
     /// Re-index the consumer's expressions onto `union` (a superset of its
     /// own `refs` by construction) into `self.pruned`, memoized until the
     /// union changes.
-    fn refresh_pruned(&mut self, union: &[usize]) {
+    ///
+    /// Both invariants — the consumer projects, and the union covers its
+    /// refs — hold by construction (`union_refs` built the union from these
+    /// very refs). If either ever breaks, the pruning state is corrupt and
+    /// evaluating re-indexed expressions would read the wrong columns; the
+    /// containment contract wants that surfaced as a clean packet failure
+    /// (`Err` → `fail_group`), never a panic out of the scanner thread.
+    fn refresh_pruned(&mut self, union: &[usize]) -> QResult<()> {
         if self.pruned.as_ref().is_some_and(|p| p.cols == union) {
-            return;
+            return Ok(());
         }
-        let pos = |c: usize| union.binary_search(&c).expect("union covers refs");
-        let proj = self.projection.as_ref().expect("prunable consumers project");
+        let covered = self
+            .refs
+            .as_ref()
+            .is_some_and(|refs| refs.iter().all(|c| union.binary_search(c).is_ok()));
+        let proj = match self.projection.as_ref() {
+            Some(p) if covered => p,
+            _ => {
+                return Err(QError::Exec(format!(
+                    "column-pruning invariant broken: union {union:?} does not cover a \
+                     consumer's referenced columns"
+                )))
+            }
+        };
+        // Validated above: every referenced column is in the union, so the
+        // fallback index is unreachable.
+        let pos = |c: usize| union.binary_search(&c).unwrap_or(0);
         self.pruned = Some(PrunedScan {
             cols: union.to_vec(),
             predicate: self.predicate.as_ref().map(|p| p.map_cols(&pos)),
             projection: proj.iter().map(|&c| pos(c)).collect(),
         });
+        Ok(())
     }
 }
 
@@ -389,14 +411,29 @@ impl ScanManager {
         let (shared, pruned_delivery) = self.fetch_page(pool, file, position, union)?;
         let cols = match &*shared {
             AnyBatch::Cols(c) => c,
-            AnyBatch::Rows(_) => unreachable!(),
+            // `fetch_page` column-ifies every layout; a row batch here means
+            // the decode contract broke — fail the page (the scanner then
+            // poisons every attached packet) instead of unwinding.
+            AnyBatch::Rows(_) => {
+                return Err(QError::Exec(format!(
+                    "scan page {position} decoded to a row batch; columnar contract broken"
+                )))
+            }
         };
         let mut per_consumer = Vec::with_capacity(snaps.len());
         for s in snaps {
             // Pruned pages carry the union's columns; use the consumer's
             // re-indexed expressions (same output, smaller decode).
             let (predicate, projection) = if pruned_delivery {
-                let p = s.pruned.as_ref().expect("pruned delivery implies pruned snaps");
+                // A pruned page reaching a full-width consumer snapshot
+                // means the union snapshot raced group membership; its
+                // expressions would read the wrong columns. Fail the page —
+                // every attached packet sees the error, never bad data.
+                let Some(p) = s.pruned.as_ref() else {
+                    return Err(QError::Exec(format!(
+                        "pruned page {position} delivered to a full-width consumer snapshot"
+                    )));
+                };
                 (&p.0, Some(&p.1))
             } else {
                 (&s.predicate, s.projection.as_ref())
@@ -523,8 +560,18 @@ impl ScanManager {
             // Membership and the union are fixed until the next boundary, so
             // the snapshot stays valid for every page of the morsel.
             if let Some(u) = union.as_ref() {
+                let mut prune_err = None;
                 for c in consumers.iter_mut() {
-                    c.refresh_pruned(u);
+                    if let Err(e) = c.refresh_pruned(u) {
+                        prune_err = Some(e);
+                        break;
+                    }
+                }
+                if let Some(e) = prune_err {
+                    // Corrupt pruning state: settle every attached packet
+                    // with the error rather than scanning wrong columns.
+                    self.fail_group(group, &mut consumers, e);
+                    return;
                 }
             }
             let snaps: Arc<Vec<ConsumerSnap>> = Arc::new(
@@ -596,9 +643,10 @@ impl ScanManager {
                         }
                         c.pages_seen += 1;
                         if c.pages_seen >= num_pages {
-                            let c = slot.take().expect("slot is occupied");
-                            c.output.finish();
-                            removed_any = true;
+                            if let Some(done) = slot.take() {
+                                done.output.finish();
+                                removed_any = true;
+                            }
                         }
                     }
                     if (start + k as u64 + 1).is_multiple_of(num_pages)

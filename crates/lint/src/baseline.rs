@@ -1,0 +1,175 @@
+//! The ratchet baseline: pre-existing violations, checked in, only shrinks.
+//!
+//! R1 landed against a codebase with hundreds of historical `.unwrap()`
+//! sites. Rather than waiving them all (noise) or failing the build (a
+//! flag-day), the baseline records the *count* of findings per (rule, file).
+//! A build fails when any file exceeds its recorded count — new violations
+//! cannot land — and `--check-baseline` additionally fails when the recorded
+//! count exceeds reality: fixing a violation *forces* the baseline to
+//! shrink (`--update-baseline`), so the ratchet never loosens silently.
+//!
+//! Counts (not `file:line` pairs) keep the baseline stable under unrelated
+//! edits: adding a doc comment above an old `.unwrap()` must not churn it.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+
+/// Per-(rule, file) allowed violation counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(Rule, String), u32>,
+}
+
+impl Baseline {
+    /// Parse the checked-in format: one `<rule> <path> <count>` per line,
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (rule, path, count) = (parts.next(), parts.next(), parts.next());
+            let parsed =
+                rule.and_then(Rule::parse).zip(path).zip(count.and_then(|c| c.parse::<u32>().ok()));
+            let Some(((rule, path), count)) = parsed else {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <path> <count>`, got `{raw}`",
+                    n + 1
+                ));
+            };
+            if parts.next().is_some() {
+                return Err(format!("baseline line {}: trailing tokens in `{raw}`", n + 1));
+            }
+            if entries.insert((rule, path.to_string()), count).is_some() {
+                return Err(format!("baseline line {}: duplicate entry `{raw}`", n + 1));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize findings into baseline text (the `--update-baseline` path).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# qpipe-lint ratchet baseline — pre-existing violations, counts per\n\
+             # (rule, file). This file may only SHRINK: new violations fail the\n\
+             # build outright, and fixing one requires `--update-baseline` so the\n\
+             # fix is locked in. Maintained by `cargo run -p qpipe-lint -- \n\
+             # --update-baseline`; do not hand-edit counts upward.\n",
+        );
+        for ((rule, path), count) in &counts(findings) {
+            out.push_str(&format!("{rule} {path} {count}\n"));
+        }
+        out
+    }
+
+    /// Compare `findings` against this baseline.
+    ///
+    /// Returns `(violations, stale)`:
+    /// * `violations` — findings in excess of the baseline (all findings of
+    ///   any (rule, file) whose count grew — line identity across edits is
+    ///   unknowable, so the whole group is reported for triage);
+    /// * `stale` — messages for (rule, file) entries whose recorded count
+    ///   exceeds reality (strict/CI mode fails on these: shrink the file).
+    pub fn check(&self, findings: &[Finding]) -> (Vec<Finding>, Vec<String>) {
+        let actual = counts(findings);
+        let mut violations = Vec::new();
+        for ((rule, path), &n) in &actual {
+            let allowed = self.entries.get(&(*rule, path.clone())).copied().unwrap_or(0);
+            if n > allowed {
+                violations.extend(
+                    findings.iter().filter(|f| f.rule == *rule && f.path == *path).cloned().map(
+                        |mut f| {
+                            f.msg = format!("{} [{} found, baseline allows {}]", f.msg, n, allowed);
+                            f
+                        },
+                    ),
+                );
+            }
+        }
+        let mut stale = Vec::new();
+        for ((rule, path), &allowed) in &self.entries {
+            let n = actual.get(&(*rule, path.clone())).copied().unwrap_or(0);
+            if n < allowed {
+                stale.push(format!(
+                    "baseline allows {allowed} {rule} violation(s) in {path} but only {n} \
+                     remain — run `cargo run -p qpipe-lint -- --update-baseline` to lock \
+                     the improvement in"
+                ));
+            }
+        }
+        (violations, stale)
+    }
+
+    /// Total allowed violations (the ratchet's current height).
+    pub fn total(&self) -> u32 {
+        self.entries.values().sum()
+    }
+}
+
+fn counts(findings: &[Finding]) -> BTreeMap<(Rule, String), u32> {
+    let mut m = BTreeMap::new();
+    for f in findings {
+        *m.entry((f.rule, f.path.clone())).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, line: u32) -> Finding {
+        Finding { rule, path: path.into(), line, msg: "x".into() }
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let fs = vec![
+            finding(Rule::R1, "crates/a/src/l.rs", 3),
+            finding(Rule::R1, "crates/a/src/l.rs", 9),
+            finding(Rule::R2, "crates/b/src/m.rs", 1),
+        ];
+        let b = Baseline::parse(&Baseline::render(&fs)).unwrap();
+        assert_eq!(b.entries[&(Rule::R1, "crates/a/src/l.rs".into())], 2);
+        assert_eq!(b.entries[&(Rule::R2, "crates/b/src/m.rs".into())], 1);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn growth_is_a_violation_shrink_is_stale() {
+        let b = Baseline::parse("R1 crates/a/src/l.rs 1\nR1 crates/c/src/n.rs 2\n").unwrap();
+        // Growth in l.rs: both findings reported.
+        let grown = vec![
+            finding(Rule::R1, "crates/a/src/l.rs", 3),
+            finding(Rule::R1, "crates/a/src/l.rs", 9),
+        ];
+        let (v, stale) = b.check(&grown);
+        assert_eq!(v.len(), 2);
+        // n.rs went from 2 to 0: stale entry flagged.
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("crates/c/src/n.rs"));
+    }
+
+    #[test]
+    fn within_baseline_is_clean() {
+        let b = Baseline::parse("R1 crates/a/src/l.rs 2\n").unwrap();
+        let fs = vec![
+            finding(Rule::R1, "crates/a/src/l.rs", 3),
+            finding(Rule::R1, "crates/a/src/l.rs", 9),
+        ];
+        let (v, stale) = b.check(&fs);
+        assert!(v.is_empty());
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("R9 foo 1").is_err());
+        assert!(Baseline::parse("R1 foo").is_err());
+        assert!(Baseline::parse("R1 foo 1 extra").is_err());
+        assert!(Baseline::parse("R1 foo 1\nR1 foo 2").is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! A lightweight Rust-source lexer.
+//!
+//! Same recursive-descent discipline as `crates/planner`'s SQL lexer: a
+//! single forward pass over the bytes, no external dependencies, works
+//! offline. The rules don't need a full parse — they pattern-match short
+//! token sequences (`. unwrap ( )`, `thread :: spawn`, `let g = … . lock ( )`)
+//! — so the lexer's job is to produce an accurate token stream with line
+//! numbers while *correctly skipping* everything that could fake a match:
+//! string literals (plain, raw, byte), char literals vs. lifetimes, line
+//! comments, and nested block comments. Comments are kept (with their line)
+//! because `// lint:allow(rule): reason` waivers live there.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `let`, `thread`, …).
+    Ident(String),
+    /// Single punctuation byte (`.`, `:`, `!`, `{`, …). Multi-byte operators
+    /// arrive as consecutive tokens (`::` is `:` `:`).
+    Punct(u8),
+    /// Any literal (string, char, number). Contents are irrelevant to the
+    /// rules; only its presence and line matter.
+    Lit,
+    /// A lifetime (`'a`). Distinguished from char literals so `'a'` in a
+    /// pattern never desynchronizes the stream.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on and its
+/// text (delimiters stripped, block comments kept verbatim inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the comments, both line-annotated.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens + comments. Never fails: unterminated literals or
+/// comments simply end at EOF (the rules tolerate a truncated tail — a
+/// malformed file fails `cargo build` long before it reaches the linter).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments
+                    .push(Comment { line, text: String::from_utf8_lossy(&b[start..i]).into() });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: String::from_utf8_lossy(&b[start..end]).into(),
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token { tok: Tok::Lit, line });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(Token { tok: Tok::Lit, line: start_line });
+            }
+            b'\'' => {
+                // Lifetime (`'a` not closed by `'`) vs char literal (`'x'`).
+                let is_lifetime =
+                    b.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                        && b.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.tokens.push(Token { tok: Tok::Lifetime, line });
+                } else {
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        if i < b.len() && b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    out.tokens.push(Token { tok: Tok::Lit, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part — but not `0..10`'s range operator.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token { tok: Tok::Lit, line });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = String::from_utf8_lossy(&b[start..i]).into_owned();
+                out.tokens.push(Token { tok: Tok::Ident(ident), line });
+            }
+            c => {
+                out.tokens.push(Token { tok: Tok::Punct(c), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Is `b[i]` the start of a raw string (`r"`, `r#`), byte string (`b"`), or
+/// raw byte string (`br"`, `br#`)? A plain identifier starting with r/b
+/// (e.g. `rows`) is not.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let mut j = if rest.starts_with(b"br") {
+        i + 2
+    } else if rest.starts_with(b"r") || rest.starts_with(b"b") {
+        i + 1
+    } else {
+        return false;
+    };
+    // Zero or more hashes, then a quote. `r#ident` (raw identifier) has no
+    // quote after the hashes and `break`/`rows` have neither — not strings.
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Skip a plain `"…"` string starting at `b[i] == b'"'`; returns the index
+/// past the closing quote, bumping `line` across embedded newlines.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() && b[i] != b'"' {
+        if b[i] == b'\\' {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i + 1
+}
+
+/// Skip `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at the `r`/`b`.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    // Consume the r/b/br prefix.
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i; // not actually a string; resynchronize
+    }
+    if hashes == 0 && b[i - 1] == b'b' {
+        // b"…" has escapes like a plain string.
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    // Raw: ends at `"` followed by `hashes` hashes; no escapes.
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|c| **c == b'#').count() == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is this token the punctuation byte `c`?
+    pub fn is_punct(&self, c: u8) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Is this token the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let x = "not .unwrap() here"; // real comment .expect(
+            /* block panic! */
+            let y = r#"raw "quoted" .unwrap()"#;
+            y.unwrap();
+        "##;
+        let ids = idents(src);
+        // Only one `unwrap` survives (the real call on the last line).
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains(".expect("));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let l = lex(src);
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let lits = l.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n\"two\nline\"\nc";
+        let l = lex(src);
+        let c = l.tokens.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ real";
+        let l = lex(src);
+        assert_eq!(l.tokens.len(), 1);
+        assert!(l.tokens[0].is_ident("real"));
+    }
+
+    #[test]
+    fn numbers_with_fractions_and_ranges() {
+        let src = "1.5 0..10 2e3";
+        let l = lex(src);
+        let puncts = l.tokens.iter().filter(|t| t.is_punct(b'.')).count();
+        assert_eq!(puncts, 2, "only the range dots survive");
+    }
+}

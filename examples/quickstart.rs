@@ -119,5 +119,15 @@ fn main() -> QResult<()> {
     println!("with injected transient faults: count={} (same answer)", healed[0][0]);
     println!("faults injected:        {}", delta.faults_injected);
     println!("I/O retries (healed):   {}", delta.io_retries);
+
+    // 7. Hacking on the engine? The conventions this contract rests on —
+    //    no panics in engine code, threads only via WorkerPool, no blocking
+    //    pipe calls under a lock, no dead metrics — are machine-checked:
+    //
+    //        cargo run --release -p qpipe-lint
+    //
+    //    emits `file:line` diagnostics for rules R1–R4 and fails on anything
+    //    beyond the ratchet baseline (`lint-baseline.txt`, which may only
+    //    shrink). CI runs it with `--check-baseline` on every PR.
     Ok(())
 }
