@@ -548,6 +548,8 @@ fn morsel_scan(c: &mut Criterion) {
                     output: pipe.producer(),
                     ordered: false,
                     split_ok: false,
+                    probe: None,
+                    trace: None,
                 })
                 .unwrap();
                 let mut out = 0usize;

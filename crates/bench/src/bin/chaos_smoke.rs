@@ -17,6 +17,7 @@
 use qpipe_common::{FaultKind, FaultOp, FaultRule, QError};
 use qpipe_core::engine::QPipeConfig;
 use qpipe_core::QueryClass;
+use qpipe_exec::iter::ExecConfig;
 use qpipe_workloads::chaos::{run_chaos, ChaosConfig};
 use qpipe_workloads::harness::{Driver, OpenLoopOutcome, System, SystemProfile};
 use qpipe_workloads::tpch::{build_tpch, q13, q6, TpchScale};
@@ -25,7 +26,10 @@ fn main() {
     let driver = Driver::build_with_config(
         System::QPipeOsp,
         SystemProfile::instant(),
-        QPipeConfig::default(),
+        QPipeConfig {
+            exec: ExecConfig { tracing: true, ..ExecConfig::default() },
+            ..QPipeConfig::default()
+        },
         |c| build_tpch(c, TpchScale::tiny(), 42),
     )
     .expect("build driver");
@@ -124,6 +128,29 @@ fn main() {
         report.result.delta.checksum_failures,
         report.result.delta.worker_panics,
     );
+    for c in report.result.class_latencies() {
+        println!(
+            "  {:?}: {} completed, p50 {:.1}s / p95 {:.1}s / p99 {:.1}s (paper time)",
+            c.class, c.completed, c.p50_paper_secs, c.p95_paper_secs, c.p99_paper_secs
+        );
+    }
+    // Wiring regression guard: a recorded histogram whose percentiles read
+    // zero means a record site went dead or the snapshot plumbing broke.
+    for (name, h) in driver.metrics().snapshot().histograms() {
+        if h.count > 0 && (h.p50 == 0 || h.p95 == 0 || h.p99 == 0) {
+            failures.push(format!(
+                "histogram {name} has count {} but a zero percentile (p50 {} p95 {} p99 {})",
+                h.count, h.p50, h.p95, h.p99
+            ));
+        }
+    }
+    println!("--- metrics ---");
+    print!("{}", driver.metrics().render_text());
+    // Failed queries are expected here (that's the point of the schedule);
+    // their journals are the post-mortem artifact this smoke exists to prove.
+    for journal in &report.result.failed_journals {
+        println!("--- failed-query journal ---\n{journal}");
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("FAIL: {f}");

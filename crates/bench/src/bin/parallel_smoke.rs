@@ -100,8 +100,8 @@ fn main() {
     );
     for c in r.class_latencies() {
         println!(
-            "  {:?}: {} completed, p50 {:.1}s / p99 {:.1}s (paper time)",
-            c.class, c.completed, c.p50_paper_secs, c.p99_paper_secs
+            "  {:?}: {} completed, p50 {:.1}s / p95 {:.1}s / p99 {:.1}s (paper time)",
+            c.class, c.completed, c.p50_paper_secs, c.p95_paper_secs, c.p99_paper_secs
         );
     }
     if !failures.is_empty() {

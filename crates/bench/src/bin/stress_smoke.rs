@@ -27,6 +27,7 @@ fn main() {
             sort_budget: 2048,
             hash_budget: 2048,
             global_budget: global_mem,
+            tracing: true,
             ..ExecConfig::default()
         },
         admit: AdmitConfig { queue_depth: depth, max_queued: 40, ..AdmitConfig::default() },
@@ -123,9 +124,24 @@ fn main() {
     }
     for c in r.class_latencies() {
         println!(
-            "  {:?}: {} completed, p50 {:.1}s / p99 {:.1}s (paper time)",
-            c.class, c.completed, c.p50_paper_secs, c.p99_paper_secs
+            "  {:?}: {} completed, p50 {:.1}s / p95 {:.1}s / p99 {:.1}s (paper time)",
+            c.class, c.completed, c.p50_paper_secs, c.p95_paper_secs, c.p99_paper_secs
         );
+    }
+    // Wiring regression guard: a recorded histogram whose percentiles read
+    // zero means a record site went dead or the snapshot plumbing broke.
+    for (name, h) in driver.metrics().snapshot().histograms() {
+        if h.count > 0 && (h.p50 == 0 || h.p95 == 0 || h.p99 == 0) {
+            failures.push(format!(
+                "histogram {name} has count {} but a zero percentile (p50 {} p95 {} p99 {})",
+                h.count, h.p50, h.p95, h.p99
+            ));
+        }
+    }
+    println!("--- metrics ---");
+    print!("{}", driver.metrics().render_text());
+    for journal in &r.failed_journals {
+        eprintln!("--- failed-query journal ---\n{journal}");
     }
     if !failures.is_empty() {
         for f in &failures {

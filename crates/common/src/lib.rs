@@ -5,8 +5,9 @@
 //! [`Value`]s, [`Schema`]s, [`Tuple`]s and [`Batch`]es, the columnar
 //! [`ColBatch`]/[`SelVec`] layout the vectorized scan path uses (see
 //! [`colbatch`] for the layout contract), error types, global [`metrics`],
-//! the memory [`govern`]or that turns operator budgets into leases, and the
-//! simulated-time facilities in [`sim`].
+//! the memory [`govern`]or that turns operator budgets into leases, the
+//! per-query [`trace`] journal and operator probes behind `EXPLAIN
+//! ANALYZE`, and the simulated-time facilities in [`sim`].
 
 pub mod batch;
 pub mod colbatch;
@@ -15,6 +16,7 @@ pub mod govern;
 pub mod metrics;
 pub mod schema;
 pub mod sim;
+pub mod trace;
 pub mod value;
 
 pub use batch::{AnyBatch, Batch, Tuple};
@@ -23,7 +25,11 @@ pub use colbatch::{
 };
 pub use error::{QError, QResult};
 pub use govern::{GovernorConfig, MemClass, MemLease, MemoryGovernor};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Histogram, HistogramSummary, Metrics, MetricsSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use sim::{FaultAction, FaultInjector, FaultKind, FaultOp, FaultRule};
+pub use trace::{
+    OpProbe, OpStats, ProbeNode, QueryProfile, QueryTrace, TimedEvent, TraceEvent,
+    DEFAULT_TRACE_CAPACITY,
+};
 pub use value::{cmp_i64_f64, float_as_exact_i64, Value};

@@ -8,8 +8,98 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of sub-buckets per power of two (2^SUB_BITS per octave).
+const HIST_SUB_BITS: u32 = 3;
+/// Bucket count covering the full u64 range: 8 exact values below 8, then
+/// 8 sub-buckets per octave for exponents 3..=63.
+const HIST_BUCKETS: usize = 496;
+
+/// Lock-free log-bucketed latency histogram (HDR-style: 8 sub-buckets per
+/// power of two, ~6% relative error). Values are recorded in whatever unit
+/// the caller picks (microseconds throughout this crate) and clamped to a
+/// minimum of 1 so any histogram with a nonzero count reports nonzero
+/// percentiles — the CI smoke wiring guard relies on that invariant.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(v: u64) -> usize {
+        if v < 8 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros() as usize;
+            (exp - 2) * 8 + ((v >> (exp as u32 - HIST_SUB_BITS)) & 7) as usize
+        }
+    }
+
+    /// Representative value (sub-bucket midpoint) for bucket `idx`.
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < 8 {
+            idx as u64
+        } else {
+            let exp = idx / 8 + 2;
+            let width = 1u64 << (exp as u32 - HIST_SUB_BITS);
+            (1u64 << exp) + (idx % 8) as u64 * width + width / 2
+        }
+    }
+
+    /// Record one observation (clamped to >= 1).
+    pub fn record(&self, v: u64) {
+        let idx = Self::bucket_index(v.max(1));
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold the buckets into count + nearest-rank p50/p95/p99.
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let pct = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((count as f64 * q).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return Self::bucket_value(i);
+                }
+            }
+            Self::bucket_value(HIST_BUCKETS - 1)
+        };
+        HistogramSummary { count, p50: pct(0.50), p95: pct(0.95), p99: pct(0.99) }
+    }
+}
+
+/// Point-in-time percentile summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Delta for interval reporting: counts subtract; the percentile fields
+    /// stay cumulative (percentiles of a difference are not recoverable from
+    /// two summaries, so the latest cumulative value is the honest answer).
+    fn delta_since(&self, earlier: &HistogramSummary) -> HistogramSummary {
+        HistogramSummary { count: self.count.saturating_sub(earlier.count), ..*self }
+    }
+}
 
 /// Shared counter bundle; cheap to clone (Arc inside).
 #[derive(Debug, Clone, Default)]
@@ -54,6 +144,11 @@ struct MetricsInner {
     pool_queue_depth: AtomicU64,
     morsels_dispatched: AtomicU64,
     worker_busy_ns: AtomicU64,
+    query_latency_interactive_us: Histogram,
+    query_latency_batch_us: Histogram,
+    admission_wait_us: Histogram,
+    bp_fetch_us: Histogram,
+    pool_queue_wait_us: Histogram,
     per_file_reads: Mutex<HashMap<String, u64>>,
     per_engine_attaches: Mutex<HashMap<String, u64>>,
     per_engine_busy_ns: Mutex<HashMap<String, u64>>,
@@ -142,6 +237,19 @@ pub struct MetricsSnapshot {
     /// Nanoseconds pool workers spent executing jobs, summed across every
     /// pool (per-µEngine split in `per_engine_busy_ns`).
     pub worker_busy_ns: u64,
+    /// End-to-end latency of completed interactive-class queries (µs),
+    /// p50/p95/p99.
+    pub query_latency_interactive_us: HistogramSummary,
+    /// End-to-end latency of completed batch-class queries (µs), p50/p95/p99.
+    pub query_latency_batch_us: HistogramSummary,
+    /// Time queries spent in the admission queue before dispatch (µs).
+    pub admission_wait_us: HistogramSummary,
+    /// Buffer-pool miss-path fetch latency — disk read + checksum verify,
+    /// including retry backoff (µs).
+    pub bp_fetch_us: HistogramSummary,
+    /// Time pool jobs waited in a worker queue before a worker picked them
+    /// up (µs).
+    pub pool_queue_wait_us: HistogramSummary,
     pub per_file_reads: HashMap<String, u64>,
     pub per_engine_attaches: HashMap<String, u64>,
     /// Worker-busy nanoseconds per pool name (µEngines plus the shared
@@ -306,6 +414,94 @@ impl Metrics {
         self.inner.response_time_us_sum.fetch_add(response_us, Ordering::Relaxed);
     }
 
+    /// Record a completed query's end-to-end latency in its class histogram
+    /// (`interactive` is `QueryClass::Interactive`, which lives upstack).
+    pub fn record_query_latency(&self, interactive: bool, us: u64) {
+        if interactive {
+            self.inner.query_latency_interactive_us.record(us);
+        } else {
+            self.inner.query_latency_batch_us.record(us);
+        }
+    }
+
+    /// Record time a query spent in the admission queue (µs).
+    pub fn record_admission_wait(&self, us: u64) {
+        self.inner.admission_wait_us.record(us);
+    }
+
+    /// Record a buffer-pool miss-path fetch duration (µs).
+    pub fn record_bp_fetch(&self, us: u64) {
+        self.inner.bp_fetch_us.record(us);
+    }
+
+    /// Record time a job waited in a worker-pool queue (µs).
+    pub fn record_pool_queue_wait(&self, us: u64) {
+        self.inner.pool_queue_wait_us.record(us);
+    }
+
+    /// Prometheus-style text exposition of every counter and histogram.
+    pub fn render_text(&self) -> String {
+        let s = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in [
+            ("disk_blocks_read", s.disk_blocks_read),
+            ("disk_blocks_written", s.disk_blocks_written),
+            ("bp_hits", s.bp_hits),
+            ("bp_misses", s.bp_misses),
+            ("osp_attaches", s.osp_attaches),
+            ("osp_rejections", s.osp_rejections),
+            ("circular_wraps", s.circular_wraps),
+            ("deadlocks_resolved", s.deadlocks_resolved),
+            ("vec_join_batches", s.vec_join_batches),
+            ("vec_agg_batches", s.vec_agg_batches),
+            ("vec_filter_batches", s.vec_filter_batches),
+            ("vec_project_batches", s.vec_project_batches),
+            ("vec_sort_batches", s.vec_sort_batches),
+            ("vec_fallbacks", s.vec_fallbacks),
+            ("col_rowified_batches", s.col_rowified_batches),
+            ("pruned_pages", s.pruned_pages),
+            ("admitted", s.admitted),
+            ("queued", s.queued),
+            ("rejected", s.rejected),
+            ("mem_granted", s.mem_granted),
+            ("mem_waited", s.mem_waited),
+            ("mem_peak", s.mem_peak),
+            ("config_clamps", s.config_clamps),
+            ("queries_completed", s.queries_completed),
+            ("tuples_produced", s.tuples_produced),
+            ("response_time_us_sum", s.response_time_us_sum),
+            ("io_retries", s.io_retries),
+            ("checksum_failures", s.checksum_failures),
+            ("worker_panics", s.worker_panics),
+            ("query_timeouts", s.query_timeouts),
+            ("faults_injected", s.faults_injected),
+            ("plan_canonical_hits", s.plan_canonical_hits),
+            ("pool_queue_depth", s.pool_queue_depth),
+            ("morsels_dispatched", s.morsels_dispatched),
+            ("worker_busy_ns", s.worker_busy_ns),
+        ] {
+            let _ = writeln!(out, "# TYPE qpipe_{name} counter");
+            let _ = writeln!(out, "qpipe_{name} {v}");
+        }
+        for (file, v) in &s.per_file_reads {
+            let _ = writeln!(out, "qpipe_per_file_reads{{file=\"{file}\"}} {v}");
+        }
+        for (engine, v) in &s.per_engine_attaches {
+            let _ = writeln!(out, "qpipe_per_engine_attaches{{engine=\"{engine}\"}} {v}");
+        }
+        for (engine, v) in &s.per_engine_busy_ns {
+            let _ = writeln!(out, "qpipe_per_engine_busy_ns{{engine=\"{engine}\"}} {v}");
+        }
+        for (name, h) in s.histograms() {
+            let _ = writeln!(out, "# TYPE qpipe_{name} summary");
+            let _ = writeln!(out, "qpipe_{name}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "qpipe_{name}{{quantile=\"0.95\"}} {}", h.p95);
+            let _ = writeln!(out, "qpipe_{name}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "qpipe_{name}_count {}", h.count);
+        }
+        out
+    }
+
     pub fn disk_blocks_read(&self) -> u64 {
         self.inner.disk_blocks_read.load(Ordering::Relaxed)
     }
@@ -356,6 +552,11 @@ impl Metrics {
             pool_queue_depth: i.pool_queue_depth.load(Ordering::Relaxed),
             morsels_dispatched: i.morsels_dispatched.load(Ordering::Relaxed),
             worker_busy_ns: i.worker_busy_ns.load(Ordering::Relaxed),
+            query_latency_interactive_us: i.query_latency_interactive_us.summary(),
+            query_latency_batch_us: i.query_latency_batch_us.summary(),
+            admission_wait_us: i.admission_wait_us.summary(),
+            bp_fetch_us: i.bp_fetch_us.summary(),
+            pool_queue_wait_us: i.pool_queue_wait_us.summary(),
             per_file_reads: i.per_file_reads.lock().clone(),
             per_engine_attaches: i.per_engine_attaches.lock().clone(),
             per_engine_busy_ns: i.per_engine_busy_ns.lock().clone(),
@@ -364,6 +565,18 @@ impl Metrics {
 }
 
 impl MetricsSnapshot {
+    /// Every histogram summary by exposition name — lets callers (the smoke
+    /// wiring guard) iterate them without naming each field.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSummary)> {
+        vec![
+            ("query_latency_interactive_us", self.query_latency_interactive_us),
+            ("query_latency_batch_us", self.query_latency_batch_us),
+            ("admission_wait_us", self.admission_wait_us),
+            ("bp_fetch_us", self.bp_fetch_us),
+            ("pool_queue_wait_us", self.pool_queue_wait_us),
+        ]
+    }
+
     /// Buffer-pool hit ratio in [0, 1]; 0 when no accesses were made.
     pub fn bp_hit_ratio(&self) -> f64 {
         let total = self.bp_hits + self.bp_misses;
@@ -437,6 +650,15 @@ impl MetricsSnapshot {
             pool_queue_depth: self.pool_queue_depth.saturating_sub(earlier.pool_queue_depth),
             morsels_dispatched: self.morsels_dispatched - earlier.morsels_dispatched,
             worker_busy_ns: self.worker_busy_ns - earlier.worker_busy_ns,
+            query_latency_interactive_us: self
+                .query_latency_interactive_us
+                .delta_since(&earlier.query_latency_interactive_us),
+            query_latency_batch_us: self
+                .query_latency_batch_us
+                .delta_since(&earlier.query_latency_batch_us),
+            admission_wait_us: self.admission_wait_us.delta_since(&earlier.admission_wait_us),
+            bp_fetch_us: self.bp_fetch_us.delta_since(&earlier.bp_fetch_us),
+            pool_queue_wait_us: self.pool_queue_wait_us.delta_since(&earlier.pool_queue_wait_us),
             per_file_reads: per_file,
             per_engine_attaches: per_engine,
             per_engine_busy_ns: per_busy,
@@ -492,5 +714,100 @@ mod tests {
         let m2 = m.clone();
         m2.add_circular_wrap();
         assert_eq!(m.snapshot().circular_wraps, 1);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.p50, 4);
+        assert_eq!(s.p99, 7);
+    }
+
+    #[test]
+    fn histogram_percentiles_within_bucket_error() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        // Log-bucketed: <= ~6.25% relative error per observation.
+        for (got, want) in [(s.p50, 500.0), (s.p95, 950.0), (s.p99, 990.0)] {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel < 0.07, "got {got}, want ~{want}");
+        }
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn histogram_zero_clamps_to_one() {
+        let h = Histogram::default();
+        h.record(0);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert!(s.p50 >= 1, "nonzero count must yield nonzero percentiles");
+        assert!(s.p99 >= 1);
+    }
+
+    #[test]
+    fn histogram_handles_extreme_values() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert!(s.p99 > 1u64 << 62);
+    }
+
+    #[test]
+    fn latency_histograms_route_by_class() {
+        let m = Metrics::new();
+        m.record_query_latency(true, 100);
+        m.record_query_latency(false, 200);
+        m.record_query_latency(false, 300);
+        let s = m.snapshot();
+        assert_eq!(s.query_latency_interactive_us.count, 1);
+        assert_eq!(s.query_latency_batch_us.count, 2);
+        assert!(s.query_latency_interactive_us.p50 > 0);
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_counts_keeps_percentiles() {
+        let m = Metrics::new();
+        m.record_admission_wait(50);
+        let before = m.snapshot();
+        m.record_admission_wait(70);
+        m.record_admission_wait(90);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.admission_wait_us.count, 2);
+        assert!(d.admission_wait_us.p50 > 0);
+    }
+
+    #[test]
+    fn render_text_exposes_counters_and_quantiles() {
+        let m = Metrics::new();
+        m.add_bp_hit();
+        m.record_bp_fetch(42);
+        m.record_pool_queue_wait(10);
+        let text = m.render_text();
+        assert!(text.contains("qpipe_bp_hits 1"));
+        assert!(text.contains("# TYPE qpipe_bp_fetch_us summary"));
+        assert!(text.contains("qpipe_bp_fetch_us{quantile=\"0.99\"}"));
+        assert!(text.contains("qpipe_bp_fetch_us_count 1"));
+        assert!(text.contains("qpipe_pool_queue_wait_us_count 1"));
+    }
+
+    #[test]
+    fn snapshot_histograms_lists_all_five() {
+        let s = Metrics::new().snapshot();
+        let names: Vec<_> = s.histograms().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 5);
+        assert!(names.contains(&"query_latency_interactive_us"));
+        assert!(names.contains(&"pool_queue_wait_us"));
     }
 }

@@ -48,6 +48,7 @@
 use crate::packet::CancelToken;
 use crate::pipe::Pipe;
 use parking_lot::Mutex;
+use qpipe_common::trace::{QueryTrace, TraceEvent};
 use qpipe_common::{Metrics, QError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -149,6 +150,9 @@ pub struct QueryTicket {
     class: QueryClass,
     /// Deduplicated µEngines the plan touches (its slot footprint).
     engines: Vec<&'static str>,
+    /// The query's event journal (`None` when tracing is off); admission
+    /// stamps `Enqueued`/`Admitted` events here.
+    trace: Option<Arc<QueryTrace>>,
     state: Mutex<TicketState>,
 }
 
@@ -159,9 +163,25 @@ impl QueryTicket {
         dispatch: DispatchFn,
         pipe: Arc<Pipe>,
     ) -> Arc<Self> {
+        Self::new_traced(class, engines, dispatch, pipe, None)
+    }
+
+    /// Like [`QueryTicket::new`], carrying the query's trace journal; the
+    /// `Enqueued` event is stamped immediately.
+    pub fn new_traced(
+        class: QueryClass,
+        engines: Vec<&'static str>,
+        dispatch: DispatchFn,
+        pipe: Arc<Pipe>,
+        trace: Option<Arc<QueryTrace>>,
+    ) -> Arc<Self> {
+        if let Some(tr) = &trace {
+            tr.push(TraceEvent::Enqueued);
+        }
         Arc::new(Self {
             class,
             engines,
+            trace,
             state: Mutex::new(TicketState::Queued { since: Instant::now(), dispatch, pipe }),
         })
     }
@@ -502,13 +522,18 @@ impl AdmissionController {
                     TicketState::Queued { pipe, .. } => pipe.clone(),
                     _ => unreachable!("eligibility checked above"),
                 };
-                let TicketState::Queued { dispatch, .. } = std::mem::replace(
+                let TicketState::Queued { dispatch, since, .. } = std::mem::replace(
                     &mut *t,
                     TicketState::Running { cancels: Vec::new(), since: Instant::now(), pipe },
                 ) else {
                     unreachable!("eligibility checked above");
                 };
                 drop(t);
+                let waited_us = since.elapsed().as_micros() as u64;
+                self.metrics.record_admission_wait(waited_us);
+                if let Some(tr) = &ticket.trace {
+                    tr.push(TraceEvent::Admitted { waited_us });
+                }
                 for e in &ticket.engines {
                     let n = st.in_flight.entry(e).or_insert(0);
                     *n += 1;

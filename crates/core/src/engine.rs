@@ -20,6 +20,7 @@ use crate::pipe::{Pipe, PipeConfig, PipeConsumer};
 use crate::pool::WorkerPool;
 use crate::scan::{ScanConfig, ScanManager, ScanRequest};
 use crossbeam::channel::{unbounded, Sender};
+use qpipe_common::trace::{ProbeNode, QueryProfile, QueryTrace, TraceEvent};
 use qpipe_common::{Metrics, QError, QResult, Tuple};
 use qpipe_exec::iter::{ExecConfig, ExecContext};
 use qpipe_exec::plan::PlanNode;
@@ -304,9 +305,12 @@ impl QPipe {
             if let Some(rows) = cache.lookup(signature) {
                 return Ok(QueryHandle {
                     query,
+                    class,
                     inner: HandleInner::Cached(rows),
                     submitted: Instant::now(),
                     metrics: self.metrics.clone(),
+                    trace: None,
+                    profile: None,
                 });
             }
         }
@@ -319,16 +323,31 @@ impl QPipe {
         let tables = plan.tables();
         let plan = Arc::new(plan);
         let engines = plan_engines(&plan);
+        // Tracing on: one journal per query and one probe per operator,
+        // pre-wired to mirror the plan shape. Off (the default): both stay
+        // `None` everywhere and the hot path pays a single `Option` branch.
+        let trace = self.config.exec.tracing.then(|| Arc::new(QueryTrace::default()));
+        let profile = self.config.exec.tracing.then(|| build_probe_tree(&plan));
         // Deferred dispatch: runs on whichever thread frees the admitting
         // slot (or inline below when capacity is available right now).
         let weak = self.self_weak.clone();
         let fail_pipe = root_pipe.clone();
+        let dispatch_trace = trace.clone();
+        let dispatch_probe = profile.clone();
         let dispatch: DispatchFn = Box::new(move || {
             let Some(engine) = weak.upgrade() else {
                 fail_pipe.fail(QError::Exec("engine shut down".into()));
                 return Vec::new();
             };
-            match engine.dispatch(plan, query, producer, None, root_node) {
+            match engine.dispatch(
+                plan,
+                query,
+                producer,
+                None,
+                root_node,
+                dispatch_probe.as_ref(),
+                dispatch_trace.as_ref(),
+            ) {
                 Ok(tokens) => tokens,
                 Err(e) => {
                     fail_pipe.fail(e);
@@ -336,10 +355,11 @@ impl QPipe {
                 }
             }
         });
-        let ticket = QueryTicket::new(class, engines, dispatch, root_pipe);
+        let ticket = QueryTicket::new_traced(class, engines, dispatch, root_pipe, trace.clone());
         self.admit.submit(ticket.clone())?;
         Ok(QueryHandle {
             query,
+            class,
             inner: HandleInner::Live {
                 consumer,
                 fill: self.cache.as_ref().map(|c| (c.clone(), signature, tables)),
@@ -347,6 +367,8 @@ impl QPipe {
             },
             submitted: Instant::now(),
             metrics: self.metrics.clone(),
+            trace,
+            profile,
         })
     }
 
@@ -434,7 +456,10 @@ impl QPipe {
     }
 
     /// Recursive packet dispatcher. Returns the cancel tokens for the
-    /// dispatched node and everything below it.
+    /// dispatched node and everything below it. `probe` is this node's
+    /// position in the query's probe tree (mirrors the plan shape); `trace`
+    /// is the query journal — both `None` when tracing is off.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         plan: Arc<PlanNode>,
@@ -442,6 +467,8 @@ impl QPipe {
         output: crate::pipe::PipeProducer,
         parent_op: Option<&'static str>,
         node: crate::deadlock::NodeId,
+        probe: Option<&ProbeNode>,
+        trace: Option<&Arc<QueryTrace>>,
     ) -> QResult<Vec<CancelToken>> {
         let cancel = CancelToken::new();
         let mut subtree = Vec::new();
@@ -458,7 +485,11 @@ impl QPipe {
             let child_node = fresh_node();
             let child_pipe = Pipe::new(self.config.pipe, child_node, self.registry.clone());
             self.registry.register_pipe(&child_pipe);
-            children_consumers.push(child_pipe.attach_consumer(node, false));
+            // The consumer end belongs to *this* operator: time it spends
+            // blocked on the child's pipe is this operator's pipe-wait.
+            let mut consumer = child_pipe.attach_consumer(node, false);
+            consumer.set_probe(probe.map(|p| p.probe.clone()));
+            children_consumers.push(consumer);
             let child_producer = child_pipe.producer();
             let mut tokens = self.dispatch_child(
                 child_plan,
@@ -467,6 +498,8 @@ impl QPipe {
                 plan.op_name(),
                 split_side == Some(idx),
                 child_node,
+                probe.and_then(|p| p.children.get(idx)),
+                trace,
             )?;
             subtree.append(&mut tokens);
         }
@@ -476,6 +509,9 @@ impl QPipe {
             node.0,
             format!("{:?}/{}/{:x}", query, plan.op_name(), plan.signature() & 0xffff),
         );
+        if let Some(tr) = trace {
+            tr.push(TraceEvent::PacketDispatched { op: plan.op_name() });
+        }
         let packet = Packet {
             query,
             node,
@@ -487,6 +523,8 @@ impl QPipe {
             subtree_cancels: subtree.clone(),
             ordered,
             split_ok,
+            probe: probe.map(|p| p.probe.clone()),
+            trace: trace.cloned(),
         };
         self.route(packet)?;
         subtree.push(cancel);
@@ -504,6 +542,8 @@ impl QPipe {
         parent_op: &'static str,
         split_ok: bool,
         node: crate::deadlock::NodeId,
+        probe: Option<&ProbeNode>,
+        trace: Option<&Arc<QueryTrace>>,
     ) -> QResult<Vec<CancelToken>> {
         if split_ok {
             // Scans get the flag directly; it only matters for leaf scans.
@@ -512,6 +552,9 @@ impl QPipe {
                 .lock()
                 .insert(node.0, format!("{:?}/{}(split)", query, plan.op_name()));
             let (ordered, _) = scan_flags(&plan);
+            if let Some(tr) = trace {
+                tr.push(TraceEvent::PacketDispatched { op: plan.op_name() });
+            }
             let packet = Packet {
                 query,
                 node,
@@ -523,11 +566,13 @@ impl QPipe {
                 subtree_cancels: Vec::new(),
                 ordered,
                 split_ok: true,
+                probe: probe.map(|p| p.probe.clone()),
+                trace: trace.cloned(),
             };
             self.route(packet)?;
             return Ok(vec![cancel]);
         }
-        self.dispatch(plan, query, output, Some(parent_op), node)
+        self.dispatch(plan, query, output, Some(parent_op), node, probe, trace)
     }
 
     /// For a merge join with order-insensitive parent: which child (0/1) may
@@ -592,6 +637,14 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Mirror the plan tree as probe nodes — one [`OpProbe`](qpipe_common::trace::OpProbe)
+/// per operator, shaped exactly like the plan so [`QueryHandle::profile`]
+/// snapshots align with [`PlanNode::explain_analyze`].
+fn build_probe_tree(plan: &PlanNode) -> ProbeNode {
+    let children = plan.children().into_iter().map(build_probe_tree).collect();
+    ProbeNode::new(plan.op_name(), children)
 }
 
 /// The deduplicated set of µEngines `plan` touches — the query's admission
@@ -682,6 +735,8 @@ fn dispatch_packet(
             output: packet.output.take().expect("scan packet has an output"),
             ordered: packet.ordered,
             split_ok: packet.split_ok,
+            probe: packet.probe.clone(),
+            trace: packet.trace.clone(),
         };
         // Submit errors only for missing tables (validated at submit).
         let _ = scan_mgr.submit(req);
@@ -739,9 +794,14 @@ fn is_managed_scan(plan: &PlanNode) -> bool {
 /// Handle to a submitted query.
 pub struct QueryHandle {
     query: QueryId,
+    class: QueryClass,
     inner: HandleInner,
     submitted: Instant,
     metrics: Metrics,
+    /// The query's event journal (`None` unless `ExecConfig::tracing`).
+    trace: Option<Arc<QueryTrace>>,
+    /// Root of the query's probe tree; snapshot via [`QueryHandle::profile`].
+    profile: Option<ProbeNode>,
 }
 
 /// Releases the query's admission slots when the handle settles (consumed,
@@ -771,6 +831,35 @@ enum HandleInner {
 impl QueryHandle {
     pub fn query_id(&self) -> QueryId {
         self.query
+    }
+
+    /// The scheduling class this query was submitted in.
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// Snapshot the per-operator execution profile (rows, batches, busy and
+    /// wait times per plan node, mirroring the plan shape — feed it to
+    /// [`PlanNode::explain_analyze`]). `None` unless the engine was booted
+    /// with `ExecConfig::tracing`. Valid at any time; a snapshot taken
+    /// before the query drains shows partial counts.
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.profile.as_ref().map(ProbeNode::snapshot)
+    }
+
+    /// The live probe tree behind [`profile`](Self::profile). The clone
+    /// shares the underlying atomics, so — like [`trace`](Self::trace) —
+    /// grab it before [`try_collect`](Self::try_collect) and snapshot it
+    /// afterwards for the query's final per-operator counts.
+    pub fn probe_tree(&self) -> Option<ProbeNode> {
+        self.profile.clone()
+    }
+
+    /// The query's event journal, `None` unless tracing is on. Grab the
+    /// `Arc` before [`try_collect`](Self::try_collect) (which consumes the
+    /// handle) to render a failure journal afterwards.
+    pub fn trace(&self) -> Option<Arc<QueryTrace>> {
+        self.trace.clone()
     }
 
     /// True if this handle is served from the result cache.
@@ -811,28 +900,41 @@ impl QueryHandle {
     /// query failed (e.g. a codec error on a scanned page) — partial output
     /// is never passed off as a complete result.
     pub fn try_collect(self) -> QResult<Vec<Tuple>> {
-        let rows = match self.inner {
-            HandleInner::Cached(rows) => rows.as_ref().clone(),
+        let result = match self.inner {
+            HandleInner::Cached(rows) => Ok(rows.as_ref().clone()),
             HandleInner::Live { consumer, fill, ticket } => {
                 // Hold the admission slots until the stream is drained, then
                 // release them (pumping waiters) before the cache admit.
                 let rows = consumer.collect_tuples();
                 drop(ticket);
-                let rows = rows?;
-                if let Some((cache, signature, tables)) = fill {
-                    cache.admit(
-                        signature,
-                        Arc::new(rows.clone()),
-                        tables,
-                        self.submitted.elapsed(),
-                    );
-                }
-                rows
+                rows.inspect(|rows| {
+                    if let Some((cache, signature, tables)) = fill {
+                        cache.admit(
+                            signature,
+                            Arc::new(rows.clone()),
+                            tables,
+                            self.submitted.elapsed(),
+                        );
+                    }
+                })
             }
         };
-        self.metrics.add_tuples(rows.len() as u64);
-        self.metrics.add_query_completion(self.submitted.elapsed().as_micros() as u64);
-        Ok(rows)
+        match result {
+            Ok(rows) => {
+                let elapsed_us = self.submitted.elapsed().as_micros() as u64;
+                self.metrics.add_tuples(rows.len() as u64);
+                self.metrics.add_query_completion(elapsed_us);
+                self.metrics
+                    .record_query_latency(self.class == QueryClass::Interactive, elapsed_us);
+                Ok(rows)
+            }
+            Err(e) => {
+                if let Some(tr) = &self.trace {
+                    tr.push(TraceEvent::QueryFailed { error: e.to_string() });
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Elapsed wall time since submission.

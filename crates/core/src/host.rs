@@ -17,6 +17,7 @@
 use crate::packet::Packet;
 use crate::pipe::PipeProducer;
 use parking_lot::Mutex;
+use qpipe_common::trace::{OpProbe, TraceEvent};
 use qpipe_common::{AnyBatch, Batch, Metrics};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,8 +33,25 @@ pub enum AttachWindow {
     WholeLifetime,
 }
 
+/// One attached output stream (the host's own query or a satellite's),
+/// paired with that query's operator probe so broadcast batches are
+/// attributed per query.
+struct HostOutput {
+    producer: PipeProducer,
+    probe: Option<Arc<OpProbe>>,
+}
+
+impl HostOutput {
+    fn count(&self, batch: &AnyBatch) {
+        if let Some(p) = &self.probe {
+            p.add_rows(batch.len() as u64);
+            p.add_batches(1);
+        }
+    }
+}
+
 struct HostState {
-    outputs: Vec<PipeProducer>,
+    outputs: Vec<HostOutput>,
     /// Batches already emitted, for replay to late attachers.
     history: Vec<Arc<AnyBatch>>,
     emitted: u64,
@@ -66,6 +84,7 @@ impl SharedHost {
         first_output: PipeProducer,
         engine: &'static str,
         metrics: Metrics,
+        probe: Option<Arc<OpProbe>>,
     ) -> Arc<Self> {
         first_output.pipe().set_producer_node(node);
         Arc::new(Self {
@@ -73,7 +92,7 @@ impl SharedHost {
             backfill,
             node,
             state: Mutex::new(HostState {
-                outputs: vec![first_output],
+                outputs: vec![HostOutput { producer: first_output, probe }],
                 history: Vec::new(),
                 emitted: 0,
                 closed: false,
@@ -106,7 +125,7 @@ impl SharedHost {
             return Err(packet);
         }
         packet.sever_subtree();
-        let mut producer = packet.output.take().expect("satellite packet has an output");
+        let producer = packet.output.take().expect("satellite packet has an output");
         producer.pipe().set_producer_node(self.node);
         if !st.history.is_empty() {
             // Replaying history happens on the µEngine dispatcher thread and
@@ -117,11 +136,16 @@ impl SharedHost {
             // history already retains.
             producer.pipe().materialize();
         }
+        let mut out = HostOutput { producer, probe: packet.probe.clone() };
         for batch in &st.history {
-            producer.push_shared(batch.clone());
+            out.count(batch);
+            out.producer.push_shared(batch.clone());
         }
-        st.outputs.push(producer);
+        st.outputs.push(out);
         self.metrics.add_osp_attach(self.engine);
+        if let Some(tr) = &packet.trace {
+            tr.push(TraceEvent::OspAttach { engine: self.engine });
+        }
         Ok(())
     }
 
@@ -160,7 +184,8 @@ impl SharedHost {
             std::mem::take(&mut st.outputs)
         };
         for out in &mut outputs {
-            out.push_shared(batch.clone());
+            out.count(&batch);
+            out.producer.push_shared(batch.clone());
         }
         let mut st = self.state.lock();
         let newly_attached = std::mem::replace(&mut st.outputs, outputs);
@@ -175,7 +200,7 @@ impl SharedHost {
     /// depend on — cancellation only stops work nobody reads anymore.
     pub fn wanted(&self) -> bool {
         let st = self.state.lock();
-        st.broadcasting || st.outputs.iter().any(|o| o.pipe().active_consumers() > 0)
+        st.broadcasting || st.outputs.iter().any(|o| o.producer.pipe().active_consumers() > 0)
     }
 
     /// Number of queries currently served (host + satellites).
@@ -194,7 +219,7 @@ impl SharedHost {
         st.closed = true;
         st.history.clear();
         for out in st.outputs.drain(..) {
-            out.finish();
+            out.producer.finish();
         }
     }
 
@@ -210,7 +235,7 @@ impl SharedHost {
         st.closed = true;
         st.history.clear();
         for out in st.outputs.drain(..) {
-            out.fail(error.clone());
+            out.producer.fail(error.clone());
         }
     }
 }
@@ -291,6 +316,8 @@ mod tests {
             subtree_cancels: vec![child_token.clone()],
             ordered: false,
             split_ok: false,
+            probe: None,
+            trace: None,
         };
         (packet, consumer, child_token)
     }
@@ -309,6 +336,7 @@ mod tests {
             host_prod,
             "test",
             Metrics::new(),
+            None,
         );
         let (packet, sat_cons, child_token) = make_packet();
         host.try_attach(packet).expect("window open");
@@ -330,6 +358,7 @@ mod tests {
             host_prod,
             "test",
             Metrics::new(),
+            None,
         );
         host.push(batch_of(&[1]));
         host.push(batch_of(&[2]));
@@ -352,6 +381,7 @@ mod tests {
             host_prod,
             "test",
             m.clone(),
+            None,
         );
         for i in 0..3 {
             host.push(batch_of(&[i]));
@@ -373,6 +403,7 @@ mod tests {
             host_prod,
             "sort",
             Metrics::new(),
+            None,
         );
         for i in 0..50 {
             host.push(batch_of(&[i]));
@@ -393,6 +424,7 @@ mod tests {
             host_prod,
             "sort",
             Metrics::new(),
+            None,
         );
         host.finish();
         let (packet, _sc, _) = make_packet();
@@ -410,6 +442,7 @@ mod tests {
             host_prod,
             "agg",
             Metrics::new(),
+            None,
         );
         {
             let _guard = reg.register(42, host.clone());
@@ -435,6 +468,7 @@ mod tests {
             pipe.producer(),
             "sort",
             Metrics::new(),
+            None,
         );
         let h2 = host.clone();
         let pusher = std::thread::spawn(move || {
@@ -465,6 +499,7 @@ mod tests {
             host_prod,
             "agg",
             Metrics::new(),
+            None,
         );
         assert_eq!(host.fanout(), 1);
         let (p1, _c1, _) = make_packet();
@@ -488,6 +523,7 @@ mod tests {
             host_prod,
             "hashjoin",
             Metrics::new(),
+            None,
         );
         // Satellite from another query attaches.
         let (packet, sat_cons, _) = make_packet();

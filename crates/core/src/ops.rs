@@ -10,6 +10,7 @@ use crate::host::{AttachWindow, ShareRegistry, SharedHost};
 use crate::packet::Packet;
 use crate::pipe::{PipeConsumer, PipeIter};
 use qpipe_common::colbatch::SelVec;
+use qpipe_common::trace::{OpProbe, QueryTrace, TraceEvent};
 use qpipe_common::{AnyBatch, Batch, ColBatch, MemClass, Metrics, QResult, Tuple, Value};
 use qpipe_exec::expr::Expr;
 use qpipe_exec::iter::{
@@ -57,6 +58,7 @@ pub fn prepare(
         output,
         engine_static_name(engine),
         env.metrics.clone(),
+        packet.probe.clone(),
     );
     let guard = if env.osp && window_shareable(&packet.plan) {
         Some(registry.register(packet.signature, host.clone()))
@@ -64,6 +66,35 @@ pub fn prepare(
         None
     };
     (packet, host, guard)
+}
+
+/// Per-packet observability handles threaded into the operator workers that
+/// can be denied memory. Both fields are `None` when tracing is off.
+struct Obs<'a> {
+    probe: Option<&'a Arc<OpProbe>>,
+    trace: Option<&'a Arc<QueryTrace>>,
+    op: &'static str,
+}
+
+impl Obs<'_> {
+    /// Count a memory-governor denial against the operator's probe; the
+    /// journal records only the first one (an aggregate past its lease is
+    /// denied on every batch — one event tells the story, thousands would
+    /// evict everything else from the ring).
+    fn mem_denied(&self) {
+        let first = match self.probe {
+            Some(p) => {
+                p.add_mem_denied();
+                p.stats().mem_denied == 1
+            }
+            None => true,
+        };
+        if first {
+            if let Some(t) = self.trace {
+                t.push(TraceEvent::MemDenied { op: self.op });
+            }
+        }
+    }
 }
 
 /// Execute a prepared packet on the calling thread.
@@ -75,7 +106,26 @@ pub fn execute(mut packet: Packet, host: Arc<SharedHost>, env: &OpEnv) {
     let children = std::mem::take(&mut packet.children);
     let cancel = packet.cancel.clone();
     let plan = packet.plan.clone();
-    let result = run_operator(&plan, children, &host, &cancel, env);
+    let obs =
+        Obs { probe: packet.probe.as_ref(), trace: packet.trace.as_ref(), op: plan.op_name() };
+    let started = (packet.probe.is_some() || packet.trace.is_some()).then(std::time::Instant::now);
+    let result = run_operator(&plan, children, &host, &cancel, env, &obs);
+    if let Some(started) = started {
+        if let Some(p) = &packet.probe {
+            p.add_total_ns(started.elapsed().as_nanos() as u64);
+        }
+        if let Some(t) = &packet.trace {
+            let s = packet.probe.as_ref().map(|p| p.stats()).unwrap_or_default();
+            t.push(TraceEvent::OperatorFinished {
+                op: plan.op_name(),
+                rows: s.rows,
+                batches: s.batches,
+                busy_ns: s.busy_ns,
+                pipe_wait_ns: s.pipe_wait_ns,
+                io_wait_ns: s.io_wait_ns,
+            });
+        }
+    }
     if let Err(e) = result {
         // Poison the outputs: consumers (including attached satellites)
         // observe the error rather than mistaking truncated output for a
@@ -159,14 +209,15 @@ fn run_operator(
     host: &SharedHost,
     cancel: &crate::packet::CancelToken,
     env: &OpEnv,
+    obs: &Obs<'_>,
 ) -> QResult<()> {
     match plan {
         PlanNode::Sort { keys, .. } => run_sort(children.remove(0), keys, host, cancel, env),
         PlanNode::Aggregate { group_by, aggs, .. } => {
-            run_aggregate(children.remove(0), group_by, aggs, host, cancel, env)
+            run_aggregate(children.remove(0), group_by, aggs, host, cancel, env, obs)
         }
         PlanNode::HashJoin { left_key, right_key, .. } => {
-            run_hash_join(children, *left_key, *right_key, host, cancel, env)
+            run_hash_join(children, *left_key, *right_key, host, cancel, env, obs)
         }
         PlanNode::NestedLoopJoin { predicate, .. } => {
             let left = Box::new(pipe_iter(children.remove(0), env));
@@ -251,6 +302,7 @@ fn run_hash_join(
     host: &SharedHost,
     cancel: &crate::packet::CancelToken,
     env: &OpEnv,
+    obs: &Obs<'_>,
 ) -> QResult<()> {
     let left = children.remove(0);
     let right = children.remove(0);
@@ -265,7 +317,11 @@ fn run_hash_join(
             AnyBatch::Cols(c) => build.add(c),
             AnyBatch::Rows(b) => build.add(&ColBatch::from_rows(b.rows())),
         };
-        if !accepted || !lease.covers(build.rows()) {
+        let covered = lease.covers(build.rows());
+        if !covered {
+            obs.mem_denied();
+        }
+        if !accepted || !covered {
             env.metrics.add_vec_fallback();
             // The grace fallback acquires its own lease; hand ours back
             // first so the partition loads see the released headroom.
@@ -381,6 +437,7 @@ fn run_aggregate(
     host: &SharedHost,
     cancel: &crate::packet::CancelToken,
     env: &OpEnv,
+    obs: &Obs<'_>,
 ) -> QResult<()> {
     let mut lease = env.ctx.governor.lease(MemClass::Agg);
     let mut agg = HashAgg::new(group_by.to_vec(), aggs.to_vec());
@@ -427,7 +484,9 @@ fn run_aggregate(
                 }
             }
         }
-        let _ = lease.covers(agg.num_groups());
+        if !lease.covers(agg.num_groups()) {
+            obs.mem_denied();
+        }
     }
     fold_pending(&mut agg, group_by, aggs, &mut pending, env)?;
     let out = agg.finish_cols();

@@ -9,6 +9,7 @@
 
 use crate::deadlock::NodeId;
 use crate::pipe::{PipeConsumer, PipeProducer};
+use qpipe_common::trace::{OpProbe, QueryTrace};
 use qpipe_exec::plan::PlanNode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,6 +76,12 @@ pub struct Packet {
     /// For ordered scans: a wrapped (circularly shared) delivery is
     /// acceptable because an ancestor merge-join will restart (§4.3.2).
     pub split_ok: bool,
+    /// This operator's profiling probe (rows, batches, busy/wait time).
+    /// `None` when `ExecConfig::tracing` is off — the hot path then pays
+    /// only an `Option` branch.
+    pub probe: Option<Arc<OpProbe>>,
+    /// The owning query's event journal; `None` when tracing is off.
+    pub trace: Option<Arc<QueryTrace>>,
 }
 
 impl Packet {

@@ -21,10 +21,12 @@
 
 use crate::deadlock::{NodeId, WaitKind, WaitRegistry};
 use parking_lot::{Condvar, Mutex};
+use qpipe_common::trace::OpProbe;
 use qpipe_common::{AnyBatch, Batch, ColBatch, QError, QResult, Tuple};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 static NEXT_PIPE_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_CONSUMER_ID: AtomicUsize = AtomicUsize::new(1);
@@ -138,7 +140,7 @@ impl Pipe {
         st.consumers.insert(id, ConsumerQueue { queue, detached: false, node });
         drop(st);
         self.data.notify_all();
-        PipeConsumer { pipe: self.clone(), id, node }
+        PipeConsumer { pipe: self.clone(), id, node, probe: None }
     }
 
     /// Create the producer handle.
@@ -245,7 +247,12 @@ impl Pipe {
         self.state.lock().error.clone()
     }
 
-    fn recv(&self, id: usize, node: NodeId) -> QResult<Option<Arc<AnyBatch>>> {
+    fn recv(
+        &self,
+        id: usize,
+        node: NodeId,
+        probe: Option<&OpProbe>,
+    ) -> QResult<Option<Arc<AnyBatch>>> {
         let mut st = self.state.lock();
         loop {
             // A failed producer fails the consumer promptly — queued batches
@@ -264,7 +271,16 @@ impl Pipe {
             }
             let producer_node = st.producer_node;
             self.registry.add_edge(node, producer_node, self.id, WaitKind::ConsumerEmpty);
-            self.data.wait(&mut st);
+            match probe {
+                Some(p) => {
+                    let blocked = Instant::now();
+                    self.data.wait(&mut st);
+                    p.add_pipe_wait_ns(blocked.elapsed().as_nanos() as u64);
+                }
+                None => {
+                    self.data.wait(&mut st);
+                }
+            }
             self.registry.remove_edge(node);
         }
     }
@@ -356,13 +372,21 @@ pub struct PipeConsumer {
     pipe: Arc<Pipe>,
     id: usize,
     node: NodeId,
+    /// When set, time spent blocked waiting for data is charged to this
+    /// probe as pipe-wait (the consuming operator's input starvation).
+    probe: Option<Arc<OpProbe>>,
 }
 
 impl PipeConsumer {
+    /// Charge this consumer's blocking waits to `probe` (tracing on).
+    pub fn set_probe(&mut self, probe: Option<Arc<OpProbe>>) {
+        self.probe = probe;
+    }
+
     /// Blocking receive; `Ok(None)` at end of stream, `Err` when the
     /// producer failed the pipe (the packet's results are incomplete).
     pub fn recv(&self) -> QResult<Option<Arc<AnyBatch>>> {
-        self.pipe.recv(self.id, self.node)
+        self.pipe.recv(self.id, self.node, self.probe.as_deref())
     }
 
     pub fn pipe(&self) -> &Arc<Pipe> {

@@ -37,6 +37,7 @@ use std::time::Instant;
 struct Job {
     node: Option<NodeId>,
     run: Box<dyn FnOnce() + Send>,
+    queued_at: Instant,
 }
 
 struct PoolState {
@@ -106,7 +107,7 @@ impl WorkerPool {
             if let (Some(reg), Some(n)) = (&self.shared.registry, node) {
                 reg.note_queued(n);
             }
-            st.queue.push_back(Job { node, run: Box::new(f) });
+            st.queue.push_back(Job { node, run: Box::new(f), queued_at: Instant::now() });
             self.shared.metrics.note_pool_queue_depth(st.queue.len() as u64);
         }
         self.shared.cv.notify_one();
@@ -136,6 +137,7 @@ fn worker_loop(shared: &PoolShared) {
         if let (Some(reg), Some(n)) = (&shared.registry, job.node) {
             reg.note_dequeued(n);
         }
+        shared.metrics.record_pool_queue_wait(job.queued_at.elapsed().as_micros() as u64);
         let started = Instant::now();
         let caught = catch_unwind(AssertUnwindSafe(job.run));
         shared.metrics.add_worker_busy_ns(shared.name, started.elapsed().as_nanos() as u64);

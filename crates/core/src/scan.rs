@@ -19,6 +19,7 @@
 
 use crate::pipe::PipeProducer;
 use parking_lot::Mutex;
+use qpipe_common::trace::{OpProbe, QueryTrace, TraceEvent};
 use qpipe_common::{AnyBatch, ColBatch, Metrics, QError, QResult, SelVec};
 use qpipe_exec::expr::Expr;
 use qpipe_exec::iter::ExecContext;
@@ -42,6 +43,11 @@ pub struct ScanRequest {
     pub ordered: bool,
     /// Wrapped delivery acceptable despite `ordered` (merge-join restart).
     pub split_ok: bool,
+    /// The requesting scan operator's profiling probe (`None` when tracing
+    /// is off).
+    pub probe: Option<Arc<OpProbe>>,
+    /// The requesting query's event journal (`None` when tracing is off).
+    pub trace: Option<Arc<QueryTrace>>,
 }
 
 impl ScanRequest {
@@ -86,10 +92,18 @@ struct ScanConsumer {
     pruned: Option<PrunedScan>,
     output: PipeProducer,
     pages_seen: u64,
+    probe: Option<Arc<OpProbe>>,
+    trace: Option<Arc<QueryTrace>>,
+    /// Attached to an already-running scanner (OSP satellite): pages reach
+    /// this consumer from the host's scan, not from its own disk reads.
+    satellite: bool,
+    /// Pages delivered while riding the shared scan (reported in the
+    /// `OspDetach` event at completion).
+    pages_from_host: u64,
 }
 
 impl ScanConsumer {
-    fn new(req: ScanRequest) -> Self {
+    fn new(req: ScanRequest, satellite: bool) -> Self {
         let refs = req.columns.as_ref().and_then(|cols| {
             req.projection.as_ref()?;
             let refs =
@@ -106,6 +120,38 @@ impl ScanConsumer {
             pruned: None,
             output: req.output,
             pages_seen: 0,
+            probe: req.probe,
+            trace: req.trace,
+            satellite,
+            pages_from_host: 0,
+        }
+    }
+
+    /// Stamp the consumer's completion events (no-op when untraced); call
+    /// exactly once, when the consumer leaves the group. Scan packets never
+    /// route through the µEngine operator wrapper, so the scanner emits the
+    /// `OperatorFinished` journal entry itself, from the probe's counters;
+    /// satellites additionally stamp their `OspDetach`.
+    fn note_detach(&self) {
+        let Some(tr) = &self.trace else {
+            return;
+        };
+        if let Some(p) = &self.probe {
+            let s = p.stats();
+            tr.push(TraceEvent::OperatorFinished {
+                op: "scan",
+                rows: s.rows,
+                batches: s.batches,
+                busy_ns: s.busy_ns,
+                pipe_wait_ns: s.pipe_wait_ns,
+                io_wait_ns: s.io_wait_ns,
+            });
+        }
+        if self.satellite {
+            tr.push(TraceEvent::OspDetach {
+                engine: "scan",
+                pages_from_host: self.pages_from_host,
+            });
         }
     }
 
@@ -200,7 +246,10 @@ impl ScanGroup {
             return Err(req);
         }
         g.staggered |= g.pages_read > 0;
-        g.inbox.push(ScanConsumer::new(req));
+        if let Some(tr) = &req.trace {
+            tr.push(TraceEvent::OspAttach { engine: "scan" });
+        }
+        g.inbox.push(ScanConsumer::new(req, true));
         g.active += 1;
         Ok(())
     }
@@ -288,7 +337,7 @@ impl ScanManager {
             inner: Mutex::new(GroupInner {
                 position: 0,
                 pages_read: 0,
-                inbox: vec![ScanConsumer::new(req)],
+                inbox: vec![ScanConsumer::new(req, false)],
                 finished: false,
                 staggered: false,
                 active: 1,
@@ -374,8 +423,11 @@ impl ScanManager {
         file: qpipe_storage::FileId,
         position: u64,
         union: Option<&[usize]>,
-    ) -> QResult<(Arc<AnyBatch>, bool)> {
-        pool.get(file, position).and_then(|block| match block {
+    ) -> QResult<(Arc<AnyBatch>, bool, FetchObs)> {
+        let started = std::time::Instant::now();
+        let (block, retries) = pool.get_observed(file, position)?;
+        let obs = FetchObs { fetch_ns: started.elapsed().as_nanos() as u64, retries };
+        match block {
             Block::Columnar(cp) => {
                 match union.filter(|u| {
                     u.len() < cp.num_cols() && u.last().is_none_or(|&c| c < cp.num_cols())
@@ -383,17 +435,19 @@ impl ScanManager {
                     Some(u) => {
                         let batch = cp.decode_cols(u)?;
                         self.metrics.add_pruned_page();
-                        Ok((Arc::new(AnyBatch::Cols(batch)), true))
+                        Ok((Arc::new(AnyBatch::Cols(batch)), true, obs))
                     }
-                    None => {
-                        Ok((Arc::new(AnyBatch::Cols(cp.materialize()?.as_ref().clone())), false))
-                    }
+                    None => Ok((
+                        Arc::new(AnyBatch::Cols(cp.materialize()?.as_ref().clone())),
+                        false,
+                        obs,
+                    )),
                 }
             }
             Block::Slotted(p) => {
-                Ok((Arc::new(AnyBatch::Cols(ColBatch::from_rows(&p.decode_tuples()?))), false))
+                Ok((Arc::new(AnyBatch::Cols(ColBatch::from_rows(&p.decode_tuples()?))), false, obs))
             }
-        })
+        }
     }
 
     /// One page's worth of morsel work: fetch + decode the page, then run
@@ -408,7 +462,7 @@ impl ScanManager {
         union: Option<&[usize]>,
         snaps: &[ConsumerSnap],
     ) -> QResult<PageOut> {
-        let (shared, pruned_delivery) = self.fetch_page(pool, file, position, union)?;
+        let (shared, pruned_delivery, fetch) = self.fetch_page(pool, file, position, union)?;
         let cols = match &*shared {
             AnyBatch::Cols(c) => c,
             // `fetch_page` column-ifies every layout; a row batch here means
@@ -459,7 +513,7 @@ impl ScanManager {
             };
             per_consumer.push(delivery);
         }
-        Ok(PageOut { shared, per_consumer })
+        Ok(PageOut { shared, per_consumer, fetch })
     }
 
     /// The scanner thread body: circular page delivery to all consumers.
@@ -519,6 +573,7 @@ impl ScanManager {
                     g.active = 0;
                     drop(g);
                     for c in consumers.drain(..) {
+                        c.note_detach();
                         c.output.finish();
                     }
                     return;
@@ -605,6 +660,13 @@ impl ScanManager {
             let mut slots: Vec<Option<ScanConsumer>> = consumers.drain(..).map(Some).collect();
             let mut removed_any = false;
             let mut failed = None;
+            if tasks.is_some() {
+                for c in slots.iter().flatten() {
+                    if let Some(tr) = &c.trace {
+                        tr.push(TraceEvent::MorselDispatched { pages: morsel });
+                    }
+                }
+            }
             {
                 let mut deliver = |k: usize, res: QResult<PageOut>| -> bool {
                     let out = match res {
@@ -614,6 +676,29 @@ impl ScanManager {
                             return false;
                         }
                     };
+                    // Attribute the page's I/O wait to the host (first live
+                    // non-satellite consumer — the scan reads disk on its
+                    // behalf), falling back to any live consumer once the
+                    // host has finished and satellites are wrapping.
+                    if out.fetch.fetch_ns > 0 || out.fetch.retries > 0 {
+                        let host = slots
+                            .iter()
+                            .flatten()
+                            .find(|c| !c.satellite)
+                            .or_else(|| slots.iter().flatten().next());
+                        if let Some(c) = host {
+                            if let Some(p) = &c.probe {
+                                p.add_io_wait_ns(out.fetch.fetch_ns);
+                            }
+                            if out.fetch.retries > 0 {
+                                if let Some(tr) = &c.trace {
+                                    tr.push(TraceEvent::BufferpoolRetry {
+                                        retries: out.fetch.retries,
+                                    });
+                                }
+                            }
+                        }
+                    }
                     for (i, slot) in slots.iter_mut().enumerate() {
                         let Some(c) = slot.as_mut() else { continue };
                         // A severed scan packet may still feed a join/agg
@@ -637,13 +722,34 @@ impl ScanManager {
                             continue; // finished at an earlier page of this morsel
                         }
                         match &out.per_consumer[i] {
-                            Some(Delivery::Shared) => c.output.push_shared(out.shared.clone()),
-                            Some(Delivery::Batch(b)) => c.output.push_cols(b.clone()),
+                            Some(Delivery::Shared) => {
+                                if let Some(p) = &c.probe {
+                                    p.add_rows(out.shared.len() as u64);
+                                    p.add_batches(1);
+                                }
+                                c.output.push_shared(out.shared.clone())
+                            }
+                            Some(Delivery::Batch(b)) => {
+                                if let Some(p) = &c.probe {
+                                    p.add_rows(b.len() as u64);
+                                    p.add_batches(1);
+                                }
+                                c.output.push_cols(b.clone())
+                            }
                             None => {}
+                        }
+                        if c.satellite {
+                            c.pages_from_host += 1;
+                            if let Some(p) = &c.probe {
+                                p.add_pages_from_host(1);
+                            }
+                        } else if let Some(p) = &c.probe {
+                            p.add_pages_from_disk(1);
                         }
                         c.pages_seen += 1;
                         if c.pages_seen >= num_pages {
                             if let Some(done) = slot.take() {
+                                done.note_detach();
                                 done.output.finish();
                                 removed_any = true;
                             }
@@ -784,11 +890,19 @@ enum Delivery {
     Batch(ColBatch),
 }
 
+/// I/O-side observations for one fetched page: wall time spent in the
+/// buffer pool (miss ⇒ simulated disk read) and verified-read retries.
+struct FetchObs {
+    fetch_ns: u64,
+    retries: u64,
+}
+
 /// One page's morsel-job output: the shared decoded batch plus each
 /// consumer's delivery (aligned with the morsel's `ConsumerSnap` order).
 struct PageOut {
     shared: Arc<AnyBatch>,
     per_consumer: Vec<Option<Delivery>>,
+    fetch: FetchObs,
 }
 
 #[cfg(test)]
@@ -839,6 +953,8 @@ mod tests {
             output: pipe.producer(),
             ordered,
             split_ok,
+            probe: None,
+            trace: None,
         };
         (req, consumer)
     }
@@ -980,6 +1096,8 @@ mod tests {
                     output: pipe.producer(),
                     ordered: false,
                     split_ok: false,
+                    probe: None,
+                    trace: None,
                 },
                 c,
             )
@@ -1035,6 +1153,8 @@ mod tests {
             output: pipe.producer(),
             ordered: false,
             split_ok: false,
+            probe: None,
+            trace: None,
         })
         .unwrap();
         assert_eq!(c.collect_tuples().unwrap().len(), 100);
@@ -1079,6 +1199,8 @@ mod tests {
             output: pipe.producer(),
             ordered: false,
             split_ok: false,
+            probe: None,
+            trace: None,
         };
         (req, c)
     }
@@ -1211,6 +1333,8 @@ mod tests {
                 output: pipe.producer(),
                 ordered: false,
                 split_ok: false,
+                probe: None,
+                trace: None,
             })
             .unwrap();
             let rows = c.collect_tuples().unwrap_or_else(|e| {

@@ -62,6 +62,12 @@ pub struct ExecConfig {
     /// pre-morsel path). Explicit values are honored so CI smokes can
     /// engage the parallel paths regardless of the runner's core count.
     pub task_workers: usize,
+    /// Per-query tracing and profiling. When `true` every submitted query
+    /// gets a `QueryTrace` event journal and an `OpProbe` tree behind
+    /// `QueryHandle::profile()`. When `false` (default) no probe or trace
+    /// is allocated and the hot path pays only an `Option` branch per
+    /// batch — no allocation, no atomics.
+    pub tracing: bool,
 }
 
 impl Default for ExecConfig {
@@ -74,6 +80,7 @@ impl Default for ExecConfig {
             query_deadline: None,
             pool_workers: 0,
             task_workers: 0,
+            tracing: false,
         }
     }
 }

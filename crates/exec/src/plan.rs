@@ -8,6 +8,7 @@
 //! overlapping work with a cheap comparison (§4.3).
 
 use crate::expr::Expr;
+use qpipe_common::trace::{OpStats, QueryProfile};
 use qpipe_common::Value;
 use std::sync::Arc;
 
@@ -390,62 +391,9 @@ impl PlanNode {
     /// the root signature OSP and the result cache key on. Join children
     /// print build side first, so the chosen join order reads top-down.
     pub fn explain(&self) -> String {
-        fn fmt_node(node: &PlanNode) -> String {
-            fn opt_pred(p: &Option<Expr>) -> String {
-                match p {
-                    Some(e) => format!(" pred=[{e}]"),
-                    None => String::new(),
-                }
-            }
-            fn range(lo: &Option<Value>, hi: &Option<Value>) -> String {
-                let b = |v: &Option<Value>| v.as_ref().map_or("-inf".into(), |v| v.to_string());
-                format!(" range=[{}..{}]", b(lo), b(hi))
-            }
-            match node {
-                PlanNode::TableScan { table, predicate, .. } => {
-                    format!("scan {table}{}", opt_pred(predicate))
-                }
-                PlanNode::ClusteredIndexScan { table, lo, hi, predicate, .. } => {
-                    format!("iscan {table}{}{}", range(lo, hi), opt_pred(predicate))
-                }
-                PlanNode::UnclusteredIndexScan { table, column, lo, hi, predicate, .. } => {
-                    format!("uiscan {table}.{column}{}{}", range(lo, hi), opt_pred(predicate))
-                }
-                PlanNode::Filter { predicate, .. } => format!("filter [{predicate}]"),
-                PlanNode::Project { exprs, .. } => {
-                    let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-                    format!("project [{}]", cols.join(", "))
-                }
-                PlanNode::Sort { keys, .. } => {
-                    let ks: Vec<String> = keys
-                        .iter()
-                        .map(|k| format!("#{}{}", k.col, if k.asc { "" } else { " DESC" }))
-                        .collect();
-                    format!("sort [{}]", ks.join(", "))
-                }
-                PlanNode::Aggregate { group_by, aggs, .. } => {
-                    let gs: Vec<String> = group_by.iter().map(|g| format!("#{g}")).collect();
-                    let fs: Vec<String> = aggs
-                        .iter()
-                        .map(|a| match a.func {
-                            AggFunc::CountStar => "count(*)".into(),
-                            f => format!("{}({})", format!("{f:?}").to_lowercase(), a.expr),
-                        })
-                        .collect();
-                    format!("agg group=[{}] aggs=[{}]", gs.join(", "), fs.join(", "))
-                }
-                PlanNode::HashJoin { left_key, right_key, .. } => {
-                    format!("hashjoin build.#{left_key} = probe.#{right_key}")
-                }
-                PlanNode::MergeJoin { left_key, right_key, .. } => {
-                    format!("mergejoin left.#{left_key} = right.#{right_key}")
-                }
-                PlanNode::NestedLoopJoin { predicate, .. } => format!("nljoin [{predicate}]"),
-            }
-        }
         fn walk(node: &PlanNode, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
-            out.push_str(&fmt_node(node));
+            out.push_str(&node.describe());
             out.push('\n');
             for c in node.children() {
                 walk(c, depth + 1, out);
@@ -455,6 +403,111 @@ impl PlanNode {
         walk(self, 0, &mut out);
         out.push_str(&format!("signature: {:#018x}\n", self.signature()));
         out
+    }
+
+    /// `EXPLAIN ANALYZE`-style pretty-printer: the same tree as
+    /// [`PlanNode::explain`] with each operator annotated by the measured
+    /// stats from a [`QueryProfile`] (obtained from `QueryHandle::profile()`
+    /// with `ExecConfig::tracing` on): rows and batches produced, busy vs
+    /// pipe-wait vs I/O-wait time, memory-lease denials, and — the QPipe
+    /// payoff made visible — pages served by an OSP host vs read from disk.
+    /// Profile nodes are matched to plan nodes positionally; operators the
+    /// profile doesn't cover print `(no profile)`.
+    pub fn explain_analyze(&self, profile: &QueryProfile) -> String {
+        fn fmt_stats(s: &OpStats) -> String {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            let mut out = format!(
+                " (rows={} batches={} busy={:.3}ms pipe_wait={:.3}ms io_wait={:.3}ms",
+                s.rows,
+                s.batches,
+                ms(s.busy_ns),
+                ms(s.pipe_wait_ns),
+                ms(s.io_wait_ns)
+            );
+            if s.mem_denied > 0 {
+                out.push_str(&format!(" mem_denied={}", s.mem_denied));
+            }
+            if s.pages_from_host > 0 || s.pages_from_disk > 0 {
+                out.push_str(&format!(
+                    " pages[host={} disk={}]",
+                    s.pages_from_host, s.pages_from_disk
+                ));
+            }
+            out.push(')');
+            out
+        }
+        fn walk(node: &PlanNode, prof: Option<&QueryProfile>, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&node.describe());
+            match prof {
+                Some(p) => out.push_str(&fmt_stats(&p.stats)),
+                None => out.push_str(" (no profile)"),
+            }
+            out.push('\n');
+            for (i, c) in node.children().iter().enumerate() {
+                walk(c, prof.and_then(|p| p.children.get(i)), depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, Some(profile), 0, &mut out);
+        out.push_str(&format!("signature: {:#018x}\n", self.signature()));
+        out
+    }
+
+    /// One-line description of this node alone (operator + arguments), the
+    /// shared vocabulary of `explain` and `explain_analyze`.
+    fn describe(&self) -> String {
+        fn opt_pred(p: &Option<Expr>) -> String {
+            match p {
+                Some(e) => format!(" pred=[{e}]"),
+                None => String::new(),
+            }
+        }
+        fn range(lo: &Option<Value>, hi: &Option<Value>) -> String {
+            let b = |v: &Option<Value>| v.as_ref().map_or("-inf".into(), |v| v.to_string());
+            format!(" range=[{}..{}]", b(lo), b(hi))
+        }
+        match self {
+            PlanNode::TableScan { table, predicate, .. } => {
+                format!("scan {table}{}", opt_pred(predicate))
+            }
+            PlanNode::ClusteredIndexScan { table, lo, hi, predicate, .. } => {
+                format!("iscan {table}{}{}", range(lo, hi), opt_pred(predicate))
+            }
+            PlanNode::UnclusteredIndexScan { table, column, lo, hi, predicate, .. } => {
+                format!("uiscan {table}.{column}{}{}", range(lo, hi), opt_pred(predicate))
+            }
+            PlanNode::Filter { predicate, .. } => format!("filter [{predicate}]"),
+            PlanNode::Project { exprs, .. } => {
+                let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("project [{}]", cols.join(", "))
+            }
+            PlanNode::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("#{}{}", k.col, if k.asc { "" } else { " DESC" }))
+                    .collect();
+                format!("sort [{}]", ks.join(", "))
+            }
+            PlanNode::Aggregate { group_by, aggs, .. } => {
+                let gs: Vec<String> = group_by.iter().map(|g| format!("#{g}")).collect();
+                let fs: Vec<String> = aggs
+                    .iter()
+                    .map(|a| match a.func {
+                        AggFunc::CountStar => "count(*)".into(),
+                        f => format!("{}({})", format!("{f:?}").to_lowercase(), a.expr),
+                    })
+                    .collect();
+                format!("agg group=[{}] aggs=[{}]", gs.join(", "), fs.join(", "))
+            }
+            PlanNode::HashJoin { left_key, right_key, .. } => {
+                format!("hashjoin build.#{left_key} = probe.#{right_key}")
+            }
+            PlanNode::MergeJoin { left_key, right_key, .. } => {
+                format!("mergejoin left.#{left_key} = right.#{right_key}")
+            }
+            PlanNode::NestedLoopJoin { predicate, .. } => format!("nljoin [{predicate}]"),
+        }
     }
 }
 
@@ -554,5 +607,35 @@ mod tests {
         assert!(out.contains(&format!("signature: {:#018x}", plan.signature())));
         // Indentation reflects depth: join children one level below sort.
         assert!(out.contains("\n    scan orders"));
+    }
+
+    #[test]
+    fn explain_analyze_annotates_matching_nodes() {
+        use qpipe_common::trace::ProbeNode;
+        let plan = PlanNode::scan("lineitem").aggregate(vec![], vec![AggSpec::count_star()]);
+        let scan = ProbeNode::new("scan", vec![]);
+        scan.probe.add_rows(600);
+        scan.probe.add_batches(3);
+        scan.probe.add_pages_from_host(4);
+        let root = ProbeNode::new("agg", vec![scan]);
+        root.probe.add_rows(1);
+        root.probe.add_batches(1);
+        root.probe.add_mem_denied();
+        let out = plan.explain_analyze(&root.snapshot());
+        assert!(out.contains("agg group=[] aggs=[count(*)] (rows=1 batches=1"));
+        assert!(out.contains("mem_denied=1"));
+        assert!(out.contains("scan lineitem (rows=600 batches=3"));
+        assert!(out.contains("pages[host=4 disk=0]"));
+        assert!(out.contains(&format!("signature: {:#018x}", plan.signature())));
+    }
+
+    #[test]
+    fn explain_analyze_marks_missing_profile_nodes() {
+        let plan = PlanNode::scan("a").filter(Expr::col(0).ge(Expr::lit(1)));
+        // Profile with no children: the scan has no matching node.
+        let lonely = qpipe_common::trace::ProbeNode::new("filter", vec![]);
+        let out = plan.explain_analyze(&lonely.snapshot());
+        assert!(out.contains("filter [#0 >= 1] (rows=0"));
+        assert!(out.contains("scan a (no profile)"));
     }
 }

@@ -56,6 +56,10 @@
 //! somewhere *outside* `metrics.rs`, and (c) be surfaced as a field of
 //! `MetricsSnapshot`. A dead counter reads as "nothing happened" on every
 //! dashboard; an unreported one is write-only. Either fails the build.
+//! `Histogram` fields are held to the same contract: a `record_*` method in
+//! `metrics.rs` that calls `.record(`, an external caller of that method,
+//! and a `HistogramSummary` percentile field in `MetricsSnapshot` — a plain
+//! integer snapshot field does not count, since it cannot carry p50/p95/p99.
 //!
 //! # Waivers
 //!

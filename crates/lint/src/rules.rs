@@ -552,17 +552,29 @@ fn rule_r4(files: &[SourceFile], lexed: &[Lexed], mpath: &str, out: &mut Vec<Fin
         return; // metrics hub not in the file set (scoped fixture run)
     };
     let t = &lexed[mi].tokens;
-    // 1. Atomic counter fields of MetricsInner (name, decl line).
-    let counters = struct_fields(t, "MetricsInner")
-        .into_iter()
+    // 1. Atomic counter and histogram fields of MetricsInner (name, line).
+    let inner_fields = struct_fields(t, "MetricsInner");
+    let counters = inner_fields
+        .iter()
         .filter(|(_, _, ty)| ty.iter().any(|s| s == "AtomicU64"))
-        .map(|(name, line, _)| (name, line))
+        .map(|(name, line, _)| (name.clone(), *line))
         .collect::<Vec<_>>();
-    // 2. Snapshot field names.
-    let snapshot: BTreeSet<String> =
-        struct_fields(t, "MetricsSnapshot").into_iter().map(|(n, _, _)| n).collect();
+    let hists = inner_fields
+        .iter()
+        .filter(|(_, _, ty)| ty.iter().any(|s| s == "Histogram"))
+        .map(|(name, line, _)| (name.clone(), *line))
+        .collect::<Vec<_>>();
+    // 2. Snapshot field names; histograms must surface as a
+    //    `HistogramSummary` percentile field specifically.
+    let snapshot_fields = struct_fields(t, "MetricsSnapshot");
+    let snapshot: BTreeSet<String> = snapshot_fields.iter().map(|(n, _, _)| n.clone()).collect();
+    let snapshot_hist: BTreeSet<String> = snapshot_fields
+        .iter()
+        .filter(|(_, _, ty)| ty.iter().any(|s| s == "HistogramSummary"))
+        .map(|(n, _, _)| n.clone())
+        .collect();
     // 3. Mutator methods: fn whose body does `<counter>.fetch_add/fetch_max/
-    //    store`. Maps counter -> method names.
+    //    store` or `<histogram>.record`. Maps field -> method names.
     let mut mutators: BTreeMap<&str, Vec<String>> = BTreeMap::new();
     let mut cur_fn: Option<(String, usize)> = None; // (name, brace depth at body start)
     let mut depth = 0usize;
@@ -582,11 +594,16 @@ fn rule_r4(files: &[SourceFile], lexed: &[Lexed], mpath: &str, out: &mut Vec<Fin
             }
         } else if t.get(i + 1).is_some_and(|x| x.is_punct(b'.'))
             && t.get(i + 2).is_some_and(|x| {
-                x.is_ident("fetch_add") || x.is_ident("fetch_max") || x.is_ident("store")
+                x.is_ident("fetch_add")
+                    || x.is_ident("fetch_max")
+                    || x.is_ident("store")
+                    || x.is_ident("record")
             })
         {
             if let (Some(field), Some((fname, _))) = (t[i].ident(), &cur_fn) {
-                if let Some((cname, _)) = counters.iter().find(|(c, _)| c == field) {
+                if let Some((cname, _)) =
+                    counters.iter().chain(hists.iter()).find(|(c, _)| c == field)
+                {
                     let v = mutators.entry(cname.as_str()).or_default();
                     if !v.contains(fname) {
                         v.push(fname.clone());
@@ -648,6 +665,45 @@ fn rule_r4(files: &[SourceFile], lexed: &[Lexed], mpath: &str, out: &mut Vec<Fin
                 msg: format!(
                     "counter `{name}` is not surfaced in MetricsSnapshot — it is \
                      incremented but unreadable; add the snapshot field"
+                ),
+            });
+        }
+    }
+    for (name, line) in &hists {
+        let methods = mutators.get(name.as_str());
+        match methods {
+            None => out.push(Finding {
+                rule: Rule::R4,
+                path: mpath.to_string(),
+                line: *line,
+                msg: format!(
+                    "histogram `{name}` has no record site in metrics.rs — it can \
+                     never fill; remove it or add a `record_*` method"
+                ),
+            }),
+            Some(ms) if !ms.iter().any(|m| called.contains(m.as_str())) => out.push(Finding {
+                rule: Rule::R4,
+                path: mpath.to_string(),
+                line: *line,
+                msg: format!(
+                    "histogram `{name}` is never driven from outside metrics.rs (its \
+                     record method{} {} has no external call site) — a dead histogram \
+                     reports zero percentiles forever; wire it or remove it",
+                    if ms.len() == 1 { "" } else { "s" },
+                    ms.join("/"),
+                ),
+            }),
+            _ => {}
+        }
+        if !snapshot_hist.contains(name.as_str()) {
+            out.push(Finding {
+                rule: Rule::R4,
+                path: mpath.to_string(),
+                line: *line,
+                msg: format!(
+                    "histogram `{name}` is not surfaced as a HistogramSummary \
+                     percentile field in MetricsSnapshot — it is recorded but its \
+                     p50/p95/p99 are unreadable; add the snapshot field"
                 ),
             });
         }

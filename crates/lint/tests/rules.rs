@@ -259,6 +259,67 @@ fn r4_positive_counter_missing_from_snapshot() {
     assert!(f[0].msg.contains("not surfaced in MetricsSnapshot"), "{}", f[0].msg);
 }
 
+/// A metrics hub with one wired counter plus one `Histogram` field whose
+/// record method and snapshot field are supplied by the caller.
+fn hist_fixture(record_fn: &str, extra_snapshot: &str) -> String {
+    format!(
+        "struct MetricsInner {{\n\
+         \x20   queries_done: AtomicU64,\n\
+         \x20   wait_us: Histogram,\n\
+         }}\n\
+         pub struct MetricsSnapshot {{\n\
+         \x20   pub queries_done: u64,\n\
+         {extra_snapshot}\
+         }}\n\
+         impl Metrics {{\n\
+         \x20   pub fn add_query(&self) {{ self.inner.queries_done.fetch_add(1, O); }}\n\
+         {record_fn}\
+         }}\n"
+    )
+}
+
+#[test]
+fn r4_negative_wired_histogram() {
+    let hub = hist_fixture(
+        "    pub fn record_wait(&self, us: u64) { self.inner.wait_us.record(us); }\n",
+        "    pub wait_us: HistogramSummary,\n",
+    );
+    let f = run_metrics(&hub, "fn d(m: &Metrics) { m.add_query(); m.record_wait(5); }\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn r4_positive_histogram_without_record_site() {
+    let hub = hist_fixture("", "    pub wait_us: HistogramSummary,\n");
+    let f = run_metrics(&hub, "fn d(m: &Metrics) { m.add_query(); }\n");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].rule == Rule::R4 && f[0].msg.contains("no record site"), "{}", f[0].msg);
+}
+
+#[test]
+fn r4_positive_histogram_never_recorded_externally() {
+    let hub = hist_fixture(
+        "    pub fn record_wait(&self, us: u64) { self.inner.wait_us.record(us); }\n",
+        "    pub wait_us: HistogramSummary,\n",
+    );
+    let f = run_metrics(&hub, "fn d(m: &Metrics) { m.add_query(); }\n");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].msg.contains("never driven from outside"), "{}", f[0].msg);
+}
+
+#[test]
+fn r4_positive_histogram_missing_percentile_snapshot() {
+    // Surfacing the histogram as a plain integer is not enough: R4 demands a
+    // `HistogramSummary` field so the percentiles are actually readable.
+    let hub = hist_fixture(
+        "    pub fn record_wait(&self, us: u64) { self.inner.wait_us.record(us); }\n",
+        "    pub wait_us: u64,\n",
+    );
+    let f = run_metrics(&hub, "fn d(m: &Metrics) { m.add_query(); m.record_wait(5); }\n");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].msg.contains("HistogramSummary"), "{}", f[0].msg);
+}
+
 // ---------------------------------------------------------------------------
 // Baseline ratchet
 // ---------------------------------------------------------------------------

@@ -149,6 +149,13 @@ impl BufferPool {
     /// [`ColBatch`](qpipe_common::ColBatch) cache with them, so a resident
     /// columnar page is materialized at most once per residency.
     pub fn get(&self, file: FileId, block: u64) -> QResult<Block> {
+        self.get_observed(file, block).map(|(page, _)| page)
+    }
+
+    /// [`BufferPool::get`] plus the number of extra read attempts the fetch
+    /// needed (0 on a cache hit or a clean first read) — the observability
+    /// layer turns nonzero retry counts into per-query trace events.
+    pub fn get_observed(&self, file: FileId, block: u64) -> QResult<(Block, u64)> {
         let key = PageKey { file, block };
         loop {
             {
@@ -157,7 +164,7 @@ impl BufferPool {
                     let page = page.clone();
                     st.policy.on_access(key, true);
                     self.metrics.add_bp_hit();
-                    return Ok(page);
+                    return Ok((page, 0));
                 }
                 if !st.pending.contains(&key) {
                     // We take ownership of the read.
@@ -175,10 +182,12 @@ impl BufferPool {
         // Perform the disk read outside the lock so other pages stream in
         // parallel (the RAID-0 substitute). The guard clears the pending
         // entry even if the read panics.
+        let started = std::time::Instant::now();
         let guard = PendingGuard { pool: self, key };
         let read = self.read_verified(file, block);
         drop(guard);
-        let page = read?;
+        self.metrics.record_bp_fetch(started.elapsed().as_micros() as u64);
+        let (page, retries) = read?;
         let mut st = self.state.lock();
         // Make room and insert.
         while st.resident.len() >= self.capacity {
@@ -191,15 +200,16 @@ impl BufferPool {
         }
         st.resident.insert(key, page.clone());
         st.policy.on_insert(key);
-        Ok(page)
+        Ok((page, retries))
     }
 
     /// One disk read with checksum verification, retried per the pool's
-    /// [`RetryPolicy`]. A corrupt page is *never* returned: verification
-    /// failure counts as a read error (`checksum_failures` metric) and is
-    /// retried like any other — transient corruption heals, persistent
-    /// corruption surfaces as `QError::Storage`.
-    fn read_verified(&self, file: FileId, block: u64) -> QResult<Block> {
+    /// [`RetryPolicy`]; returns the block plus how many retries it took. A
+    /// corrupt page is *never* returned: verification failure counts as a
+    /// read error (`checksum_failures` metric) and is retried like any other
+    /// — transient corruption heals, persistent corruption surfaces as
+    /// `QError::Storage`.
+    fn read_verified(&self, file: FileId, block: u64) -> QResult<(Block, u64)> {
         let mut backoff = self.retry.backoff;
         let mut last_err = None;
         for attempt in 0..self.retry.max_attempts.max(1) {
@@ -211,7 +221,7 @@ impl BufferPool {
                 }
             }
             match self.disk.read_block(file, block) {
-                Ok(page) if page.verify_checksum() => return Ok(page),
+                Ok(page) if page.verify_checksum() => return Ok((page, attempt as u64)),
                 Ok(_) => {
                     self.metrics.add_checksum_failure();
                     last_err = Some(QError::Storage(format!(

@@ -359,6 +359,9 @@ pub struct OpenLoopResult {
     /// Queries per hour of paper time (completed only).
     pub qph: f64,
     pub delta: MetricsSnapshot,
+    /// Rendered trace journals of queries that settled `Failed`, in arrival
+    /// order. Empty unless the engine ran with `ExecConfig::tracing` on.
+    pub failed_journals: Vec<String>,
 }
 
 /// Completed-query latency distribution of one scheduling class.
@@ -367,16 +370,8 @@ pub struct ClassLatency {
     pub class: QueryClass,
     pub completed: u64,
     pub p50_paper_secs: f64,
+    pub p95_paper_secs: f64,
     pub p99_paper_secs: f64,
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 impl OpenLoopResult {
@@ -391,28 +386,32 @@ impl OpenLoopResult {
             .collect()
     }
 
-    /// p50/p99 completed-query latency per scheduling class, in paper
-    /// seconds. Classes with no completions are omitted.
+    /// p50/p95/p99 completed-query latency per scheduling class, in paper
+    /// seconds, summarized through the shared log-bucketed
+    /// [`qpipe_common::Histogram`] (microsecond resolution). Classes with
+    /// no completions are omitted.
     pub fn class_latencies(&self) -> Vec<ClassLatency> {
         [QueryClass::Interactive, QueryClass::Batch]
             .into_iter()
             .filter_map(|class| {
-                let mut lats: Vec<f64> = self
-                    .classes
-                    .iter()
-                    .zip(&self.latencies_paper)
-                    .filter(|(c, _)| **c == class)
-                    .filter_map(|(_, l)| *l)
-                    .collect();
-                if lats.is_empty() {
+                let hist = qpipe_common::Histogram::default();
+                for (_, lat) in
+                    self.classes.iter().zip(&self.latencies_paper).filter(|(c, _)| **c == class)
+                {
+                    if let Some(secs) = lat {
+                        hist.record((secs * 1e6) as u64);
+                    }
+                }
+                let summary = hist.summary();
+                if summary.count == 0 {
                     return None;
                 }
-                lats.sort_by(f64::total_cmp);
                 Some(ClassLatency {
                     class,
-                    completed: lats.len() as u64,
-                    p50_paper_secs: percentile(&lats, 0.50),
-                    p99_paper_secs: percentile(&lats, 0.99),
+                    completed: summary.count,
+                    p50_paper_secs: summary.p50 as f64 / 1e6,
+                    p95_paper_secs: summary.p95 as f64 / 1e6,
+                    p99_paper_secs: summary.p99 as f64 / 1e6,
                 })
             })
             .collect()
@@ -438,11 +437,13 @@ pub fn open_loop(
     let start = Instant::now();
     let n = plans.len();
     let classes: Vec<QueryClass> = plans.iter().map(|(_, c)| *c).collect();
-    let settled: Vec<(OpenLoopOutcome, Option<std::time::Duration>)> = std::thread::scope(|s| {
+    let settled: Vec<Settled> = std::thread::scope(|s| {
         // A collector thread per *accepted* query; arrivals settled at
         // submission (rejections, submit errors) resolve without one.
         // Collectors time submission → last row, the per-query response
-        // latency the per-class p50/p99 report summarizes.
+        // latency the per-class p50/p95/p99 report summarizes. When the
+        // engine traces, a failed query's journal rides along for the
+        // post-mortem dump.
         let mut pending: Vec<Result<_, OpenLoopOutcome>> = Vec::with_capacity(n);
         for (i, (plan, class)) in plans.into_iter().enumerate() {
             let due = scale.to_real(interarrival_paper * i as f64);
@@ -452,12 +453,19 @@ pub fn open_loop(
             if driver.engine().is_some() {
                 let submitted = Instant::now();
                 match driver.submit_with(plan, class).expect("staged engine") {
-                    Ok(handle) => pending.push(Ok(s.spawn(move || match handle.try_collect() {
-                        Ok(rows) => {
-                            (OpenLoopOutcome::Completed(rows.len()), Some(submitted.elapsed()))
+                    Ok(handle) => pending.push(Ok(s.spawn(move || {
+                        let trace = handle.trace();
+                        match handle.try_collect() {
+                            Ok(rows) => (
+                                OpenLoopOutcome::Completed(rows.len()),
+                                Some(submitted.elapsed()),
+                                None,
+                            ),
+                            Err(QError::Admission(msg)) => {
+                                (OpenLoopOutcome::Rejected(msg), None, None)
+                            }
+                            Err(e) => (OpenLoopOutcome::Failed(e), None, trace.map(|t| t.render())),
                         }
-                        Err(QError::Admission(msg)) => (OpenLoopOutcome::Rejected(msg), None),
-                        Err(e) => (OpenLoopOutcome::Failed(e), None),
                     }))),
                     Err(QError::Admission(msg)) => {
                         pending.push(Err(OpenLoopOutcome::Rejected(msg)))
@@ -468,8 +476,8 @@ pub fn open_loop(
                 // Iterator engine: run the whole query on its own thread.
                 let submitted = Instant::now();
                 pending.push(Ok(s.spawn(move || match driver.run(plan) {
-                    Ok(rows) => (OpenLoopOutcome::Completed(rows), Some(submitted.elapsed())),
-                    Err(e) => (OpenLoopOutcome::Failed(e), None),
+                    Ok(rows) => (OpenLoopOutcome::Completed(rows), Some(submitted.elapsed()), None),
+                    Err(e) => (OpenLoopOutcome::Failed(e), None, None),
                 })));
             }
         }
@@ -477,7 +485,7 @@ pub fn open_loop(
             .into_iter()
             .map(|p| match p {
                 Ok(h) => h.join().expect("client thread"),
-                Err(settled) => (settled, None),
+                Err(settled) => (settled, None, None),
             })
             .collect()
     });
@@ -485,17 +493,27 @@ pub fn open_loop(
     finish_open_loop(settled, classes, elapsed_paper, scale, driver, before)
 }
 
+/// One settled arrival: outcome, submission→last-row wall time, and (for
+/// traced failures) the rendered trace journal.
+type Settled = (OpenLoopOutcome, Option<std::time::Duration>, Option<String>);
+
 /// Assemble an [`OpenLoopResult`] from per-arrival outcomes + latencies.
 fn finish_open_loop(
-    settled: Vec<(OpenLoopOutcome, Option<std::time::Duration>)>,
+    settled: Vec<Settled>,
     classes: Vec<QueryClass>,
     elapsed_paper: f64,
     scale: TimeScale,
     driver: &Driver,
     before: MetricsSnapshot,
 ) -> OpenLoopResult {
-    let (outcomes, latencies_paper): (Vec<_>, Vec<_>) =
-        settled.into_iter().map(|(o, d)| (o, d.map(|d| scale.to_paper(d)))).unzip();
+    let mut outcomes = Vec::with_capacity(settled.len());
+    let mut latencies_paper = Vec::with_capacity(settled.len());
+    let mut failed_journals = Vec::new();
+    for (o, d, journal) in settled {
+        outcomes.push(o);
+        latencies_paper.push(d.map(|d| scale.to_paper(d)));
+        failed_journals.extend(journal);
+    }
     let completed =
         outcomes.iter().filter(|o| matches!(o, OpenLoopOutcome::Completed(_))).count() as u64;
     let rejected =
@@ -508,6 +526,7 @@ fn finish_open_loop(
         rejected,
         qph: completed as f64 / (elapsed_paper / 3600.0),
         delta: driver.metrics().snapshot().delta_since(&before),
+        failed_journals,
     }
 }
 
@@ -527,7 +546,7 @@ pub fn open_loop_sql(
     let start = Instant::now();
     let n = queries.len();
     let classes: Vec<QueryClass> = queries.iter().map(|(_, c)| *c).collect();
-    let settled: Vec<(OpenLoopOutcome, Option<std::time::Duration>)> = std::thread::scope(|s| {
+    let settled: Vec<Settled> = std::thread::scope(|s| {
         let mut pending: Vec<Result<_, OpenLoopOutcome>> = Vec::with_capacity(n);
         for (i, (sql, class)) in queries.into_iter().enumerate() {
             let due = scale.to_real(interarrival_paper * i as f64);
@@ -537,12 +556,19 @@ pub fn open_loop_sql(
             if driver.engine().is_some() {
                 let submitted = Instant::now();
                 match driver.submit_sql(&sql, class, opts).expect("staged engine") {
-                    Ok(handle) => pending.push(Ok(s.spawn(move || match handle.try_collect() {
-                        Ok(rows) => {
-                            (OpenLoopOutcome::Completed(rows.len()), Some(submitted.elapsed()))
+                    Ok(handle) => pending.push(Ok(s.spawn(move || {
+                        let trace = handle.trace();
+                        match handle.try_collect() {
+                            Ok(rows) => (
+                                OpenLoopOutcome::Completed(rows.len()),
+                                Some(submitted.elapsed()),
+                                None,
+                            ),
+                            Err(QError::Admission(msg)) => {
+                                (OpenLoopOutcome::Rejected(msg), None, None)
+                            }
+                            Err(e) => (OpenLoopOutcome::Failed(e), None, trace.map(|t| t.render())),
                         }
-                        Err(QError::Admission(msg)) => (OpenLoopOutcome::Rejected(msg), None),
-                        Err(e) => (OpenLoopOutcome::Failed(e), None),
                     }))),
                     Err(QError::Admission(msg)) => {
                         pending.push(Err(OpenLoopOutcome::Rejected(msg)))
@@ -555,10 +581,12 @@ pub fn open_loop_sql(
                         let submitted = Instant::now();
                         pending.push(Ok(s.spawn(move || {
                             match driver.run((*planned.plan).clone()) {
-                                Ok(rows) => {
-                                    (OpenLoopOutcome::Completed(rows), Some(submitted.elapsed()))
-                                }
-                                Err(e) => (OpenLoopOutcome::Failed(e), None),
+                                Ok(rows) => (
+                                    OpenLoopOutcome::Completed(rows),
+                                    Some(submitted.elapsed()),
+                                    None,
+                                ),
+                                Err(e) => (OpenLoopOutcome::Failed(e), None, None),
                             }
                         })))
                     }
@@ -570,7 +598,7 @@ pub fn open_loop_sql(
             .into_iter()
             .map(|p| match p {
                 Ok(h) => h.join().expect("client thread"),
-                Err(settled) => (settled, None),
+                Err(settled) => (settled, None, None),
             })
             .collect()
     });

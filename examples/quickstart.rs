@@ -38,8 +38,11 @@ fn main() -> QResult<()> {
     //    a single query is morsel-parallel inside the hot operators — the
     //    circular scan fans page ranges across the pool, and hash-join
     //    build / aggregation compute per-worker partials.
+    //    `tracing: true` (off by default — the hot path then pays nothing)
+    //    gives every query an event journal and a per-operator profile,
+    //    demonstrated in step 7.
     let config = QPipeConfig {
-        exec: ExecConfig { pool_workers: 4, ..ExecConfig::default() },
+        exec: ExecConfig { pool_workers: 4, tracing: true, ..ExecConfig::default() },
         ..QPipeConfig::default()
     };
     let engine = QPipe::new(catalog.clone(), config);
@@ -120,7 +123,30 @@ fn main() -> QResult<()> {
     println!("faults injected:        {}", delta.faults_injected);
     println!("I/O retries (healed):   {}", delta.io_retries);
 
-    // 7. Hacking on the engine? The conventions this contract rests on —
+    // 7. Where did the time go? With `tracing` on, each query carries a
+    //    per-operator probe tree and an event journal. Grab both handles
+    //    *before* `collect`/`try_collect` (which consume the query handle),
+    //    then snapshot after the query drains:
+    //    * `PlanNode::explain_analyze` renders the plan annotated with
+    //      measured rows/batches, busy vs pipe-wait vs I/O-wait time, and —
+    //      the QPipe payoff made visible — pages served by an OSP host
+    //      instead of disk;
+    //    * `Metrics::render_text()` is a Prometheus-style exposition of the
+    //      engine-wide counters plus p50/p95/p99 latency histograms (query
+    //      latency per class, admission wait, bufferpool fetch, pool queue
+    //      wait) — those histograms fill whether or not tracing is on.
+    let plan = q(13);
+    let handle = engine.submit(plan.clone())?;
+    let tree = handle.probe_tree().expect("engine booted with tracing");
+    let journal = handle.trace().expect("engine booted with tracing");
+    let rows = handle.try_collect()?;
+    println!();
+    println!("EXPLAIN ANALYZE (kind=13, {} group rows):", rows.len());
+    println!("{}", plan.explain_analyze(&tree.snapshot()));
+    println!("query journal:\n{}", journal.render());
+    println!("metrics exposition:\n{}", engine.metrics().render_text());
+
+    // 8. Hacking on the engine? The conventions this contract rests on —
     //    no panics in engine code, threads only via WorkerPool, no blocking
     //    pipe calls under a lock, no dead metrics — are machine-checked:
     //

@@ -151,10 +151,32 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Default artifact path: `BENCH_micro.json` in the nearest ancestor of the
+/// working directory holding a `Cargo.lock` (the workspace root). `cargo
+/// bench` sets the bench cwd to the *package* root, so a plain relative
+/// filename would scatter one artifact per invoking directory; anchoring at
+/// the lockfile yields a single canonical file wherever the bench is run
+/// from. Falls back to the cwd when no lockfile is found.
+fn default_json_path() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("BENCH_micro.json");
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("BENCH_micro.json"),
+        }
+    }
+}
+
 /// Serialize all recorded results as JSON (hand-rolled: no serde offline).
 pub fn emit_json() {
     let results = RESULTS.lock().unwrap();
-    let path = std::env::var("QPIPE_BENCH_JSON").unwrap_or_else(|_| "BENCH_micro.json".into());
+    let path = std::env::var("QPIPE_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| default_json_path());
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, s) in results.iter().enumerate() {
         let name = s.name.replace('\\', "\\\\").replace('"', "\\\"");
@@ -171,9 +193,9 @@ pub fn emit_json() {
     }
     out.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("warning: could not write {path}: {e}");
+        eprintln!("warning: could not write {}: {e}", path.display());
     } else {
-        println!("wrote {path} ({} benchmarks)", results.len());
+        println!("wrote {} ({} benchmarks)", path.display(), results.len());
     }
 }
 
